@@ -1,0 +1,252 @@
+package trinity
+
+// One benchmark per table/figure of the paper's evaluation, as
+// required by the experiment index in DESIGN.md §4. Each benchmark
+// regenerates its figure's data series; run with
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use a reduced dataset scale so a full sweep finishes
+// in minutes; cmd/experiments runs the same harnesses at full laptop
+// scale.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"gotrinity/internal/experiments"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *Lab
+)
+
+// lab returns a shared, warmed-up lab so dataset generation and the
+// Inchworm front end are not re-measured by every benchmark.
+func lab(b *testing.B) *Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab = NewLab(0.1)
+		if _, err := benchLab.Sugarbeet(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchLab
+}
+
+func reportSpeedup(b *testing.B, name string, v float64) {
+	b.ReportMetric(v, name)
+}
+
+// BenchmarkFig02OriginalPipeline regenerates Fig. 2: the original
+// Trinity stage profile on one 16-thread node.
+func BenchmarkFig02OriginalPipeline(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		pp, err := experiments.Fig2(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "chrysalis_hours", pp.ChrysalisHours)
+	}
+}
+
+// BenchmarkFig03ChunkedRoundRobin regenerates Fig. 3's distribution
+// map (4 MPI x 2 OpenMP example).
+func BenchmarkFig03ChunkedRoundRobin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig3(io.Discard, 80, 4, 2, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig04SWValidation regenerates Fig. 4: repeated runs of both
+// Trinity versions compared all-to-all with Smith-Waterman.
+func BenchmarkFig04SWValidation(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(l, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "ttest_p", res.TTest.P)
+	}
+}
+
+// BenchmarkFig05Fig06FullLengthAndFusion regenerates Figs. 5 and 6:
+// full-length and fused reconstruction counts vs the references.
+func BenchmarkFig05Fig06FullLengthAndFusion(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig56(l, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig07GraphFromFastaScaling regenerates Fig. 7 (and the
+// Fig. 8 breakdown): the hybrid GraphFromFasta node sweep.
+func BenchmarkFig07GraphFromFastaScaling(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(l, []int{16, 64, 192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "speedup_192", rows[len(rows)-1].Speedup)
+	}
+}
+
+// BenchmarkFig08Breakdown regenerates Fig. 8 explicitly (the
+// normalized loop/non-parallel shares of the Fig. 7 sweep).
+func BenchmarkFig08Breakdown(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(l, []int{16, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "nonpar_pct_128", rows[1].NonParPct)
+	}
+}
+
+// BenchmarkFig09ReadsToTranscriptsScaling regenerates Fig. 9.
+func BenchmarkFig09ReadsToTranscriptsScaling(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(l, []int{4, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "speedup_32", rows[1].Speedup)
+	}
+}
+
+// BenchmarkFig10BowtieScaling regenerates Fig. 10.
+func BenchmarkFig10BowtieScaling(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(l, []int{1, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "speedup_128", rows[1].Speedup)
+	}
+}
+
+// BenchmarkFig11ParallelPipeline regenerates Fig. 11: the parallel
+// Trinity stage profile on 16 nodes.
+func BenchmarkFig11ParallelPipeline(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		pp, err := experiments.Fig11(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "chrysalis_hours", pp.ChrysalisHours)
+	}
+}
+
+// BenchmarkHeadlineSpeedups regenerates the abstract's claims: GFF
+// 4.5x/20.7x, R2T 19.75x, Bowtie ~3x, Chrysalis >50h -> <5h.
+func BenchmarkHeadlineSpeedups(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		h, err := experiments.Summary(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "gff_speedup_192", h.GFFSpeedup192)
+	}
+}
+
+// BenchmarkAblationDistribution quantifies chunked round-robin vs the
+// rejected pre-allocated blocks (§III-B).
+func BenchmarkAblationDistribution(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDistribution(l, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "blocked_vs_rr", rows[1].Seconds/rows[0].Seconds)
+	}
+}
+
+// BenchmarkAblationSchedule quantifies dynamic vs static OpenMP
+// scheduling inside a rank (§III-B).
+func BenchmarkAblationSchedule(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSchedule(l, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "static_vs_dynamic", rows[1].Seconds/rows[0].Seconds)
+	}
+}
+
+// BenchmarkAblationR2TDistribution quantifies redundant streaming vs
+// the rejected master-distribute read distribution (§III-C).
+func BenchmarkAblationR2TDistribution(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationR2TDistribution(l, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "master_vs_stream", rows[1].Seconds/rows[0].Seconds)
+	}
+}
+
+// BenchmarkAblationPyFastaMode quantifies base-balanced vs
+// count-balanced contig splitting (§III-A).
+func BenchmarkAblationPyFastaMode(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPyFastaMode(l, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "count_vs_bases", rows[1].Seconds/rows[0].Seconds)
+	}
+}
+
+// BenchmarkAblationMPIIO quantifies redundant streaming vs striped
+// parallel reads (§VI future work).
+func BenchmarkAblationMPIIO(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationMPIIO(l, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSpeedup(b, "striped_vs_redundant", rows[0].Seconds/rows[1].Seconds)
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures the real (laptop-scale) pipeline
+// wall time, serial vs hybrid ranks.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	d := GenerateDataset(TinyProfile(1))
+	for _, ranks := range []int{1, 4} {
+		name := "serial"
+		if ranks > 1 {
+			name = "hybrid4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Assemble(d.Reads, Config{K: 21, ThreadsPerRank: 2, Ranks: ranks}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

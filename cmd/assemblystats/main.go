@@ -1,0 +1,38 @@
+// Command assemblystats reports the summary statistics assembly
+// papers quote — sequence count, total bases, min/mean/max length and
+// N50 — for one or more FASTA files (contigs or transcripts).
+//
+// Usage:
+//
+//	assemblystats contigs.fa transcripts.fa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gotrinity/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("assemblystats: ")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: assemblystats <fasta> [<fasta>...]")
+		os.Exit(2)
+	}
+	fmt.Printf("%-28s %9s %12s %8s %9s %8s %8s\n",
+		"file", "seqs", "bases", "min", "mean", "max", "N50")
+	for _, path := range flag.Args() {
+		recs, err := seq.ReadFastaFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := seq.ComputeStats(recs)
+		fmt.Printf("%-28s %9d %12d %8d %9.1f %8d %8d\n",
+			path, st.Count, st.TotalBases, st.MinLen, st.MeanLen, st.MaxLen, st.N50)
+	}
+}

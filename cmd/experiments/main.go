@@ -1,0 +1,153 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig 7            # one figure (2,3,4,5,6,7,8,9,10,11)
+//	experiments -summary          # abstract-level paper-vs-measured table
+//	experiments -all              # everything
+//	experiments -scale 0.25 ...   # shrink the synthetic datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gotrinity/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	fig := flag.Int("fig", 0, "figure number to regenerate (2..11)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	summary := flag.Bool("summary", false, "print the headline paper-vs-measured table")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations (§III)")
+	memory := flag.Bool("memory", false, "run the memory-footprint study (§VI future work)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full laptop scale)")
+	runs := flag.Int("runs", 0, "validation runs per version (figs 4-6; 0 = figure default)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	l := experiments.NewLab(*scale)
+	if !*quiet {
+		l.Log = os.Stderr
+	}
+	w := os.Stdout
+
+	run := func(n int) error {
+		switch n {
+		case 2:
+			pp, err := experiments.Fig2(l)
+			if err != nil {
+				return err
+			}
+			experiments.RenderPipelineProfile(w, pp)
+		case 3:
+			return experiments.Fig3(w, 80, 4, 2, 10)
+		case 4:
+			res, err := experiments.Fig4(l, *runs)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig4(w, res)
+		case 5, 6:
+			rows, err := experiments.Fig56(l, *runs)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig56(w, rows)
+		case 7, 8:
+			rows, err := experiments.Fig7(l, nil)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig7(w, rows)
+			fmt.Fprintln(w)
+			experiments.RenderFig8(w, rows)
+		case 9:
+			rows, err := experiments.Fig9(l, nil)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig9(w, rows)
+		case 10:
+			rows, err := experiments.Fig10(l, nil)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig10(w, rows)
+		case 11:
+			pp, err := experiments.Fig11(l)
+			if err != nil {
+				return err
+			}
+			experiments.RenderPipelineProfile(w, pp)
+		default:
+			return fmt.Errorf("unknown figure %d (use 2..11)", n)
+		}
+		return nil
+	}
+
+	switch {
+	case *memory:
+		rows, err := experiments.MemoryFootprints(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderMemory(w, rows)
+	case *ablations:
+		var rows []experiments.AblationRow
+		for _, f := range []func(*experiments.Lab, int) ([]experiments.AblationRow, error){
+			func(l *experiments.Lab, _ int) ([]experiments.AblationRow, error) {
+				return experiments.AblationDistribution(l, 64)
+			},
+			func(l *experiments.Lab, _ int) ([]experiments.AblationRow, error) {
+				return experiments.AblationSchedule(l, 16)
+			},
+			func(l *experiments.Lab, _ int) ([]experiments.AblationRow, error) {
+				return experiments.AblationR2TDistribution(l, 16)
+			},
+			func(l *experiments.Lab, _ int) ([]experiments.AblationRow, error) {
+				return experiments.AblationPyFastaMode(l, 16)
+			},
+			func(l *experiments.Lab, _ int) ([]experiments.AblationRow, error) {
+				return experiments.AblationMPIIO(l, 16)
+			},
+		} {
+			r, err := f(l, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r...)
+		}
+		experiments.RenderAblations(w, rows)
+	case *summary:
+		h, err := experiments.Summary(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderHeadline(w, h)
+	case *all:
+		for _, n := range []int{2, 3, 4, 5, 7, 9, 10, 11} {
+			if err := run(n); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+		h, err := experiments.Summary(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderHeadline(w, h)
+	case *fig != 0:
+		if err := run(*fig); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,50 @@
+// Command inchworm assembles greedy contigs from a Jellyfish k-mer
+// dump — the second Trinity stage.
+//
+// Usage:
+//
+//	inchworm --kmers kmers.txt --k 25 --out contigs.fa [--min-count 2] [--min-len 49]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gotrinity/internal/inchworm"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inchworm: ")
+
+	kmersPath := flag.String("kmers", "", "Jellyfish dump file")
+	k := flag.Int("k", 25, "k-mer length of the dump")
+	out := flag.String("out", "contigs.fa", "output contig FASTA")
+	minCount := flag.Int("min-count", 2, "error filter: drop k-mers rarer than this")
+	minLen := flag.Int("min-len", 0, "shortest contig to report (0 = 2k-1)")
+	flag.Parse()
+
+	if *kmersPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	entries, err := jellyfish.LoadFile(*kmersPath, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contigs, st, err := inchworm.Run(entries, inchworm.Options{
+		K: *k, MinKmerCount: *minCount, MinContigLen: *minLen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seq.WriteFastaFile(*out, contigs); err != nil {
+		log.Fatal(err)
+	}
+	stats := seq.ComputeStats(contigs)
+	log.Printf("%d/%d k-mers kept -> %d contigs (%d bases, N50 %d) -> %s",
+		st.KmersKept, st.KmersIn, st.Contigs, st.BasesOut, stats.N50, *out)
+}

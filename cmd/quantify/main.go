@@ -1,0 +1,101 @@
+// Command quantify estimates transcript abundances from reads with an
+// RSEM-style EM, and optionally tests two conditions for differential
+// expression (edgeR-style) — the downstream analyses the Trinity
+// platform ships alongside the assembler (§II-A).
+//
+// Usage:
+//
+//	quantify --transcripts transcripts.fa --reads reads.fa
+//	quantify --transcripts transcripts.fa --reads condA.fa --reads2 condB.fa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"gotrinity/internal/diffexpr"
+	"gotrinity/internal/express"
+	"gotrinity/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quantify: ")
+
+	transcriptsPath := flag.String("transcripts", "", "transcript FASTA (e.g. Butterfly output)")
+	readsPath := flag.String("reads", "", "reads FASTA (condition A)")
+	reads2Path := flag.String("reads2", "", "optional second condition for differential expression")
+	k := flag.Int("k", 21, "matching k-mer length")
+	top := flag.Int("top", 20, "rows to print")
+	fdr := flag.Float64("fdr", 0.05, "Benjamini-Hochberg threshold for the two-condition test")
+	flag.Parse()
+
+	if *transcriptsPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	transcripts, err := seq.ReadFastaFile(*transcriptsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quant := func(path string) *express.Result {
+		reads, err := seq.ReadFastaFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := express.Quantify(transcripts, reads, express.Options{K: *k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: %d/%d reads assigned in %d EM iterations",
+			path, res.Assigned, res.Assigned+res.Unassigned, res.Iterations)
+		return res
+	}
+
+	resA := quant(*readsPath)
+	if *reads2Path == "" {
+		byTPM := append([]express.Abundance(nil), resA.Abundances...)
+		sort.Slice(byTPM, func(i, j int) bool { return byTPM[i].ExpectedHits > byTPM[j].ExpectedHits })
+		fmt.Printf("%-20s %8s %12s %12s\n", "transcript", "length", "est. reads", "TPM")
+		for i, a := range byTPM {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("%-20s %8d %12.1f %12.0f\n", a.Transcript, a.Length, a.ExpectedHits, a.TPM)
+		}
+		return
+	}
+
+	resB := quant(*reads2Path)
+	names := make([]string, len(transcripts))
+	ca := make([]float64, len(transcripts))
+	cb := make([]float64, len(transcripts))
+	for i := range transcripts {
+		names[i] = transcripts[i].ID
+		ca[i] = resA.Abundances[i].ExpectedHits
+		cb[i] = resB.Abundances[i].ExpectedHits
+	}
+	results, err := diffexpr.Test(names,
+		diffexpr.Sample{Name: "A", Counts: ca},
+		diffexpr.Sample{Name: "B", Counts: cb},
+		diffexpr.Options{FDR: *fdr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %12s %12s %9s %10s %10s %4s\n",
+		"transcript", "A (norm)", "B (norm)", "log2FC", "p", "q", "sig")
+	for i, r := range diffexpr.TopTable(results) {
+		if i >= *top {
+			break
+		}
+		sig := ""
+		if r.Significant {
+			sig = "*"
+		}
+		fmt.Printf("%-20s %12.1f %12.1f %9.2f %10.2e %10.2e %4s\n",
+			r.Transcript, r.CountA, r.CountB, r.Log2FC, r.P, r.Q, sig)
+	}
+}

@@ -1,0 +1,71 @@
+// Command readsim generates the synthetic RNA-seq datasets that stand
+// in for the paper's sugarbeet, whitefly, Schizophrenia and Drosophila
+// read sets. It writes a reads FASTA and the ground-truth reference
+// transcripts.
+//
+// Usage:
+//
+//	readsim --preset sugarbeet --seed 1 --out reads.fa --ref reference.fa [--reads 60000]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("readsim: ")
+
+	preset := flag.String("preset", "tiny", "dataset preset: sugarbeet, whitefly, schizophrenia, drosophila, tiny")
+	seed := flag.Int64("seed", 1, "generator seed")
+	reads := flag.Int("reads", 0, "override the preset's read count")
+	out := flag.String("out", "reads.fa", "output reads FASTA")
+	ref := flag.String("ref", "", "optional output for the reference transcripts")
+	splitDir := flag.String("split-dir", "", "also write <preset>.{reads,left,right,reference}.fa into this directory")
+	flag.Parse()
+
+	var prof rnaseq.Profile
+	switch *preset {
+	case "sugarbeet":
+		prof = rnaseq.Sugarbeet(*seed)
+	case "whitefly":
+		prof = rnaseq.Whitefly(*seed)
+	case "schizophrenia":
+		prof = rnaseq.Schizophrenia(*seed)
+	case "drosophila":
+		prof = rnaseq.Drosophila(*seed)
+	case "tiny":
+		prof = rnaseq.Tiny(*seed)
+	default:
+		log.Printf("unknown preset %q", *preset)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *reads > 0 {
+		prof.Reads = *reads
+	}
+	d := rnaseq.Generate(prof)
+	if err := seq.WriteFastaFile(*out, d.Reads); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d reads (%d pairs) from %d reference isoforms -> %s",
+		prof.Name, len(d.Reads), d.PairCount, len(d.Reference), *out)
+	if *ref != "" {
+		if err := seq.WriteFastaFile(*ref, d.ReferenceRecords()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("reference transcripts -> %s", *ref)
+	}
+	if *splitDir != "" {
+		files, err := d.WriteFiles(*splitDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("split files: %s %s %s %s", files.Reads, files.Left, files.Right, files.Reference)
+	}
+}

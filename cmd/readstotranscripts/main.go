@@ -1,0 +1,64 @@
+// Command readstotranscripts assigns every read to the Inchworm
+// bundle sharing the most k-mers — the second Chrysalis sub-step the
+// paper parallelises. With --nprocs > 1 every rank streams the whole
+// read file and keeps its own chunks (§III-C).
+//
+// Usage:
+//
+//	readstotranscripts --reads reads.fa --contigs contigs.fa \
+//	    --components components.txt --out assignments.txt [--nprocs 32]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("readstotranscripts: ")
+
+	readsPath := flag.String("reads", "", "input reads FASTA")
+	contigsPath := flag.String("contigs", "", "Inchworm contig FASTA")
+	compsPath := flag.String("components", "", "component file from graphfromfasta")
+	out := flag.String("out", "assignments.txt", "output assignment file")
+	nprocs := flag.Int("nprocs", 1, "MPI ranks")
+	threads := flag.Int("threads", 16, "OpenMP threads per rank")
+	k := flag.Int("k", 25, "k-mer length")
+	maxMem := flag.Int("max-mem-reads", 1000, "reads uploaded into memory per chunk")
+	flag.Parse()
+
+	if *readsPath == "" || *contigsPath == "" || *compsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	reads, err := seq.ReadFastaFile(*readsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contigs, err := seq.ReadFastaFile(*contigsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps, err := chrysalis.ReadComponentsFile(*compsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := chrysalis.ReadsToTranscripts(reads, contigs, comps, *nprocs, chrysalis.R2TOptions{
+		K:              *k,
+		MaxMemReads:    *maxMem,
+		ThreadsPerRank: *threads,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := chrysalis.WriteAssignmentsFile(*out, res.Assignments); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("assigned %d of %d reads to %d components -> %s",
+		len(res.Assignments), len(reads), len(comps), *out)
+}

@@ -1,0 +1,47 @@
+// Distributed: run the hybrid MPI+OpenMP Chrysalis on a virtual Blue
+// Wonder cluster and print the GraphFromFasta / ReadsToTranscripts
+// scaling series the paper reports in Figs. 7-9, at a reduced dataset
+// scale so it completes in about a minute.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	trinity "gotrinity"
+
+	"gotrinity/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	lab := trinity.NewLab(0.25) // quarter-scale sugarbeet
+	lab.Log = os.Stderr
+
+	fmt.Println("== GraphFromFasta: hybrid MPI+OpenMP scaling (paper Fig. 7/8) ==")
+	gff, err := trinity.Fig7(lab, []int{16, 32, 64, 128, 192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderFig7(os.Stdout, gff)
+	fmt.Println()
+	experiments.RenderFig8(os.Stdout, gff)
+
+	fmt.Println("\n== ReadsToTranscripts scaling (paper Fig. 9) ==")
+	r2t, err := trinity.Fig9(lab, []int{4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderFig9(os.Stdout, r2t)
+
+	fmt.Println("\n== Distributed Bowtie via PyFasta (paper Fig. 10) ==")
+	bow, err := trinity.Fig10(lab, []int{1, 16, 64, 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderFig10(os.Stdout, bow)
+}

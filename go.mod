@@ -1,0 +1,3 @@
+module gotrinity
+
+go 1.22

@@ -1,0 +1,385 @@
+// Package bowtie is the read-to-contig aligner of the pipeline,
+// standing in for the Bowtie short-read aligner that Chrysalis invokes
+// to map input reads onto Inchworm contigs. It is a seed-and-extend
+// aligner: contigs are indexed by seed k-mers, each read's seeds vote
+// for (contig, diagonal) candidates, and candidates are verified by
+// ungapped comparison with a mismatch budget. Both strands are tried,
+// as Bowtie does.
+//
+// The paper parallelises Bowtie without source changes by splitting
+// the *target* contig FASTA across nodes with PyFasta (§III-A); the
+// distributed driver here partitions the index the same way, so every
+// node aligns all reads against its own contig subset.
+package bowtie
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gotrinity/internal/fm"
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/omp"
+	"gotrinity/internal/seq"
+)
+
+// Backend selects the seed-location data structure.
+type Backend int
+
+const (
+	// HashSeeds indexes seed k-mers in a hash table (fast build, larger
+	// memory).
+	HashSeeds Backend = iota
+	// FMIndex locates seeds with a BWT/FM-index over the concatenated
+	// contigs — the data structure the real Bowtie uses ("ultrafast and
+	// memory-efficient"). Slower to build, smaller resident footprint.
+	FMIndex
+)
+
+// Options configures index construction and alignment.
+type Options struct {
+	SeedLen     int     // seed k-mer length (default 16)
+	SeedStride  int     // distance between consecutive read seeds (default 8)
+	MaxMismatch int     // mismatch budget for verification (default 3)
+	MinAlignLen int     // shortest read the aligner will attempt (default SeedLen)
+	Threads     int     // alignment worker threads (default GOMAXPROCS)
+	Backend     Backend // seed location backend (default HashSeeds)
+}
+
+func (o *Options) normalize() error {
+	if o.SeedLen <= 0 {
+		o.SeedLen = 16
+	}
+	if o.SeedLen > kmer.MaxK {
+		return fmt.Errorf("bowtie: seed length %d exceeds %d", o.SeedLen, kmer.MaxK)
+	}
+	if o.SeedStride <= 0 {
+		o.SeedStride = 8
+	}
+	if o.MaxMismatch < 0 {
+		o.MaxMismatch = 3
+	}
+	if o.MinAlignLen <= 0 {
+		o.MinAlignLen = o.SeedLen
+	}
+	if o.Threads <= 0 {
+		o.Threads = omp.DefaultThreads()
+	}
+	return nil
+}
+
+// hit is one indexed seed occurrence.
+type hit struct {
+	contig int32
+	pos    int32
+}
+
+// Index maps seed k-mers to their occurrences in the target contigs,
+// either through a hash table or an FM-index over the concatenated
+// contig text.
+type Index struct {
+	opt     Options
+	contigs []seq.Record
+	seeds   map[kmer.Kmer][]hit
+	// FM backend state: concatenated text with 'N' separators, the
+	// index, and the start offset of each contig within the text.
+	fmix    *fm.Index
+	offsets []int
+	// Bases is the total indexed bases, used by cost models.
+	Bases int
+}
+
+// NewIndex builds a seed index over the given contigs.
+func NewIndex(contigs []seq.Record, opt Options) (*Index, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	ix := &Index{opt: opt, contigs: contigs}
+	for ci := range contigs {
+		ix.Bases += len(contigs[ci].Seq)
+	}
+	switch opt.Backend {
+	case HashSeeds:
+		ix.seeds = make(map[kmer.Kmer][]hit)
+		for ci := range contigs {
+			it := kmer.NewIterator(contigs[ci].Seq, opt.SeedLen)
+			for {
+				m, pos, ok := it.Next()
+				if !ok {
+					break
+				}
+				ix.seeds[m] = append(ix.seeds[m], hit{contig: int32(ci), pos: int32(pos)})
+			}
+		}
+	case FMIndex:
+		var text []byte
+		for ci := range contigs {
+			ix.offsets = append(ix.offsets, len(text))
+			text = append(text, contigs[ci].Seq...)
+			text = append(text, 'N') // separator: ACGT seeds cannot cross it
+		}
+		if len(text) == 0 {
+			text = []byte{'N'}
+		}
+		f, err := fm.New(text)
+		if err != nil {
+			return nil, fmt.Errorf("bowtie: fm backend: %w", err)
+		}
+		ix.fmix = f
+	default:
+		return nil, fmt.Errorf("bowtie: unknown backend %d", opt.Backend)
+	}
+	return ix, nil
+}
+
+// lookupSeed returns the occurrences of seed m across the contigs.
+func (ix *Index) lookupSeed(m kmer.Kmer) []hit {
+	if ix.seeds != nil {
+		return ix.seeds[m]
+	}
+	pattern := []byte(m.Decode(ix.opt.SeedLen))
+	positions := ix.fmix.Locate(pattern)
+	if len(positions) == 0 {
+		return nil
+	}
+	hits := make([]hit, 0, len(positions))
+	for _, p := range positions {
+		// Binary search the owning contig by offset.
+		lo, hi := 0, len(ix.offsets)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if ix.offsets[mid] <= p {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		hits = append(hits, hit{contig: int32(lo), pos: int32(p - ix.offsets[lo])})
+	}
+	return hits
+}
+
+// MemoryFootprint estimates the index's resident bytes, for the
+// hash-vs-FM trade-off benchmark.
+func (ix *Index) MemoryFootprint() int {
+	if ix.fmix != nil {
+		return ix.fmix.MemoryFootprint() + 8*len(ix.offsets)
+	}
+	n := 0
+	for _, hits := range ix.seeds {
+		n += 8 + 8*len(hits) // key + hit entries
+	}
+	return n
+}
+
+// Contigs returns the indexed target records.
+func (ix *Index) Contigs() []seq.Record { return ix.contigs }
+
+// Alignment is one reported read placement.
+type Alignment struct {
+	ReadID     string
+	ReadLen    int
+	Contig     int // index into the aligner's contig set
+	ContigID   string
+	Pos        int  // 0-based leftmost position on the contig
+	Reverse    bool // read aligned as its reverse complement
+	Mismatches int
+}
+
+// Stats meters the work an alignment pass performed.
+type Stats struct {
+	Reads         int64 // reads processed
+	Aligned       int64 // reads with a reported alignment
+	SeedProbes    int64 // index lookups
+	BasesCompared int64 // verification comparisons (work units)
+}
+
+// Aligner runs reads against one index.
+type Aligner struct {
+	ix *Index
+}
+
+// NewAligner wraps an index.
+func NewAligner(ix *Index) *Aligner { return &Aligner{ix: ix} }
+
+// AlignRead aligns a single read, returning the best alignment found
+// and whether one met the mismatch budget. The stats argument, if
+// non-nil, is updated (not thread-safe; use one per worker).
+func (a *Aligner) AlignRead(rec *seq.Record, st *Stats) (Alignment, bool) {
+	if st != nil {
+		st.Reads++
+	}
+	if len(rec.Seq) < a.ix.opt.MinAlignLen {
+		return Alignment{}, false
+	}
+	best, ok := a.alignOneStrand(rec.Seq, false, st)
+	rc := seq.ReverseComplement(rec.Seq)
+	if alt, ok2 := a.alignOneStrand(rc, true, st); ok2 && (!ok || alt.Mismatches < best.Mismatches) {
+		best, ok = alt, true
+	}
+	if !ok {
+		return Alignment{}, false
+	}
+	best.ReadID = rec.ID
+	best.ReadLen = len(rec.Seq)
+	best.ContigID = a.ix.contigs[best.Contig].ID
+	if st != nil {
+		st.Aligned++
+	}
+	return best, true
+}
+
+type diagonal struct {
+	contig int32
+	offset int32 // contigPos - readPos
+}
+
+func (a *Aligner) alignOneStrand(read []byte, reverse bool, st *Stats) (Alignment, bool) {
+	opt := a.ix.opt
+	votes := make(map[diagonal]int)
+	it := kmer.NewIterator(read, opt.SeedLen)
+	nextAccept := 0
+	for {
+		m, pos, ok := it.Next()
+		if !ok {
+			break
+		}
+		if pos < nextAccept {
+			continue
+		}
+		nextAccept = pos + opt.SeedStride
+		if st != nil {
+			st.SeedProbes++
+		}
+		for _, h := range a.ix.lookupSeed(m) {
+			votes[diagonal{h.contig, h.pos - int32(pos)}]++
+		}
+	}
+	// Deterministic candidate order: map iteration order must not leak
+	// into tie-breaking.
+	cands := make([]diagonal, 0, len(votes))
+	for d := range votes {
+		cands = append(cands, d)
+	}
+	// Order by global contig name so the winner among equal-mismatch
+	// candidates is the same whether the index holds all contigs or a
+	// PyFasta partition.
+	sort.Slice(cands, func(i, j int) bool {
+		idI := a.ix.contigs[cands[i].contig].ID
+		idJ := a.ix.contigs[cands[j].contig].ID
+		if idI != idJ {
+			return idI < idJ
+		}
+		return cands[i].offset < cands[j].offset
+	})
+	bestMM := opt.MaxMismatch + 1
+	var best Alignment
+	found := false
+	for _, d := range cands {
+		contig := a.ix.contigs[d.contig].Seq
+		start := int(d.offset)
+		if start < 0 || start+len(read) > len(contig) {
+			continue
+		}
+		mm := 0
+		for i := 0; i < len(read) && mm < bestMM; i++ {
+			if contig[start+i] != read[i] {
+				mm++
+			}
+		}
+		if st != nil {
+			st.BasesCompared += int64(len(read))
+		}
+		if mm < bestMM {
+			bestMM = mm
+			best = Alignment{Contig: int(d.contig), Pos: start, Reverse: reverse, Mismatches: mm}
+			found = true
+		}
+	}
+	return best, found && bestMM <= opt.MaxMismatch
+}
+
+// AlignAll aligns every read using the configured thread count and
+// returns the alignments (in read order, unaligned reads omitted) plus
+// aggregate stats.
+func (a *Aligner) AlignAll(reads []seq.Record) ([]Alignment, Stats) {
+	threads := a.ix.opt.Threads
+	perThread := make([]Stats, threads)
+	results := make([]*Alignment, len(reads))
+	omp.ParallelFor(len(reads), threads, omp.Schedule{Kind: omp.Dynamic, Chunk: 64},
+		func(i, tid int) {
+			if al, ok := a.AlignRead(&reads[i], &perThread[tid]); ok {
+				alCopy := al
+				results[i] = &alCopy
+			}
+		})
+	var out []Alignment
+	var agg Stats
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	for _, st := range perThread {
+		agg.Reads += st.Reads
+		agg.Aligned += st.Aligned
+		agg.SeedProbes += st.SeedProbes
+		agg.BasesCompared += st.BasesCompared
+	}
+	return out, agg
+}
+
+// mergeMu serialises nothing today but documents that SAM merging is a
+// single writer step, matching the paper's post-run file merge.
+var mergeMu sync.Mutex
+
+// MergeSAM concatenates per-node alignment sets, renumbering nothing:
+// contig ids are global names, so a simple append reproduces the
+// paper's "files from all nodes are merged into a single file".
+func MergeSAM(parts [][]Alignment) []Alignment {
+	mergeMu.Lock()
+	defer mergeMu.Unlock()
+	var out []Alignment
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// BestPerRead reduces a merged alignment set to one alignment per read
+// (Bowtie's default single-report mode) under the same ordering the
+// aligner uses internally — fewest mismatches, then forward strand,
+// then contig name, then position — so that a monolithic index and a
+// set of partitioned indexes elect the same winner.
+func BestPerRead(als []Alignment) []Alignment {
+	better := func(a, b Alignment) bool {
+		if a.Mismatches != b.Mismatches {
+			return a.Mismatches < b.Mismatches
+		}
+		if a.Reverse != b.Reverse {
+			return !a.Reverse
+		}
+		if a.ContigID != b.ContigID {
+			return a.ContigID < b.ContigID
+		}
+		return a.Pos < b.Pos
+	}
+	best := map[string]Alignment{}
+	var order []string
+	for _, a := range als {
+		cur, ok := best[a.ReadID]
+		if !ok {
+			best[a.ReadID] = a
+			order = append(order, a.ReadID)
+			continue
+		}
+		if better(a, cur) {
+			best[a.ReadID] = a
+		}
+	}
+	out := make([]Alignment, 0, len(order))
+	for _, id := range order {
+		out = append(out, best[id])
+	}
+	return out
+}

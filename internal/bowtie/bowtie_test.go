@@ -1,0 +1,256 @@
+package bowtie
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gotrinity/internal/pyfasta"
+	"gotrinity/internal/seq"
+)
+
+func makeContigs(rng *rand.Rand, n, meanLen int) []seq.Record {
+	contigs := make([]seq.Record, n)
+	for i := range contigs {
+		l := meanLen/2 + rng.Intn(meanLen)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		contigs[i] = seq.Record{ID: contigID(i), Seq: s}
+	}
+	return contigs
+}
+
+func contigID(i int) string {
+	return "c" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestAlignExactRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	contigs := makeContigs(rng, 10, 500)
+	ix, err := NewIndex(contigs, Options{SeedLen: 12, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := NewAligner(ix)
+	read := seq.Record{ID: "r0", Seq: contigs[3].Seq[100:176]}
+	got, ok := al.AlignRead(&read, nil)
+	if !ok {
+		t.Fatal("exact read did not align")
+	}
+	if got.Contig != 3 || got.Pos != 100 || got.Reverse || got.Mismatches != 0 {
+		t.Errorf("alignment = %+v", got)
+	}
+	if got.ContigID != contigs[3].ID {
+		t.Errorf("contig id = %s", got.ContigID)
+	}
+}
+
+func TestAlignReverseComplementRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	contigs := makeContigs(rng, 5, 400)
+	ix, _ := NewIndex(contigs, Options{SeedLen: 12})
+	al := NewAligner(ix)
+	rc := seq.ReverseComplement(contigs[2].Seq[50:126])
+	got, ok := al.AlignRead(&seq.Record{ID: "r", Seq: rc}, nil)
+	if !ok {
+		t.Fatal("rc read did not align")
+	}
+	if got.Contig != 2 || got.Pos != 50 || !got.Reverse {
+		t.Errorf("alignment = %+v", got)
+	}
+}
+
+func TestAlignWithMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	contigs := makeContigs(rng, 4, 600)
+	ix, _ := NewIndex(contigs, Options{SeedLen: 12, MaxMismatch: 3})
+	al := NewAligner(ix)
+	read := append([]byte(nil), contigs[1].Seq[200:276]...)
+	read[10] = seq.Complement(read[10])
+	read[40] = seq.Complement(read[40])
+	got, ok := al.AlignRead(&seq.Record{ID: "r", Seq: read}, nil)
+	if !ok {
+		t.Fatal("2-mismatch read did not align")
+	}
+	if got.Mismatches != 2 {
+		t.Errorf("mismatches = %d, want 2", got.Mismatches)
+	}
+}
+
+func TestAlignRejectsOverBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	contigs := makeContigs(rng, 3, 300)
+	ix, _ := NewIndex(contigs, Options{SeedLen: 12, MaxMismatch: 0})
+	al := NewAligner(ix)
+	read := append([]byte(nil), contigs[0].Seq[10:86]...)
+	read[70] = seq.Complement(read[70]) // mismatch outside any seed window start
+	if got, ok := al.AlignRead(&seq.Record{ID: "r", Seq: read}, nil); ok {
+		t.Errorf("aligned %+v despite MaxMismatch=0", got)
+	}
+}
+
+func TestAlignRandomReadUnmapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	contigs := makeContigs(rng, 3, 300)
+	ix, _ := NewIndex(contigs, Options{SeedLen: 16})
+	al := NewAligner(ix)
+	junk := make([]byte, 76)
+	for i := range junk {
+		junk[i] = "ACGT"[rng.Intn(4)]
+	}
+	var st Stats
+	if _, ok := al.AlignRead(&seq.Record{ID: "junk", Seq: junk}, &st); ok {
+		t.Log("random read aligned by chance; acceptable but unlikely")
+	}
+	if st.Reads != 1 {
+		t.Errorf("stats.Reads = %d", st.Reads)
+	}
+}
+
+func TestAlignShortReadSkipped(t *testing.T) {
+	contigs := []seq.Record{{ID: "c", Seq: []byte("ACGTACGTACGTACGTACGT")}}
+	ix, _ := NewIndex(contigs, Options{SeedLen: 16})
+	al := NewAligner(ix)
+	if _, ok := al.AlignRead(&seq.Record{ID: "s", Seq: []byte("ACGT")}, nil); ok {
+		t.Error("aligned read shorter than MinAlignLen")
+	}
+}
+
+func TestAlignAllMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	contigs := makeContigs(rng, 20, 400)
+	ix, _ := NewIndex(contigs, Options{SeedLen: 12, Threads: 4})
+	al := NewAligner(ix)
+	var reads []seq.Record
+	for i := 0; i < 200; i++ {
+		c := rng.Intn(len(contigs))
+		s := contigs[c].Seq
+		if len(s) < 80 {
+			continue
+		}
+		start := rng.Intn(len(s) - 76)
+		reads = append(reads, seq.Record{ID: contigID(i) + "r", Seq: s[start : start+76]})
+	}
+	par, stats := al.AlignAll(reads)
+	if int(stats.Reads) != len(reads) {
+		t.Errorf("stats.Reads = %d, want %d", stats.Reads, len(reads))
+	}
+	if stats.Aligned != int64(len(par)) {
+		t.Errorf("aligned = %d but %d records", stats.Aligned, len(par))
+	}
+	// Serial reference.
+	var serial []Alignment
+	for i := range reads {
+		if a, ok := al.AlignRead(&reads[i], nil); ok {
+			serial = append(serial, a)
+		}
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel %d vs serial %d alignments", len(par), len(serial))
+	}
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("alignment %d differs: %+v vs %+v", i, par[i], serial[i])
+		}
+	}
+	if stats.BasesCompared == 0 || stats.SeedProbes == 0 {
+		t.Error("work not metered")
+	}
+}
+
+// Distributed mode: aligning against PyFasta-split partitions and
+// merging must find everything the monolithic index finds.
+func TestPartitionedAlignmentEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	contigs := makeContigs(rng, 30, 400)
+	opt := Options{SeedLen: 12, Threads: 2}
+	full, _ := NewIndex(contigs, opt)
+	var reads []seq.Record
+	for i := 0; i < 150; i++ {
+		c := rng.Intn(len(contigs))
+		s := contigs[c].Seq
+		start := rng.Intn(len(s) - 60)
+		reads = append(reads, seq.Record{ID: contigID(i) + "x", Seq: s[start : start+60]})
+	}
+	fullAl, _ := NewAligner(full).AlignAll(reads)
+
+	parts, _, err := pyfasta.Split(contigs, 4, pyfasta.EvenBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodeResults [][]Alignment
+	for _, part := range parts {
+		ix, _ := NewIndex(part, opt)
+		als, _ := NewAligner(ix).AlignAll(reads)
+		nodeResults = append(nodeResults, als)
+	}
+	merged := MergeSAM(nodeResults)
+	// Every read aligned by the full index must be aligned in a partition.
+	fullByRead := map[string]bool{}
+	for _, a := range fullAl {
+		fullByRead[a.ReadID] = true
+	}
+	mergedByRead := map[string]bool{}
+	for _, a := range merged {
+		mergedByRead[a.ReadID] = true
+	}
+	for id := range fullByRead {
+		if !mergedByRead[id] {
+			t.Errorf("read %s aligned monolithically but not in any partition", id)
+		}
+	}
+}
+
+func TestWriteSAMRecords(t *testing.T) {
+	var buf bytes.Buffer
+	refs := []SAMHeaderEntry{{Name: "c1", Length: 100}, {Name: "c2", Length: 200}}
+	als := []Alignment{
+		{ReadID: "r2", ReadLen: 50, ContigID: "c2", Pos: 10, Mismatches: 1},
+		{ReadID: "r1", ReadLen: 50, ContigID: "c1", Pos: 5, Reverse: true},
+	}
+	if err := WriteSAMRecords(&buf, refs, als); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "@HD") || !strings.HasPrefix(lines[1], "@SQ\tSN:c1") {
+		t.Errorf("bad header:\n%s", out)
+	}
+	// Sorted by contig then pos: r1 (c1) before r2 (c2).
+	if !strings.HasPrefix(lines[3], "r1\t16\tc1\t6") {
+		t.Errorf("line 3 = %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "NM:i:1") {
+		t.Errorf("line 4 = %q", lines[4])
+	}
+}
+
+func TestIndexRejectsHugeSeed(t *testing.T) {
+	if _, err := NewIndex(nil, Options{SeedLen: 40}); err == nil {
+		t.Error("accepted seed > MaxK")
+	}
+}
+
+func BenchmarkAlignAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	contigs := makeContigs(rng, 50, 500)
+	ix, _ := NewIndex(contigs, Options{SeedLen: 14, Threads: 4})
+	al := NewAligner(ix)
+	var reads []seq.Record
+	for i := 0; i < 500; i++ {
+		c := rng.Intn(len(contigs))
+		s := contigs[c].Seq
+		start := rng.Intn(len(s) - 76)
+		reads = append(reads, seq.Record{ID: "r", Seq: s[start : start+76]})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.AlignAll(reads)
+	}
+}

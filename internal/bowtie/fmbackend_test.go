@@ -1,0 +1,97 @@
+package bowtie
+
+import (
+	"math/rand"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+// Both backends must produce identical alignments: the backend only
+// changes how seed occurrences are located, never which exist.
+func TestFMBackendMatchesHashBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	contigs := makeContigs(rng, 15, 400)
+	hashIx, err := NewIndex(contigs, Options{SeedLen: 12, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmIx, err := NewIndex(contigs, Options{SeedLen: 12, Threads: 2, Backend: FMIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads []seq.Record
+	for i := 0; i < 120; i++ {
+		c := rng.Intn(len(contigs))
+		s := contigs[c].Seq
+		start := rng.Intn(len(s) - 70)
+		read := append([]byte(nil), s[start:start+70]...)
+		if i%3 == 0 {
+			read[20] = seq.Complement(read[20]) // some mismatches
+		}
+		if i%2 == 0 {
+			read = seq.ReverseComplement(read)
+		}
+		reads = append(reads, seq.Record{ID: contigID(i) + "f", Seq: read})
+	}
+	hashAls, _ := NewAligner(hashIx).AlignAll(reads)
+	fmAls, _ := NewAligner(fmIx).AlignAll(reads)
+	if len(hashAls) != len(fmAls) {
+		t.Fatalf("hash %d vs fm %d alignments", len(hashAls), len(fmAls))
+	}
+	for i := range hashAls {
+		if hashAls[i] != fmAls[i] {
+			t.Fatalf("alignment %d differs:\nhash: %+v\nfm:   %+v", i, hashAls[i], fmAls[i])
+		}
+	}
+}
+
+func TestFMBackendSeparatorsIsolateContigs(t *testing.T) {
+	contigs := []seq.Record{
+		{ID: "a", Seq: []byte("AAAACCCCAAAACCCC")},
+		{ID: "b", Seq: []byte("GGGGTTTTGGGGTTTT")},
+	}
+	ix, err := NewIndex(contigs, Options{SeedLen: 8, Backend: FMIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A read spanning the artificial join must not align.
+	junction := []byte("AACCCCGGGGTT")
+	al := NewAligner(ix)
+	if got, ok := al.AlignRead(&seq.Record{ID: "x", Seq: junction}, nil); ok {
+		t.Errorf("junction read aligned: %+v", got)
+	}
+}
+
+func TestFMBackendEmptyContigs(t *testing.T) {
+	ix, err := NewIndex(nil, Options{SeedLen: 8, Backend: FMIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := NewAligner(ix)
+	if _, ok := al.AlignRead(&seq.Record{ID: "x", Seq: []byte("ACGTACGTACGT")}, nil); ok {
+		t.Error("aligned against empty index")
+	}
+}
+
+func TestBackendMemoryFootprints(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	contigs := makeContigs(rng, 20, 500)
+	hashIx, _ := NewIndex(contigs, Options{SeedLen: 14})
+	fmIx, _ := NewIndex(contigs, Options{SeedLen: 14, Backend: FMIndex})
+	hm, fmm := hashIx.MemoryFootprint(), fmIx.MemoryFootprint()
+	if hm <= 0 || fmm <= 0 {
+		t.Fatalf("footprints: hash=%d fm=%d", hm, fmm)
+	}
+	// The FM index should be the smaller structure (Bowtie's selling
+	// point), at least well below twice the hash index.
+	if fmm > 2*hm {
+		t.Errorf("fm footprint %d not competitive with hash %d", fmm, hm)
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	if _, err := NewIndex(nil, Options{SeedLen: 8, Backend: Backend(9)}); err == nil {
+		t.Error("accepted unknown backend")
+	}
+}

@@ -1,0 +1,23 @@
+package bowtie
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadSAM(f *testing.F) {
+	f.Add("@HD\tVN:1.6\nr1\t0\tc1\t5\t42\t10M\t*\t0\t0\t*\t*\tNM:i:1\n")
+	f.Add("r1\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*\n")
+	f.Add("broken\tline\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		als, err := ReadSAM(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, a := range als {
+			if a.Pos < 0 {
+				t.Fatal("negative position accepted")
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package bowtie
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SAM flag bits used by the writer.
+const (
+	flagUnmapped = 0x4
+	flagReverse  = 0x10
+)
+
+// SAMHeaderEntry describes one reference sequence for the @SQ header.
+type SAMHeaderEntry struct {
+	Name   string
+	Length int
+}
+
+// WriteSAMRecords renders a minimal, sorted SAM file.
+func WriteSAMRecords(w io.Writer, refs []SAMHeaderEntry, alignments []Alignment) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "@HD\tVN:1.6\tSO:unsorted\n"); err != nil {
+		return err
+	}
+	for _, r := range refs {
+		if _, err := fmt.Fprintf(bw, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Length); err != nil {
+			return err
+		}
+	}
+	sorted := append([]Alignment(nil), alignments...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].ContigID != sorted[j].ContigID {
+			return sorted[i].ContigID < sorted[j].ContigID
+		}
+		return sorted[i].Pos < sorted[j].Pos
+	})
+	for _, a := range sorted {
+		flag := 0
+		if a.Reverse {
+			flag |= flagReverse
+		}
+		mapq := 42 - 10*a.Mismatches
+		if mapq < 0 {
+			mapq = 0
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%d\t%d\t%dM\t*\t0\t0\t*\t*\tNM:i:%d\n",
+			a.ReadID, flag, a.ContigID, a.Pos+1, mapq, a.ReadLen, a.Mismatches); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSAM parses a SAM stream produced by WriteSAMRecords (headers are
+// skipped; unmapped records are dropped). Contig indices are not
+// resolved — callers holding the contig set can map ContigID back.
+func ReadSAM(r io.Reader) ([]Alignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Alignment
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" || line[0] == '@' {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 11 {
+			return nil, fmt.Errorf("bowtie: sam line %d: %d fields", lineno, len(fields))
+		}
+		flag, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bowtie: sam line %d: bad flag %q", lineno, fields[1])
+		}
+		if flag&flagUnmapped != 0 || fields[2] == "*" {
+			continue
+		}
+		pos, err := strconv.Atoi(fields[3])
+		if err != nil || pos < 1 {
+			return nil, fmt.Errorf("bowtie: sam line %d: bad pos %q", lineno, fields[3])
+		}
+		a := Alignment{
+			ReadID:   fields[0],
+			ContigID: fields[2],
+			Pos:      pos - 1,
+			Reverse:  flag&flagReverse != 0,
+		}
+		// CIGAR "<n>M" carries the read length; NM:i carries mismatches.
+		if c := fields[5]; strings.HasSuffix(c, "M") {
+			if n, err := strconv.Atoi(c[:len(c)-1]); err == nil {
+				a.ReadLen = n
+			}
+		}
+		for _, f := range fields[11:] {
+			if v, ok := strings.CutPrefix(f, "NM:i:"); ok {
+				if n, err := strconv.Atoi(v); err == nil {
+					a.Mismatches = n
+				}
+			}
+		}
+		out = append(out, a)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,93 @@
+package bowtie
+
+import (
+	"gotrinity/internal/seq"
+
+	"strings"
+	"testing"
+)
+
+func TestReadSAMSkipsHeadersAndUnmapped(t *testing.T) {
+	in := strings.Join([]string{
+		"@HD\tVN:1.6",
+		"@SQ\tSN:c1\tLN:100",
+		"r1\t0\tc1\t11\t42\t50M\t*\t0\t0\t*\t*\tNM:i:2",
+		"r2\t4\t*\t0\t0\t*\t*\t0\t0\t*\t*", // unmapped
+		"r3\t16\tc1\t1\t42\t30M\t*\t0\t0\t*\t*\tNM:i:0",
+		"",
+	}, "\n")
+	als, err := ReadSAM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(als) != 2 {
+		t.Fatalf("alignments = %d", len(als))
+	}
+	a := als[0]
+	if a.ReadID != "r1" || a.ContigID != "c1" || a.Pos != 10 || a.Reverse ||
+		a.Mismatches != 2 || a.ReadLen != 50 {
+		t.Errorf("record 0 = %+v", a)
+	}
+	if !als[1].Reverse || als[1].Pos != 0 {
+		t.Errorf("record 1 = %+v", als[1])
+	}
+}
+
+func TestReadSAMMalformed(t *testing.T) {
+	cases := []string{
+		"r1\t0\tc1\n",                             // too few fields
+		"r1\tx\tc1\t1\t0\t5M\t*\t0\t0\t*\t*\n",    // bad flag
+		"r1\t0\tc1\tzero\t0\t5M\t*\t0\t0\t*\t*\n", // bad pos
+		"r1\t0\tc1\t0\t0\t5M\t*\t0\t0\t*\t*\n",    // pos < 1
+	}
+	for _, in := range cases {
+		if _, err := ReadSAM(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestBestPerReadOrderingAndTies(t *testing.T) {
+	als := []Alignment{
+		{ReadID: "a", ContigID: "c9", Mismatches: 2},
+		{ReadID: "a", ContigID: "c1", Mismatches: 1}, // fewer mismatches wins
+		{ReadID: "b", ContigID: "c2", Mismatches: 1, Reverse: true},
+		{ReadID: "b", ContigID: "c3", Mismatches: 1}, // forward beats reverse on ties
+		{ReadID: "c", ContigID: "c5", Mismatches: 0, Pos: 9},
+		{ReadID: "c", ContigID: "c5", Mismatches: 0, Pos: 2}, // smaller pos on full tie
+	}
+	best := BestPerRead(als)
+	if len(best) != 3 {
+		t.Fatalf("best = %d", len(best))
+	}
+	if best[0].ContigID != "c1" {
+		t.Errorf("read a best = %+v", best[0])
+	}
+	if best[1].ContigID != "c3" || best[1].Reverse {
+		t.Errorf("read b best = %+v", best[1])
+	}
+	if best[2].Pos != 2 {
+		t.Errorf("read c best = %+v", best[2])
+	}
+	// First-seen order of reads is preserved.
+	if best[0].ReadID != "a" || best[1].ReadID != "b" || best[2].ReadID != "c" {
+		t.Error("read order not preserved")
+	}
+}
+
+func TestBestPerReadEmpty(t *testing.T) {
+	if got := BestPerRead(nil); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAlignAllEmptyReads(t *testing.T) {
+	ix, err := NewIndex([]seq.Record{{ID: "c", Seq: []byte("ACGTACGTACGTACGTACGT")}}, Options{SeedLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	als, st := NewAligner(ix).AlignAll(nil)
+	if len(als) != 0 || st.Reads != 0 {
+		t.Errorf("als=%d stats=%+v", len(als), st)
+	}
+}

@@ -1,0 +1,136 @@
+package butterfly
+
+import (
+	"strings"
+
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+// Paired-end reconciliation: Butterfly "reconstructs feasible
+// full-length linear transcripts by reconciling the individual de
+// Bruijn graphs ... with the original reads and paired end data"
+// (§II-A). A mate pair supports a transcript when both mates match it
+// (in either orientation); transcripts that enumerate a graph path no
+// pair ever spans are likely chimeric joins.
+
+// PairSupportK is the k-mer length used for mate-to-transcript
+// matching.
+const PairSupportK = 21
+
+// minMateKmers is how many of a mate's k-mers must hit the transcript
+// for the mate to count as matching.
+const minMateKmers = 3
+
+// PairSupport counts, for each transcript, the read pairs assigned to
+// its component whose two mates both match the transcript sequence.
+// The result is indexed like ts.
+func PairSupport(ts []Transcript, graphs []*chrysalis.ComponentGraph, reads []seq.Record) []int {
+	// Group each component's assigned reads into mate pairs.
+	pairsByComp := map[int][][2]int32{}
+	for _, cg := range graphs {
+		mates := map[string]int32{}
+		for _, ri := range cg.Reads {
+			if int(ri) >= len(reads) {
+				continue
+			}
+			base, mate, ok := splitMate(reads[ri].ID)
+			if !ok {
+				continue
+			}
+			if other, seen := mates[base]; seen {
+				p := [2]int32{other, ri}
+				if mate == 1 {
+					p = [2]int32{ri, other}
+				}
+				pairsByComp[cg.Component.ID] = append(pairsByComp[cg.Component.ID], p)
+				delete(mates, base)
+			} else {
+				mates[base] = ri
+			}
+		}
+	}
+
+	support := make([]int, len(ts))
+	for ti := range ts {
+		pairs := pairsByComp[ts[ti].Component]
+		if len(pairs) == 0 {
+			continue
+		}
+		kmers := transcriptKmerSet(ts[ti].Seq)
+		for _, p := range pairs {
+			if mateMatches(reads[p[0]].Seq, kmers) && mateMatches(reads[p[1]].Seq, kmers) {
+				support[ti]++
+			}
+		}
+	}
+	return support
+}
+
+// FilterByPairSupport drops transcripts with support below min within
+// components where at least one transcript meets it; components with
+// no supported transcript (e.g. single-end data) are left untouched.
+func FilterByPairSupport(ts []Transcript, support []int, min int) []Transcript {
+	if min <= 0 || len(ts) != len(support) {
+		return ts
+	}
+	compHasSupport := map[int]bool{}
+	for i := range ts {
+		if support[i] >= min {
+			compHasSupport[ts[i].Component] = true
+		}
+	}
+	out := ts[:0]
+	for i := range ts {
+		if !compHasSupport[ts[i].Component] || support[i] >= min {
+			out = append(out, ts[i])
+		}
+	}
+	return out
+}
+
+func splitMate(id string) (base string, mate int, ok bool) {
+	switch {
+	case strings.HasSuffix(id, "/1"):
+		return id[:len(id)-2], 1, true
+	case strings.HasSuffix(id, "/2"):
+		return id[:len(id)-2], 2, true
+	}
+	return "", 0, false
+}
+
+func transcriptKmerSet(s []byte) map[kmer.Kmer]bool {
+	set := make(map[kmer.Kmer]bool, len(s))
+	it := kmer.NewIterator(s, PairSupportK)
+	for {
+		m, _, ok := it.Next()
+		if !ok {
+			return set
+		}
+		set[m] = true
+	}
+}
+
+func mateMatches(read []byte, kmers map[kmer.Kmer]bool) bool {
+	count := func(s []byte) int {
+		n := 0
+		it := kmer.NewIterator(s, PairSupportK)
+		for {
+			m, _, ok := it.Next()
+			if !ok {
+				return n
+			}
+			if kmers[m] {
+				n++
+				if n >= minMateKmers {
+					return n
+				}
+			}
+		}
+	}
+	if count(read) >= minMateKmers {
+		return true
+	}
+	return count(seq.ReverseComplement(read)) >= minMateKmers
+}

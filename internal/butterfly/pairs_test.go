@@ -1,0 +1,102 @@
+package butterfly
+
+import (
+	"math/rand"
+	"testing"
+
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/dbg"
+	"gotrinity/internal/seq"
+)
+
+func TestSplitMate(t *testing.T) {
+	if b, m, ok := splitMate("read9/1"); !ok || b != "read9" || m != 1 {
+		t.Errorf("splitMate = %q %d %v", b, m, ok)
+	}
+	if b, m, ok := splitMate("read9/2"); !ok || b != "read9" || m != 2 {
+		t.Errorf("splitMate = %q %d %v", b, m, ok)
+	}
+	if _, _, ok := splitMate("read9"); ok {
+		t.Error("unpaired id accepted")
+	}
+}
+
+// buildPairScenario: one real transcript and one chimera; pairs drawn
+// from the real transcript support only it.
+func buildPairScenario(t *testing.T) ([]Transcript, []*chrysalis.ComponentGraph, []seq.Record) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	real := randDNA(rng, 400)
+	chimera := real[:150] + randDNA(rng, 250)
+
+	g, _ := dbg.New(15)
+	g.AddSequence([]byte(real), 1)
+	cg := &chrysalis.ComponentGraph{Component: chrysalis.Component{ID: 0}, Graph: g}
+
+	var reads []seq.Record
+	for i := 0; i+300 <= len(real); i += 25 {
+		left := []byte(real[i : i+60])
+		right := seq.ReverseComplement([]byte(real[i+240 : i+300]))
+		reads = append(reads,
+			seq.Record{ID: readID(i) + "/1", Seq: left},
+			seq.Record{ID: readID(i) + "/2", Seq: right})
+	}
+	for ri := range reads {
+		cg.Reads = append(cg.Reads, int32(ri))
+	}
+	ts := []Transcript{
+		{Component: 0, ID: "real", Seq: []byte(real)},
+		{Component: 0, ID: "chimera", Seq: []byte(chimera)},
+	}
+	return ts, []*chrysalis.ComponentGraph{cg}, reads
+}
+
+func readID(i int) string {
+	return "p" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestPairSupportDistinguishesChimera(t *testing.T) {
+	ts, graphs, reads := buildPairScenario(t)
+	support := PairSupport(ts, graphs, reads)
+	if len(support) != 2 {
+		t.Fatalf("support = %v", support)
+	}
+	if support[0] == 0 {
+		t.Error("real transcript has no pair support")
+	}
+	if support[1] >= support[0] {
+		t.Errorf("chimera support %d >= real support %d", support[1], support[0])
+	}
+}
+
+func TestFilterByPairSupport(t *testing.T) {
+	ts, graphs, reads := buildPairScenario(t)
+	support := PairSupport(ts, graphs, reads)
+	filtered := FilterByPairSupport(ts, support, 1)
+	for _, tr := range filtered {
+		if tr.ID == "chimera" && support[1] == 0 {
+			t.Error("unsupported chimera survived the filter")
+		}
+	}
+	if len(filtered) == 0 {
+		t.Fatal("filter removed everything")
+	}
+	// min=0 disables filtering entirely.
+	if got := FilterByPairSupport(ts, support, 0); len(got) != len(ts) {
+		t.Error("min=0 must be a no-op")
+	}
+}
+
+func TestFilterLeavesUnpairedComponentsAlone(t *testing.T) {
+	ts := []Transcript{{Component: 5, ID: "x", Seq: []byte("ACGT")}}
+	got := FilterByPairSupport(ts, []int{0}, 1)
+	if len(got) != 1 {
+		t.Error("component without any pair support must be untouched")
+	}
+}
+
+func TestPairSupportEmptyInputs(t *testing.T) {
+	if s := PairSupport(nil, nil, nil); len(s) != 0 {
+		t.Errorf("support = %v", s)
+	}
+}

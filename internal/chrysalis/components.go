@@ -1,0 +1,56 @@
+package chrysalis
+
+import (
+	"fmt"
+
+	"gotrinity/internal/dbg"
+	"gotrinity/internal/seq"
+)
+
+// ComponentGraph pairs a component with its de Bruijn graph and the
+// reads assigned to it.
+type ComponentGraph struct {
+	Component Component
+	Graph     *dbg.Graph
+	Reads     []int32 // indices of reads ReadsToTranscripts assigned here
+}
+
+// FastaToDeBruijn builds one de Bruijn graph per component from the
+// component's contigs — the FastaToDebruijn sub-step of Chrysalis.
+func FastaToDeBruijn(contigs []seq.Record, comps []Component, k int) ([]*ComponentGraph, error) {
+	out := make([]*ComponentGraph, 0, len(comps))
+	for _, comp := range comps {
+		g, err := dbg.New(k)
+		if err != nil {
+			return nil, fmt.Errorf("chrysalis: component %d: %w", comp.ID, err)
+		}
+		for _, ci := range comp.Contigs {
+			if ci < 0 || ci >= len(contigs) {
+				return nil, fmt.Errorf("chrysalis: component %d references contig %d of %d",
+					comp.ID, ci, len(contigs))
+			}
+			g.AddSequence(contigs[ci].Seq, 1)
+		}
+		out = append(out, &ComponentGraph{Component: comp, Graph: g})
+	}
+	return out, nil
+}
+
+// QuantifyGraph threads each assigned read through its component's
+// graph, adding coverage — the QuantityGraph sub-step that gives
+// Butterfly its read support. Reads assigned to unknown components are
+// ignored.
+func QuantifyGraph(graphs []*ComponentGraph, reads []seq.Record, assignments []Assignment) {
+	byID := map[int]*ComponentGraph{}
+	for _, cg := range graphs {
+		byID[cg.Component.ID] = cg
+	}
+	for _, a := range assignments {
+		cg, ok := byID[int(a.Component)]
+		if !ok || int(a.Read) >= len(reads) {
+			continue
+		}
+		cg.Graph.AddSequence(reads[a.Read].Seq, 1)
+		cg.Reads = append(cg.Reads, a.Read)
+	}
+}

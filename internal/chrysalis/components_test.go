@@ -1,0 +1,92 @@
+package chrysalis
+
+import (
+	"testing"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+type kmerT = kmer.Kmer
+
+func encodeKmer(s string) (kmerT, bool) { return kmer.Encode([]byte(s), len(s)) }
+
+func TestFastaToDeBruijn(t *testing.T) {
+	contigs := []seq.Record{
+		{ID: "a", Seq: []byte("ACGTACGTACGTACGT")},
+		{ID: "b", Seq: []byte("TTTTGGGGCCCCAAAA")},
+		{ID: "c", Seq: []byte("GATTACAGATTACAGA")},
+	}
+	comps := []Component{
+		{ID: 0, Contigs: []int{0, 1}},
+		{ID: 1, Contigs: []int{2}},
+	}
+	graphs, err := FastaToDeBruijn(contigs, comps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("graphs = %d", len(graphs))
+	}
+	if graphs[0].Graph.NodeCount() == 0 || graphs[1].Graph.NodeCount() == 0 {
+		t.Error("empty component graph")
+	}
+	// Component 1's graph must not contain component 0's k-mers.
+	for _, m := range graphs[1].Graph.Nodes() {
+		if graphs[0].Graph.Coverage(m) > 0 && graphs[1].Graph.Coverage(m) > 0 {
+			// shared k-mers possible only if sequences overlap; these don't
+			t.Errorf("k-mer %s leaked between components", m.Decode(5))
+		}
+	}
+}
+
+func TestFastaToDeBruijnErrors(t *testing.T) {
+	contigs := []seq.Record{{ID: "a", Seq: []byte("ACGT")}}
+	if _, err := FastaToDeBruijn(contigs, []Component{{ID: 0, Contigs: []int{5}}}, 3); err == nil {
+		t.Error("accepted out-of-range contig index")
+	}
+	if _, err := FastaToDeBruijn(contigs, []Component{{ID: 0, Contigs: []int{0}}}, 1); err == nil {
+		t.Error("accepted k=1")
+	}
+}
+
+func TestQuantifyGraphAddsCoverage(t *testing.T) {
+	contigs := []seq.Record{{ID: "a", Seq: []byte("ACGTACGTACGTACGTACGT")}}
+	comps := []Component{{ID: 0, Contigs: []int{0}}}
+	graphs, err := FastaToDeBruijn(contigs, comps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := []seq.Record{{ID: "r0", Seq: []byte("ACGTACGTAC")}}
+	before := graphs[0].Graph.Coverage(mustKmer(t, "ACGTA"))
+	QuantifyGraph(graphs, reads, []Assignment{{Read: 0, Component: 0, Matches: 5}})
+	after := graphs[0].Graph.Coverage(mustKmer(t, "ACGTA"))
+	if after <= before {
+		t.Errorf("coverage %d -> %d, want increase", before, after)
+	}
+	if len(graphs[0].Reads) != 1 || graphs[0].Reads[0] != 0 {
+		t.Errorf("reads recorded: %v", graphs[0].Reads)
+	}
+}
+
+func TestQuantifyGraphIgnoresBadAssignments(t *testing.T) {
+	contigs := []seq.Record{{ID: "a", Seq: []byte("ACGTACGTAC")}}
+	graphs, _ := FastaToDeBruijn(contigs, []Component{{ID: 0, Contigs: []int{0}}}, 5)
+	reads := []seq.Record{{ID: "r0", Seq: []byte("ACGTA")}}
+	QuantifyGraph(graphs, reads, []Assignment{
+		{Read: 0, Component: 42}, // unknown component
+		{Read: 99, Component: 0}, // read out of range
+	})
+	if len(graphs[0].Reads) != 0 {
+		t.Errorf("bad assignments accepted: %v", graphs[0].Reads)
+	}
+}
+
+func mustKmer(t *testing.T, s string) kmerT {
+	t.Helper()
+	m, ok := encodeKmer(s)
+	if !ok {
+		t.Fatalf("bad kmer %s", s)
+	}
+	return m
+}

@@ -1,0 +1,51 @@
+package chrysalis
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadComponents(f *testing.F) {
+	f.Add("component 0: 1 2 3\n")
+	f.Add("component 0:\ncomponent 1: 5\n")
+	f.Add("garbage\n")
+	f.Add("component x: y\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		comps, err := ReadComponents(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed components must survive a write/read round trip.
+		var sb strings.Builder
+		if err := WriteComponents(&sb, comps); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadComponents(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(comps) {
+			t.Fatalf("round trip count %d != %d", len(back), len(comps))
+		}
+	})
+}
+
+func FuzzReadAssignments(f *testing.F) {
+	f.Add("1 2 3\n4 5 6\n")
+	f.Add("1 2\n")
+	f.Add("a b c\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		as, err := ReadAssignments(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteAssignments(&sb, as); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAssignments(strings.NewReader(sb.String()))
+		if err != nil || len(back) != len(as) {
+			t.Fatalf("round trip: %v (%d vs %d)", err, len(back), len(as))
+		}
+	})
+}

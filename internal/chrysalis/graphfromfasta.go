@@ -1,0 +1,268 @@
+package chrysalis
+
+import (
+	"fmt"
+	"sync"
+
+	"gotrinity/internal/cluster"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/mpi"
+	"gotrinity/internal/seq"
+)
+
+// GFFOptions configures GraphFromFasta.
+type GFFOptions struct {
+	K                 int   // weld seed k-mer length (Trinity: 24/25)
+	MinWeldSupport    int   // read occurrences required for every window k-mer (default 2)
+	MaxWeldsPerContig int   // harvest cap per contig; the tie-break point that makes output run-dependent (default 100)
+	ThreadsPerRank    int   // simulated OpenMP threads per MPI rank (default 16)
+	ChunkSize         int   // chunked round-robin chunk size; 0 derives the paper default
+	Seed              int64 // run seed perturbing harvest order (0 = fixed order)
+
+	// Replicas evaluates loop timings as if the chunked round-robin
+	// stream contained this many statistical copies of the contig
+	// population (see replicate.go); it affects metered makespans only,
+	// never results. Default 1 (raw scaled-data granularity).
+	Replicas int
+
+	// Strategy selects the chunk→rank mapping: the paper's chunked
+	// round-robin (default) or the pre-allocated contiguous blocks it
+	// rejected; kept for ablations. The clustering result is identical
+	// either way — only the metered load balance changes.
+	Strategy Strategy
+
+	// StaticSchedule uses the OpenMP static schedule inside each rank
+	// instead of the paper's dynamic one (ablation; timing only).
+	StaticSchedule bool
+
+	// LoopOpWeight is the cost-model weight of one welding-loop
+	// operation relative to one setup operation (default 20). Trinity's
+	// inner loops extract, hash and compare string k-mers with poor
+	// cache locality, while setup streams the contig file once; the
+	// weight is calibrated so the serial-fraction profile matches the
+	// paper's Fig. 8 (see EXPERIMENTS.md). It scales metered time only,
+	// never results.
+	LoopOpWeight float64
+
+	// ScaffoldPairs are contig pairs contributed by the Bowtie
+	// alignment step (mate pairs spanning two contigs); they are
+	// "combined with welding pairs ... for full construction of
+	// Inchworm bundles" (§III-A).
+	ScaffoldPairs [][2]int32
+}
+
+func (o *GFFOptions) normalize() error {
+	if o.K <= 0 || o.K > kmer.MaxK {
+		return fmt.Errorf("chrysalis: weld k=%d out of range", o.K)
+	}
+	if o.MinWeldSupport <= 0 {
+		o.MinWeldSupport = 2
+	}
+	if o.MaxWeldsPerContig <= 0 {
+		o.MaxWeldsPerContig = 100
+	}
+	if o.ThreadsPerRank <= 0 {
+		o.ThreadsPerRank = 16
+	}
+	if o.LoopOpWeight <= 0 {
+		o.LoopOpWeight = 20
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	return nil
+}
+
+// Component is one cluster of welded Inchworm contigs — an "Inchworm
+// bundle".
+type Component struct {
+	ID      int
+	Contigs []int // indices into the contig set, ascending
+}
+
+// GFFRankProfile meters what one rank did, in raw work units and
+// communication stats; the cluster cost model converts it to seconds.
+type GFFRankProfile struct {
+	SetupUnits  float64   // non-parallel: contig k-mer index build
+	Loop1Units  float64   // makespan over this rank's logical threads
+	Comm1       mpi.Stats // weld pooling traffic
+	MidUnits    float64   // non-parallel: pooled weld index build
+	Loop2Units  float64   // makespan over this rank's logical threads
+	Comm2       mpi.Stats // pair pooling traffic
+	OutputUnits float64   // non-parallel: union-find + component output
+	Welds       int       // welds this rank harvested
+	Pairs       int       // weld incidences this rank found
+}
+
+// GFFResult is the full GraphFromFasta output.
+type GFFResult struct {
+	Components []Component
+	Welds      []string         // pooled, deduplicated welding subsequences
+	Profiles   []GFFRankProfile // one per rank
+	NumPairs   int              // total weld incidences pooled
+}
+
+// GraphFromFasta clusters contigs into components using `ranks` MPI
+// processes, each simulating opt.ThreadsPerRank OpenMP threads — the
+// paper's hybrid implementation. ranks=1 reproduces the original
+// OpenMP-only behaviour: the algorithm and its result are identical
+// for every rank count (verified by tests), only the work distribution
+// changes.
+//
+// readKmers must be a stranded (non-canonical) count table over the
+// input reads with the same k.
+func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
+	ranks int, opt GFFOptions) (*GFFResult, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if readKmers == nil {
+		return nil, fmt.Errorf("chrysalis: nil read k-mer table")
+	}
+	if readKmers.K != opt.K {
+		return nil, fmt.Errorf("chrysalis: read table k=%d, want %d", readKmers.K, opt.K)
+	}
+	seqs := make([][]byte, len(contigs))
+	for i := range contigs {
+		seqs[i] = contigs[i].Seq
+	}
+	dist, err := NewDistribution(len(contigs), ranks, opt.ThreadsPerRank, opt.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	dist.Strategy = opt.Strategy
+
+	profiles := make([]GFFRankProfile, ranks)
+	results := make([]*GFFResult, ranks)
+
+	// In a real cluster every rank builds these identical read-only
+	// structures independently; here they are built once and shared,
+	// while each rank is still charged the full build cost.
+	var ixOnce, widxOnce sync.Once
+	var ix *contigKmerIndex
+	var widx *weldIndex
+	var pooledShared []string
+	// Per-contig loop costs, written by the owning rank, read by every
+	// rank after a barrier for the replicated timing replay.
+	costs1 := make([]float64, len(contigs))
+	costs2 := make([]float64, len(contigs))
+
+	world := mpi.NewWorld(ranks)
+	world.Run(func(c *Comm) {
+		rank := c.Rank()
+		prof := &profiles[rank]
+
+		// --- Non-parallel setup: every rank loads the contig file and
+		// builds the k-mer occurrence index (GraphFromFasta "reads the
+		// entire file into memory", §III-C).
+		ixOnce.Do(func() { ix = buildContigKmerIndex(seqs, opt.K) })
+		prof.SetupUnits = float64(ix.buildOps)
+
+		// --- Loop 1: harvest welds over this rank's chunks, dividing
+		// each chunk across the logical OpenMP threads dynamically.
+		var myWelds []string
+		dist.ForEachRankItem(rank, func(i int) {
+			rot := harvestRotation(opt.Seed, i, len(seqs[i]))
+			welds, units := harvestWelds(seqs[i], i, ix, readKmers, opt, rot)
+			costs1[i] = units * opt.LoopOpWeight
+			myWelds = append(myWelds, welds...)
+		})
+		c.Barrier() // all per-contig costs visible to every rank
+		prof.Loop1Units = replicatedMakespan(dist, costs1, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+		prof.Welds = len(myWelds)
+
+		// --- Pool welds on every rank (pack → size exchange →
+		// Allgatherv), as §III-B describes.
+		before := c.Stats
+		packed := packWelds(myWelds)
+		c.AllgatherInt(len(packed))
+		parts := c.Allgatherv(packed)
+		prof.Comm1 = cluster.StatsDelta(before, c.Stats)
+
+		// --- Non-parallel middle: build the pooled weld index. The
+		// pooled weld list is identical on every rank by construction.
+		widxOnce.Do(func() {
+			pooledShared = poolWelds(parts)
+			widx = buildWeldIndex(pooledShared, opt.K)
+		})
+		pooled := pooledShared
+		prof.MidUnits = float64(len(pooled)) * 2 // core + rc-core hash inserts
+
+		// --- Loop 2: find (weld, contig) incidences over this rank's
+		// chunks with the same chunked round-robin distribution.
+		var myPairs []int64
+		dist.ForEachRankItem(rank, func(i int) {
+			pairs, units := scanContigForWelds(seqs[i], i, widx)
+			costs2[i] = units * opt.LoopOpWeight
+			for _, p := range pairs {
+				myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
+			}
+		})
+		c.Barrier()
+		prof.Loop2Units = replicatedMakespan(dist, costs2, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+		prof.Pairs = len(myPairs)
+
+		// --- Pool the pairing indices (integer arrays: "substantially
+		// less communication compared to the first loop").
+		before = c.Stats
+		c.AllgatherInt(len(myPairs))
+		allPairs := c.AllgathervInt64(myPairs)
+		prof.Comm2 = cluster.StatsDelta(before, c.Stats)
+
+		// --- Non-parallel output: weld-sharing contigs → union-find →
+		// components. Every rank computes the identical result.
+		byWeld := map[int32][]int32{}
+		total := 0
+		for _, part := range allPairs {
+			for _, enc := range part {
+				w := int32(enc >> 32)
+				ci := int32(uint32(enc))
+				byWeld[w] = append(byWeld[w], ci)
+				total++
+			}
+		}
+		uf := newUnionFind(len(seqs))
+		for _, members := range byWeld {
+			for i := 1; i < len(members); i++ {
+				uf.union(int(members[0]), int(members[i]))
+			}
+		}
+		for _, p := range opt.ScaffoldPairs {
+			a, b := int(p[0]), int(p[1])
+			if a >= 0 && a < len(seqs) && b >= 0 && b < len(seqs) {
+				uf.union(a, b)
+			}
+		}
+		var comps []Component
+		for _, g := range uf.groups() {
+			comps = append(comps, Component{ID: len(comps), Contigs: g})
+		}
+		prof.OutputUnits = float64(total) + float64(len(seqs))
+
+		results[rank] = &GFFResult{Components: comps, Welds: pooled, NumPairs: total}
+	})
+
+	res := results[0]
+	res.Profiles = profiles
+	return res, nil
+}
+
+// Comm aliases mpi.Comm for readability inside this package.
+type Comm = mpi.Comm
+
+// harvestRotation derives the scan-start rotation for contig i from
+// the run seed: seed 0 keeps the natural order; other seeds rotate
+// each contig's scan deterministically-per-seed, so repeated runs with
+// different seeds produce the slightly different weld sets the paper
+// observes between repeated Trinity runs.
+func harvestRotation(seed int64, contig, length int) int {
+	if seed == 0 || length <= 1 {
+		return 0
+	}
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(contig)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return int(h % uint64(length))
+}

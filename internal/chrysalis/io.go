@@ -1,0 +1,160 @@
+package chrysalis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// File formats used between the stage executables, mirroring how the
+// real Trinity modules "exchange data through files" (§II-A).
+//
+// Components: one line per component, "component <id>: <idx> <idx> ...".
+// Assignments: one line per read, "<read> <component> <matches>".
+
+// WriteComponents renders components in the text format ReadComponents
+// parses.
+func WriteComponents(w io.Writer, comps []Component) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comps {
+		if _, err := fmt.Fprintf(bw, "component %d:", c.ID); err != nil {
+			return err
+		}
+		for _, ci := range c.Contigs {
+			if _, err := fmt.Fprintf(bw, " %d", ci); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadComponents parses the WriteComponents format.
+func ReadComponents(r io.Reader) ([]Component, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Component
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, "component ")
+		if !ok {
+			return nil, fmt.Errorf("chrysalis: components line %d: missing prefix", lineno)
+		}
+		head, tail, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("chrysalis: components line %d: missing ':'", lineno)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(head))
+		if err != nil {
+			return nil, fmt.Errorf("chrysalis: components line %d: bad id %q", lineno, head)
+		}
+		comp := Component{ID: id}
+		for _, f := range strings.Fields(tail) {
+			ci, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("chrysalis: components line %d: bad contig index %q", lineno, f)
+			}
+			comp.Contigs = append(comp.Contigs, ci)
+		}
+		out = append(out, comp)
+	}
+	return out, sc.Err()
+}
+
+// WriteComponentsFile writes components to path.
+func WriteComponentsFile(path string, comps []Component) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteComponents(f, comps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadComponentsFile reads components from path.
+func ReadComponentsFile(path string) ([]Component, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadComponents(f)
+}
+
+// WriteAssignments renders read assignments as whitespace-separated
+// triples.
+func WriteAssignments(w io.Writer, as []Assignment) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range as {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Read, a.Component, a.Matches); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAssignments parses the WriteAssignments format.
+func ReadAssignments(r io.Reader) ([]Assignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Assignment
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("chrysalis: assignments line %d: want 3 fields, got %d", lineno, len(fields))
+		}
+		var vals [3]int64
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("chrysalis: assignments line %d: bad value %q", lineno, f)
+			}
+			vals[i] = v
+		}
+		out = append(out, Assignment{Read: int32(vals[0]), Component: int32(vals[1]), Matches: int32(vals[2])})
+	}
+	return out, sc.Err()
+}
+
+// WriteAssignmentsFile writes assignments to path.
+func WriteAssignmentsFile(path string, as []Assignment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAssignments(f, as); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAssignmentsFile reads assignments from path.
+func ReadAssignmentsFile(path string) ([]Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAssignments(f)
+}

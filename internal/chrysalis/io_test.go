@@ -1,0 +1,95 @@
+package chrysalis
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestComponentsRoundTrip(t *testing.T) {
+	comps := []Component{
+		{ID: 0, Contigs: []int{0, 2, 5}},
+		{ID: 3, Contigs: []int{1}},
+		{ID: 4, Contigs: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteComponents(&buf, comps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadComponents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("got %d components", len(back))
+	}
+	for i := range comps {
+		if back[i].ID != comps[i].ID || len(back[i].Contigs) != len(comps[i].Contigs) {
+			t.Errorf("component %d mismatch: %+v vs %+v", i, back[i], comps[i])
+		}
+		for j := range comps[i].Contigs {
+			if back[i].Contigs[j] != comps[i].Contigs[j] {
+				t.Errorf("component %d contig %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestComponentsRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"bundle 0: 1 2\n",
+		"component x: 1\n",
+		"component 0 1 2\n",
+		"component 0: a b\n",
+	} {
+		if _, err := ReadComponents(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestAssignmentsRoundTrip(t *testing.T) {
+	as := []Assignment{{Read: 0, Component: 1, Matches: 30}, {Read: 99, Component: 0, Matches: 1}}
+	var buf bytes.Buffer
+	if err := WriteAssignments(&buf, as); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAssignments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != as[0] || back[1] != as[1] {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestAssignmentsRejectsMalformed(t *testing.T) {
+	for _, in := range []string{"1 2\n", "1 2 3 4\n", "a 2 3\n"} {
+		if _, err := ReadAssignments(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	cpath := filepath.Join(dir, "comps.txt")
+	apath := filepath.Join(dir, "assign.txt")
+	comps := []Component{{ID: 1, Contigs: []int{4, 7}}}
+	as := []Assignment{{Read: 5, Component: 1, Matches: 12}}
+	if err := WriteComponentsFile(cpath, comps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAssignmentsFile(apath, as); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadComponentsFile(cpath)
+	if err != nil || len(c2) != 1 || c2[0].ID != 1 {
+		t.Fatalf("components file: %v %v", c2, err)
+	}
+	a2, err := ReadAssignmentsFile(apath)
+	if err != nil || len(a2) != 1 || a2[0] != as[0] {
+		t.Fatalf("assignments file: %v %v", a2, err)
+	}
+}

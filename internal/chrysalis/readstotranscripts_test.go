@@ -1,0 +1,177 @@
+package chrysalis
+
+import (
+	"math/rand"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+// r2tScenario: two disjoint components plus reads drawn from each.
+type r2tScenario struct {
+	contigs []seq.Record
+	comps   []Component
+	reads   []seq.Record
+	origin  []int // true component of each read
+	k       int
+}
+
+func buildR2TScenario(t *testing.T, seed int64, nReads int) *r2tScenario {
+	t.Helper()
+	const k = 15
+	rng := rand.New(rand.NewSource(seed))
+	dna := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = "ACGT"[rng.Intn(4)]
+		}
+		return s
+	}
+	contigs := []seq.Record{
+		{ID: "c0", Seq: dna(400)},
+		{ID: "c1", Seq: dna(400)},
+		{ID: "c2", Seq: dna(400)},
+	}
+	comps := []Component{
+		{ID: 0, Contigs: []int{0, 1}},
+		{ID: 1, Contigs: []int{2}},
+	}
+	sc := &r2tScenario{contigs: contigs, comps: comps, k: k}
+	for i := 0; i < nReads; i++ {
+		comp := rng.Intn(2)
+		var src []byte
+		if comp == 0 {
+			src = contigs[rng.Intn(2)].Seq
+		} else {
+			src = contigs[2].Seq
+		}
+		start := rng.Intn(len(src) - 60)
+		read := append([]byte(nil), src[start:start+60]...)
+		if rng.Intn(2) == 0 {
+			read = seq.ReverseComplement(read)
+		}
+		sc.reads = append(sc.reads, seq.Record{ID: "r", Seq: read})
+		sc.origin = append(sc.origin, comp)
+	}
+	return sc
+}
+
+func TestReadsToTranscriptsAssignsCorrectComponent(t *testing.T) {
+	sc := buildR2TScenario(t, 1, 300)
+	res, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, 1,
+		R2TOptions{K: sc.k, ThreadsPerRank: 2, MaxMemReads: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != len(sc.reads) {
+		t.Fatalf("assigned %d of %d reads", len(res.Assignments), len(sc.reads))
+	}
+	for _, a := range res.Assignments {
+		if int(a.Component) != sc.origin[a.Read] {
+			t.Fatalf("read %d assigned to %d, came from %d", a.Read, a.Component, sc.origin[a.Read])
+		}
+		if a.Matches <= 0 {
+			t.Fatalf("read %d has %d matches", a.Read, a.Matches)
+		}
+	}
+}
+
+// The paper's validation requirement: the distributed run must produce
+// the same assignments as the single-node run.
+func TestReadsToTranscriptsRankInvariance(t *testing.T) {
+	sc := buildR2TScenario(t, 2, 500)
+	opt := R2TOptions{K: sc.k, ThreadsPerRank: 4, MaxMemReads: 64}
+	base, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{2, 3, 7, 16} {
+		res, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, ranks, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Assignments) != len(base.Assignments) {
+			t.Fatalf("ranks=%d: %d vs %d assignments", ranks, len(res.Assignments), len(base.Assignments))
+		}
+		for i := range base.Assignments {
+			if res.Assignments[i] != base.Assignments[i] {
+				t.Fatalf("ranks=%d: assignment %d differs: %+v vs %+v",
+					ranks, i, res.Assignments[i], base.Assignments[i])
+			}
+		}
+	}
+}
+
+func TestReadsToTranscriptsUnmatchedReadsDropped(t *testing.T) {
+	sc := buildR2TScenario(t, 3, 50)
+	junk := make([]byte, 60)
+	rng := rand.New(rand.NewSource(99))
+	for i := range junk {
+		junk[i] = "ACGT"[rng.Intn(4)]
+	}
+	reads := append(append([]seq.Record(nil), sc.reads...), seq.Record{ID: "junk", Seq: junk})
+	res, err := ReadsToTranscripts(reads, sc.contigs, sc.comps, 2,
+		R2TOptions{K: sc.k, MinKmerMatches: 10, MaxMemReads: 16, ThreadsPerRank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if int(a.Read) == len(reads)-1 {
+			t.Error("junk read was assigned")
+		}
+	}
+}
+
+func TestReadsToTranscriptsChunkDistribution(t *testing.T) {
+	sc := buildR2TScenario(t, 4, 320)
+	const ranks = 4
+	res, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, ranks,
+		R2TOptions{K: sc.k, MaxMemReads: 40, ThreadsPerRank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 320/40 = 8 chunks over 4 ranks: each rank keeps exactly 2.
+	for r, p := range res.Profiles {
+		if p.Chunks != 2 {
+			t.Errorf("rank %d kept %d chunks, want 2", r, p.Chunks)
+		}
+		if p.StreamUnits <= 0 {
+			t.Errorf("rank %d has no redundant-stream cost", r)
+		}
+	}
+	// Only root concatenates.
+	if res.Profiles[0].ConcatUnits <= 0 {
+		t.Error("root concat not metered")
+	}
+	for r := 1; r < ranks; r++ {
+		if res.Profiles[r].ConcatUnits != 0 {
+			t.Errorf("rank %d concatenated", r)
+		}
+	}
+}
+
+func TestReadsToTranscriptsOptionValidation(t *testing.T) {
+	sc := buildR2TScenario(t, 5, 10)
+	if _, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, 0, R2TOptions{K: sc.k}); err == nil {
+		t.Error("accepted 0 ranks")
+	}
+	if _, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, 1, R2TOptions{K: 0}); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestAssignmentCodecRoundTrip(t *testing.T) {
+	in := []Assignment{{Read: 1, Component: 2, Matches: 3}, {Read: -1, Component: 0, Matches: 1 << 30}}
+	out := decodeAssignments(encodeAssignments(in))
+	if len(out) != len(in) {
+		t.Fatal("length mismatch")
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("entry %d: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+	if got := decodeAssignments(nil); len(got) != 0 {
+		t.Error("nil decode not empty")
+	}
+}

@@ -1,0 +1,129 @@
+// Package chrysalis implements the Chrysalis stage of the Trinity
+// pipeline — the paper's target for hybrid MPI+OpenMP parallelisation.
+// It clusters minimally overlapping Inchworm contigs into components
+// by "welding" contigs that share read-supported subsequences
+// (GraphFromFasta), builds a de Bruijn graph per component
+// (FastaToDebruijn), and assigns every input read to the component
+// sharing the most k-mers (ReadsToTranscripts).
+package chrysalis
+
+import "fmt"
+
+// Strategy selects how chunks map to ranks.
+type Strategy int
+
+const (
+	// ChunkedRoundRobin is the paper's final strategy (§III-B, Fig. 3):
+	// chunk i belongs to rank i mod P.
+	ChunkedRoundRobin Strategy = iota
+	// BlockedContiguous pre-allocates contiguous chunk blocks to ranks —
+	// the paper's first attempt, which "did not give us a good speedup";
+	// kept for the ablation benchmarks.
+	BlockedContiguous
+)
+
+// Distribution is the paper's "chunked round robin" strategy (§III-B,
+// Fig. 3): the index space [0, N) is cut into fixed-size chunks; chunk
+// i belongs to MPI rank i mod P; within a rank each chunk is divided
+// dynamically among the OpenMP threads. The final chunk is clamped —
+// "the end index of the inner thread loop might have to be changed
+// depending on how many Inchworm contigs are left".
+type Distribution struct {
+	N         int // total items
+	Ranks     int // MPI processes
+	ChunkSize int // items per chunk
+	Strategy  Strategy
+}
+
+// NewDistribution validates and builds a distribution. chunkSize <= 0
+// derives the paper's default: the item count divided by the total
+// thread count (ranks × threadsPerRank), at least 1.
+func NewDistribution(n, ranks, threadsPerRank, chunkSize int) (Distribution, error) {
+	if n < 0 {
+		return Distribution{}, fmt.Errorf("chrysalis: negative item count %d", n)
+	}
+	if ranks <= 0 {
+		return Distribution{}, fmt.Errorf("chrysalis: rank count %d must be positive", ranks)
+	}
+	if chunkSize <= 0 {
+		if threadsPerRank <= 0 {
+			threadsPerRank = 1
+		}
+		chunkSize = n / (ranks * threadsPerRank)
+		if chunkSize < 1 {
+			chunkSize = 1
+		}
+	}
+	return Distribution{N: n, Ranks: ranks, ChunkSize: chunkSize}, nil
+}
+
+// Chunks returns the total number of chunks, including the final
+// partial one.
+func (d Distribution) Chunks() int {
+	if d.N == 0 {
+		return 0
+	}
+	return (d.N + d.ChunkSize - 1) / d.ChunkSize
+}
+
+// ChunkRange returns the half-open item range [lo, hi) of chunk c,
+// clamped at N.
+func (d Distribution) ChunkRange(c int) (lo, hi int) {
+	lo = c * d.ChunkSize
+	hi = lo + d.ChunkSize
+	if hi > d.N {
+		hi = d.N
+	}
+	if lo > d.N {
+		lo = d.N
+	}
+	return lo, hi
+}
+
+// Owner returns the rank that owns chunk c.
+func (d Distribution) Owner(c int) int {
+	if d.Strategy == BlockedContiguous {
+		n := d.Chunks()
+		if n == 0 {
+			return 0
+		}
+		r := c * d.Ranks / n
+		if r >= d.Ranks {
+			r = d.Ranks - 1
+		}
+		return r
+	}
+	return c % d.Ranks
+}
+
+// RankChunks returns the chunk indices owned by a rank, in order.
+func (d Distribution) RankChunks(rank int) []int {
+	var out []int
+	for c := 0; c < d.Chunks(); c++ {
+		if d.Owner(c) == rank {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RankItems returns how many items a rank owns in total.
+func (d Distribution) RankItems(rank int) int {
+	n := 0
+	for _, c := range d.RankChunks(rank) {
+		lo, hi := d.ChunkRange(c)
+		n += hi - lo
+	}
+	return n
+}
+
+// ForEachRankItem invokes body for every item owned by rank, chunk by
+// chunk, passing the global item index.
+func (d Distribution) ForEachRankItem(rank int, body func(i int)) {
+	for _, c := range d.RankChunks(rank) {
+		lo, hi := d.ChunkRange(c)
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+}

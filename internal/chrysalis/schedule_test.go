@@ -1,0 +1,107 @@
+package chrysalis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDistributionDefaults(t *testing.T) {
+	d, err := NewDistribution(1000, 4, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChunkSize != 1000/(4*16) {
+		t.Errorf("default chunk = %d", d.ChunkSize)
+	}
+	// Tiny N: chunk clamps to 1.
+	d2, _ := NewDistribution(3, 8, 16, 0)
+	if d2.ChunkSize != 1 {
+		t.Errorf("small-N chunk = %d, want 1", d2.ChunkSize)
+	}
+}
+
+func TestNewDistributionErrors(t *testing.T) {
+	if _, err := NewDistribution(-1, 2, 1, 1); err == nil {
+		t.Error("accepted negative n")
+	}
+	if _, err := NewDistribution(10, 0, 1, 1); err == nil {
+		t.Error("accepted zero ranks")
+	}
+}
+
+// Fig. 3 of the paper: 4 MPI processes; chunk i belongs to rank i mod 4.
+func TestChunkedRoundRobinOwnership(t *testing.T) {
+	d, _ := NewDistribution(80, 4, 2, 10)
+	if d.Chunks() != 8 {
+		t.Fatalf("chunks = %d", d.Chunks())
+	}
+	for c := 0; c < d.Chunks(); c++ {
+		if d.Owner(c) != c%4 {
+			t.Errorf("owner(%d) = %d", c, d.Owner(c))
+		}
+	}
+	if got := d.RankChunks(1); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("rank 1 chunks = %v", got)
+	}
+}
+
+func TestFinalChunkClamped(t *testing.T) {
+	// 23 items, chunk 10: final chunk is items [20,23) — the paper's
+	// "end index of the inner thread loop might have to be changed".
+	d, _ := NewDistribution(23, 3, 1, 10)
+	lo, hi := d.ChunkRange(2)
+	if lo != 20 || hi != 23 {
+		t.Errorf("final chunk = [%d,%d)", lo, hi)
+	}
+	// A chunk index past the end yields an empty range, not a panic.
+	lo, hi = d.ChunkRange(5)
+	if lo != hi {
+		t.Errorf("past-end chunk = [%d,%d)", lo, hi)
+	}
+}
+
+// Property: every item is owned by exactly one rank, for arbitrary
+// (n, ranks, chunk).
+func TestDistributionPartitionProperty(t *testing.T) {
+	f := func(nRaw uint16, ranksRaw, chunkRaw uint8) bool {
+		n := int(nRaw) % 2000
+		ranks := int(ranksRaw)%32 + 1
+		chunk := int(chunkRaw)%50 + 1
+		d, err := NewDistribution(n, ranks, 16, chunk)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, n)
+		for r := 0; r < ranks; r++ {
+			d.ForEachRankItem(r, func(i int) { seen[i]++ })
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankItemsSumsToN(t *testing.T) {
+	d, _ := NewDistribution(997, 7, 16, 13)
+	total := 0
+	for r := 0; r < 7; r++ {
+		total += d.RankItems(r)
+	}
+	if total != 997 {
+		t.Errorf("rank items sum to %d", total)
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	d, _ := NewDistribution(0, 4, 16, 0)
+	if d.Chunks() != 0 {
+		t.Errorf("chunks = %d for n=0", d.Chunks())
+	}
+	d.ForEachRankItem(0, func(i int) { t.Error("item visited for n=0") })
+}

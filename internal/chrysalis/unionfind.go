@@ -1,0 +1,66 @@
+package chrysalis
+
+// unionFind is a weighted-union, path-compressing disjoint-set forest
+// used to cluster welded contigs into components.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+func (uf *unionFind) sameSet(a, b int) bool { return uf.find(a) == uf.find(b) }
+
+// groups returns the member lists of every set with the members in
+// ascending order, the groups ordered by their smallest member.
+func (uf *unionFind) groups() [][]int {
+	byRoot := map[int][]int{}
+	for i := range uf.parent {
+		r := uf.find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var roots []int
+	for r := range byRoot {
+		roots = append(roots, byRoot[r][0])
+	}
+	// byRoot member lists are already ascending because i iterates in
+	// order; order groups by first member.
+	out := make([][]int, 0, len(byRoot))
+	used := map[int]bool{}
+	for i := range uf.parent {
+		r := uf.find(i)
+		if used[r] {
+			continue
+		}
+		used[r] = true
+		out = append(out, byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package chrysalis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := newUnionFind(5)
+	if uf.sameSet(0, 1) {
+		t.Error("fresh sets joined")
+	}
+	uf.union(0, 1)
+	uf.union(3, 4)
+	if !uf.sameSet(0, 1) || !uf.sameSet(3, 4) || uf.sameSet(1, 3) {
+		t.Error("union/sameSet wrong")
+	}
+	uf.union(1, 3)
+	if !uf.sameSet(0, 4) {
+		t.Error("transitive union failed")
+	}
+}
+
+func TestUnionFindGroups(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 2)
+	uf.union(2, 4)
+	uf.union(1, 5)
+	groups := uf.groups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// Ordered by smallest member; members ascending.
+	if groups[0][0] != 0 || groups[1][0] != 1 || groups[2][0] != 3 {
+		t.Errorf("group order wrong: %v", groups)
+	}
+	if len(groups[0]) != 3 || groups[0][1] != 2 || groups[0][2] != 4 {
+		t.Errorf("group members wrong: %v", groups[0])
+	}
+}
+
+func TestUnionFindIdempotentUnion(t *testing.T) {
+	uf := newUnionFind(3)
+	uf.union(0, 1)
+	uf.union(0, 1)
+	uf.union(1, 0)
+	if len(uf.groups()) != 2 {
+		t.Errorf("groups = %v", uf.groups())
+	}
+}
+
+// Property: union-find agrees with a naive connectivity closure.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		edges := make([][2]int, rng.Intn(80))
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		uf := newUnionFind(n)
+		for e := range edges {
+			a, b := rng.Intn(n), rng.Intn(n)
+			edges[e] = [2]int{a, b}
+			adj[a][b], adj[b][a] = true, true
+			uf.union(a, b)
+		}
+		// Naive closure via BFS.
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = -1
+		}
+		next := 0
+		for i := 0; i < n; i++ {
+			if comp[i] >= 0 {
+				continue
+			}
+			queue := []int{i}
+			comp[i] = next
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for u := 0; u < n; u++ {
+					if adj[v][u] && comp[u] < 0 {
+						comp[u] = next
+						queue = append(queue, u)
+					}
+				}
+			}
+			next++
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if (comp[a] == comp[b]) != uf.sameSet(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+package chrysalis
+
+import (
+	"sort"
+	"strings"
+
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+// A welding subsequence ("weld") is a window of length 2k — the seed
+// k-mer plus flanking bases (§III-B) — harvested from a contig
+// wherever the window also matches a sub-region of another contig, on
+// either strand, and the whole window is supported by reads. Two
+// contigs containing the same weld are clustered into one component.
+// Double-strandedness matters: Inchworm is strand-specific, so the
+// forward and reverse-complement contigs of one transcript are
+// distinct contigs that Chrysalis must weld together, and most of
+// loop 1's comparison work comes from exactly these pairs.
+
+// occurrence records one position of a k-mer within the contig set.
+type occurrence struct {
+	contig int32
+	pos    int32
+}
+
+// contigKmerIndex maps each k-mer to every contig position containing
+// it. Building it is part of GraphFromFasta's non-parallel setup.
+type contigKmerIndex struct {
+	k       int
+	contigs [][]byte
+	occs    map[kmer.Kmer][]occurrence
+	// buildOps counts the work performed, in k-mer insertions.
+	buildOps int64
+}
+
+func buildContigKmerIndex(contigs [][]byte, k int) *contigKmerIndex {
+	ix := &contigKmerIndex{
+		k:       k,
+		contigs: contigs,
+		occs:    make(map[kmer.Kmer][]occurrence),
+	}
+	for ci, s := range contigs {
+		it := kmer.NewIterator(s, k)
+		for {
+			m, pos, ok := it.Next()
+			if !ok {
+				break
+			}
+			ix.buildOps++
+			ix.occs[m] = append(ix.occs[m], occurrence{int32(ci), int32(pos)})
+		}
+	}
+	return ix
+}
+
+// weldSupport decides whether a candidate window is read-supported:
+// every k-mer of the window (either strand) must appear in the read
+// k-mer table with at least minSupport occurrences, so that a junction
+// between two contigs is only welded "if read support exists".
+func weldSupport(window []byte, k int, reads *jellyfish.CountTable, minSupport int) (bool, int64) {
+	var probes int64
+	it := kmer.NewIterator(window, k)
+	for {
+		m, _, ok := it.Next()
+		if !ok {
+			return true, probes
+		}
+		probes++
+		if int(reads.Get(m)) < minSupport {
+			probes++
+			if int(reads.Get(m.ReverseComplement(k))) < minSupport {
+				return false, probes
+			}
+		}
+	}
+}
+
+// harvestWelds runs loop 1's per-contig body: it scans contig ci for
+// 2k windows that match a sub-region of a different contig on either
+// strand and are read-supported, up to the per-contig cap. The scan
+// start is rotated by rot (derived from the run seed) so that which
+// welds land under the cap varies between runs, reproducing Trinity's
+// slightly indeterministic output (§IV) in a controlled way. It
+// returns the welds and the work units (index probes, window
+// comparisons, support probes) performed.
+func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.CountTable,
+	opt GFFOptions, rot int) ([]string, float64) {
+	k := opt.K
+	flank := k / 2
+	window := 2 * k
+	var units float64
+	n := len(contig) - k + 1
+	if n <= 0 {
+		return nil, 1
+	}
+	var welds []string
+	seen := map[string]bool{}
+	for step := 0; step < n; step++ {
+		p := (step + rot) % n
+		m, ok := kmer.Encode(contig[p:p+k], k)
+		units++
+		if !ok {
+			continue
+		}
+		lo := p - flank
+		hi := lo + window // length 2k even when k is odd
+		if lo < 0 || hi > len(contig) {
+			continue // window must fit inside the contig
+		}
+		w := contig[lo:hi]
+		if seen[string(w)] {
+			continue
+		}
+		// The welding subsequence must "match sub-regions of other
+		// contigs": same strand first, then the reverse complement.
+		matched := false
+		for _, o := range ix.occs[m] {
+			if int(o.contig) == ci {
+				continue
+			}
+			other := ix.contigs[o.contig]
+			olo := int(o.pos) - flank
+			units += float64(window)
+			if olo >= 0 && olo+window <= len(other) && string(other[olo:olo+window]) == string(w) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			rcSeed := m.ReverseComplement(k)
+			units++
+			rcWin := seq.ReverseComplement(w)
+			// Within RC(w), the RC seed starts at offset k-flank.
+			for _, o := range ix.occs[rcSeed] {
+				if int(o.contig) == ci {
+					continue
+				}
+				other := ix.contigs[o.contig]
+				olo := int(o.pos) - (k - flank)
+				units += float64(window)
+				if olo >= 0 && olo+window <= len(other) && string(other[olo:olo+window]) == string(rcWin) {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			continue
+		}
+		supported, probes := weldSupport(w, k, reads, opt.MinWeldSupport)
+		units += float64(probes)
+		if !supported {
+			continue
+		}
+		seen[string(w)] = true
+		welds = append(welds, string(w))
+		if len(welds) >= opt.MaxWeldsPerContig {
+			break
+		}
+	}
+	return welds, units
+}
+
+// packWelds serialises a rank's weld set for the Allgatherv exchange:
+// "the vector of the subsequences are packed into a single sequence
+// for MPI communication" (§III-B).
+func packWelds(welds []string) []byte {
+	return []byte(strings.Join(welds, "\n"))
+}
+
+// unpackWelds reverses packWelds.
+func unpackWelds(buf []byte) []string {
+	if len(buf) == 0 {
+		return nil
+	}
+	return strings.Split(string(buf), "\n")
+}
+
+// poolWelds merges per-rank weld sets into a deduplicated, sorted
+// global weld list so every rank derives an identical index regardless
+// of the rank count. Welds that are reverse complements of an already
+// pooled weld collapse onto one canonical orientation.
+func poolWelds(parts [][]byte) []string {
+	set := map[string]bool{}
+	for _, p := range parts {
+		for _, w := range unpackWelds(p) {
+			if w == "" {
+				continue
+			}
+			rc := string(seq.ReverseComplement([]byte(w)))
+			if rc < w {
+				w = rc
+			}
+			set[w] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// weldRef points at a pooled weld in one orientation.
+type weldRef struct {
+	id int32
+	rc bool
+}
+
+// weldIndex locates welds in contigs during loop 2: welds are keyed by
+// their central seed k-mer (both orientations) so a contig scan does
+// one packed-integer lookup per position and verifies the full window
+// only on a hit.
+type weldIndex struct {
+	k       int
+	byCore  map[kmer.Kmer][]weldRef
+	welds   []string
+	rcWelds []string // precomputed reverse complements
+}
+
+func buildWeldIndex(welds []string, k int) *weldIndex {
+	flank := k / 2
+	ix := &weldIndex{
+		k:       k,
+		byCore:  make(map[kmer.Kmer][]weldRef),
+		welds:   welds,
+		rcWelds: make([]string, len(welds)),
+	}
+	for id, w := range welds {
+		ix.rcWelds[id] = string(seq.ReverseComplement([]byte(w)))
+		if len(w) < flank+k {
+			continue
+		}
+		core, ok := kmer.Encode([]byte(w[flank:flank+k]), k)
+		if !ok {
+			continue
+		}
+		ix.byCore[core] = append(ix.byCore[core], weldRef{int32(id), false})
+		rcCore := core.ReverseComplement(k)
+		if rcCore != core {
+			ix.byCore[rcCore] = append(ix.byCore[rcCore], weldRef{int32(id), true})
+		}
+	}
+	return ix
+}
+
+// scanContigForWelds runs loop 2's per-contig body: it reports every
+// (weld id, contig id) incidence on either strand, plus the work units
+// spent.
+func scanContigForWelds(contig []byte, ci int, ix *weldIndex) ([][2]int32, float64) {
+	k := ix.k
+	flank := k / 2
+	window := 2 * k
+	var out [][2]int32
+	var units float64
+	it := kmer.NewIterator(contig, k)
+	emitted := map[int32]bool{}
+	for {
+		m, pos, ok := it.Next()
+		if !ok {
+			break
+		}
+		units++
+		refs := ix.byCore[m]
+		if len(refs) == 0 {
+			continue
+		}
+		for _, ref := range refs {
+			if emitted[ref.id] {
+				continue
+			}
+			var lo int
+			var want string
+			if !ref.rc {
+				// The weld occurs forward: its core sits at offset flank.
+				lo = pos - flank
+				want = ix.welds[ref.id]
+			} else {
+				// The contig contains the weld's reverse complement: the
+				// RC core sits at offset k-flank within RC(weld).
+				lo = pos - (k - flank)
+				want = ix.rcWelds[ref.id]
+			}
+			if lo < 0 || lo+window > len(contig) {
+				continue
+			}
+			units += float64(window)
+			if string(contig[lo:lo+window]) == want {
+				emitted[ref.id] = true
+				out = append(out, [2]int32{ref.id, int32(ci)})
+			}
+		}
+	}
+	return out, units
+}

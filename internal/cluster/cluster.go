@@ -1,0 +1,242 @@
+// Package cluster models the distributed machine the paper ran on —
+// the "Blue Wonder" iDataPlex (2× 8-core 2.6 GHz SandyBridge per node,
+// 128 GB on the benchmarking nodes) — so that the hybrid MPI+OpenMP
+// codes can be executed at laptop scale while reporting virtual wall
+// times at paper scale.
+//
+// The model follows a "virtual time, real work" rule: ranks execute the
+// real algorithms on the scaled dataset and meter the work they
+// actually perform (bases scanned, k-mer probes, pair comparisons);
+// the model only converts metered work units into seconds using a rate
+// calibrated against the paper's single-node baselines, and charges
+// latency/bandwidth for every metered byte of communication. Load
+// imbalance is therefore an emergent property of the data, not an
+// input.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"gotrinity/internal/mpi"
+)
+
+// NodeSpec describes one node of the virtual cluster.
+type NodeSpec struct {
+	Cores int     // usable cores (= OpenMP threads per MPI rank)
+	MemGB float64 // node memory, for footprint projections
+}
+
+// Interconnect is a latency/bandwidth (alpha-beta) network model.
+type Interconnect struct {
+	LatencySec   float64 // alpha: per collective step / message
+	BandwidthBps float64 // beta: payload bytes per second
+}
+
+// Config assembles the virtual machine plus the work→time conversion.
+type Config struct {
+	Nodes int
+	Node  NodeSpec
+	Net   Interconnect
+
+	// RatePerThread converts work units to seconds: one thread retires
+	// RatePerThread units per second at paper scale.
+	RatePerThread float64
+
+	// WorkScale converts work metered on the scaled dataset into
+	// paper-scale units (typically paperReads/syntheticReads or the
+	// equivalent ratio for the quantity that drives the loop).
+	WorkScale float64
+}
+
+// BlueWonder returns the paper's benchmarking configuration: 16-core
+// nodes with 128 GB, a commodity InfiniBand-class interconnect, and a
+// unit rate to be calibrated by the caller.
+func BlueWonder(nodes int) Config {
+	return Config{
+		Nodes: nodes,
+		Node:  NodeSpec{Cores: 16, MemGB: 128},
+		Net: Interconnect{
+			LatencySec:   5e-6,  // ~5 µs MPI latency
+			BandwidthBps: 3.2e9, // ~3.2 GB/s effective per link
+		},
+		RatePerThread: 1,
+		WorkScale:     1,
+	}
+}
+
+// Calibrate sets RatePerThread so that a serial-node run retiring
+// totalScaledUnits (measured on the scaled dataset, using `threads`
+// threads on one node) corresponds to paperSeconds of paper-scale wall
+// time, and records the dataset scale factor.
+func (c *Config) Calibrate(totalScaledUnits, workScale, paperSeconds float64, threads int) {
+	if paperSeconds <= 0 || totalScaledUnits <= 0 || workScale <= 0 || threads <= 0 {
+		panic(fmt.Sprintf("cluster: invalid calibration (units=%g scale=%g secs=%g threads=%d)",
+			totalScaledUnits, workScale, paperSeconds, threads))
+	}
+	c.WorkScale = workScale
+	c.RatePerThread = totalScaledUnits * workScale / (paperSeconds * float64(threads))
+}
+
+// WorkTime converts metered (scaled) work units executed by one thread
+// into virtual paper-scale seconds.
+func (c Config) WorkTime(scaledUnits float64) float64 {
+	return scaledUnits * c.WorkScale / c.RatePerThread
+}
+
+// CommTime charges an alpha-beta cost for a communication phase
+// described by a stats delta observed on one rank: each collective pays
+// a logarithmic latency tree plus bandwidth for the bytes the rank
+// received; point-to-point messages pay per-message latency plus
+// bandwidth. Bytes are scaled to paper size with WorkScale, because
+// message payloads (welds, pair indices) grow with the dataset.
+func (c Config) CommTime(d mpi.Stats) float64 {
+	steps := float64(d.CollectiveOps)*math.Ceil(math.Log2(float64(maxInt(c.Nodes, 2)))) +
+		float64(d.Messages)
+	bytes := float64(d.BytesRecv+d.BytesSent) * c.WorkScale
+	return steps*c.Net.LatencySec + bytes/c.Net.BandwidthBps
+}
+
+// StatsDelta subtracts an earlier snapshot from a later one, for
+// phase-scoped communication accounting.
+func StatsDelta(before, after mpi.Stats) mpi.Stats {
+	return mpi.Stats{
+		BytesSent:      after.BytesSent - before.BytesSent,
+		BytesRecv:      after.BytesRecv - before.BytesRecv,
+		Messages:       after.Messages - before.Messages,
+		CollectiveOps:  after.CollectiveOps - before.CollectiveOps,
+		CollectiveWait: after.CollectiveWait - before.CollectiveWait,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ThreadSim replays a stream of item costs through T logical OpenMP
+// threads under a dynamic (least-loaded) schedule, producing the
+// section makespan. This is how a 16-thread node is simulated when the
+// host machine has fewer cores: the work itself runs once; only its
+// placement across logical threads is simulated.
+type ThreadSim struct {
+	load []float64
+}
+
+// NewThreadSim creates a simulator with the given logical thread count.
+func NewThreadSim(threads int) *ThreadSim {
+	if threads <= 0 {
+		threads = 1
+	}
+	return &ThreadSim{load: make([]float64, threads)}
+}
+
+// Assign places an item with the given cost on the least-loaded thread
+// (the limit behaviour of OpenMP dynamic scheduling) and returns the
+// chosen thread.
+func (s *ThreadSim) Assign(units float64) int {
+	best := 0
+	for t := 1; t < len(s.load); t++ {
+		if s.load[t] < s.load[best] {
+			best = t
+		}
+	}
+	s.load[best] += units
+	return best
+}
+
+// AssignStatic places item i of n on thread i*T/n — the static schedule.
+func (s *ThreadSim) AssignStatic(i, n int, units float64) int {
+	t := i * len(s.load) / n
+	if t >= len(s.load) {
+		t = len(s.load) - 1
+	}
+	s.load[t] += units
+	return t
+}
+
+// Makespan returns the maximum per-thread load — the elapsed section
+// time in work units.
+func (s *ThreadSim) Makespan() float64 {
+	m := 0.0
+	for _, l := range s.load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// TotalWork returns the summed per-thread load.
+func (s *ThreadSim) TotalWork() float64 {
+	var sum float64
+	for _, l := range s.load {
+		sum += l
+	}
+	return sum
+}
+
+// Threads returns the logical thread count.
+func (s *ThreadSim) Threads() int { return len(s.load) }
+
+// Reset clears all thread loads for the next section.
+func (s *ThreadSim) Reset() {
+	for i := range s.load {
+		s.load[i] = 0
+	}
+}
+
+// RankTimes summarises a per-rank timing series.
+type RankTimes struct {
+	Seconds []float64 // one entry per rank
+}
+
+// Min returns the fastest rank's time.
+func (r RankTimes) Min() float64 {
+	if len(r.Seconds) == 0 {
+		return 0
+	}
+	m := r.Seconds[0]
+	for _, v := range r.Seconds[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the slowest rank's time — the paper's "representative
+// time" for every phase (§V-A).
+func (r RankTimes) Max() float64 {
+	m := 0.0
+	for _, v := range r.Seconds {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average rank time.
+func (r RankTimes) Mean() float64 {
+	if len(r.Seconds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.Seconds {
+		sum += v
+	}
+	return sum / float64(len(r.Seconds))
+}
+
+// Imbalance returns Max/Min, the paper's load-imbalance measure; it
+// returns +Inf when the fastest rank did no metered work.
+func (r RankTimes) Imbalance() float64 {
+	min := r.Min()
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return r.Max() / min
+}

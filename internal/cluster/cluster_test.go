@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gotrinity/internal/mpi"
+)
+
+func TestCalibrateBaselineIdentity(t *testing.T) {
+	// After calibration, the serial baseline must reproduce exactly:
+	// total units across `threads` threads == paperSeconds.
+	cfg := BlueWonder(1)
+	cfg.Calibrate(1e6, 50, 122610, 16)
+	perThreadUnits := 1e6 / 16.0
+	if got := cfg.WorkTime(perThreadUnits); math.Abs(got-122610) > 1e-6 {
+		t.Errorf("baseline = %g, want 122610", got)
+	}
+}
+
+func TestCalibratePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero seconds")
+		}
+	}()
+	cfg := BlueWonder(1)
+	cfg.Calibrate(1e6, 1, 0, 16)
+}
+
+func TestWorkTimeLinear(t *testing.T) {
+	cfg := BlueWonder(4)
+	cfg.RatePerThread = 100
+	cfg.WorkScale = 2
+	if got := cfg.WorkTime(50); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("WorkTime(50) = %g, want 1", got)
+	}
+	// Doubling units doubles time.
+	if got := cfg.WorkTime(100); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("WorkTime(100) = %g, want 2", got)
+	}
+}
+
+func TestCommTimeComponents(t *testing.T) {
+	cfg := BlueWonder(16)
+	cfg.WorkScale = 1
+	d := mpi.Stats{CollectiveOps: 2, BytesRecv: int64(cfg.Net.BandwidthBps)}
+	got := cfg.CommTime(d)
+	want := 2*4*cfg.Net.LatencySec + 1.0 // log2(16)=4 steps per collective, 1 s of bandwidth
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CommTime = %g, want %g", got, want)
+	}
+}
+
+func TestCommTimeScalesBytes(t *testing.T) {
+	cfg := BlueWonder(2)
+	cfg.WorkScale = 10
+	d := mpi.Stats{BytesRecv: 1000}
+	if got, want := cfg.CommTime(d), 10000/cfg.Net.BandwidthBps; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CommTime = %g, want %g", got, want)
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	before := mpi.Stats{BytesSent: 10, BytesRecv: 20, Messages: 1, CollectiveOps: 2, CollectiveWait: 3}
+	after := mpi.Stats{BytesSent: 110, BytesRecv: 220, Messages: 11, CollectiveOps: 12, CollectiveWait: 13}
+	d := StatsDelta(before, after)
+	if d.BytesSent != 100 || d.BytesRecv != 200 || d.Messages != 10 ||
+		d.CollectiveOps != 10 || d.CollectiveWait != 10 {
+		t.Errorf("delta = %+v", d)
+	}
+}
+
+func TestThreadSimBalancedItems(t *testing.T) {
+	s := NewThreadSim(4)
+	for i := 0; i < 8; i++ {
+		s.Assign(1)
+	}
+	if got := s.Makespan(); got != 2 {
+		t.Errorf("makespan = %g, want 2", got)
+	}
+	if got := s.TotalWork(); got != 8 {
+		t.Errorf("total = %g, want 8", got)
+	}
+}
+
+func TestThreadSimSkewedItem(t *testing.T) {
+	// One huge item bounds the makespan from below regardless of threads.
+	s := NewThreadSim(16)
+	s.Assign(100)
+	for i := 0; i < 150; i++ {
+		s.Assign(1)
+	}
+	if got := s.Makespan(); got < 100 {
+		t.Errorf("makespan = %g, want >= 100", got)
+	}
+}
+
+func TestThreadSimReset(t *testing.T) {
+	s := NewThreadSim(2)
+	s.Assign(5)
+	s.Reset()
+	if s.Makespan() != 0 {
+		t.Error("reset did not clear loads")
+	}
+}
+
+func TestThreadSimZeroThreadsClamped(t *testing.T) {
+	s := NewThreadSim(0)
+	if s.Threads() != 1 {
+		t.Errorf("threads = %d, want 1", s.Threads())
+	}
+}
+
+func TestThreadSimStatic(t *testing.T) {
+	s := NewThreadSim(2)
+	n := 4
+	for i := 0; i < n; i++ {
+		tid := s.AssignStatic(i, n, 1)
+		want := i * 2 / n
+		if tid != want {
+			t.Errorf("static item %d on thread %d, want %d", i, tid, want)
+		}
+	}
+	if s.Makespan() != 2 {
+		t.Errorf("static makespan = %g", s.Makespan())
+	}
+}
+
+// Property: dynamic makespan is within (max item + mean load) of the
+// lower bound, the classic list-scheduling guarantee.
+func TestThreadSimListSchedulingBound(t *testing.T) {
+	f := func(costs []uint16, thrRaw uint8) bool {
+		threads := int(thrRaw)%8 + 1
+		s := NewThreadSim(threads)
+		var total, maxItem float64
+		for _, c := range costs {
+			u := float64(c)
+			s.Assign(u)
+			total += u
+			if u > maxItem {
+				maxItem = u
+			}
+		}
+		lower := total / float64(threads)
+		return s.Makespan() <= lower+maxItem+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankTimes(t *testing.T) {
+	r := RankTimes{Seconds: []float64{2, 6, 4}}
+	if r.Min() != 2 || r.Max() != 6 {
+		t.Errorf("min/max = %g/%g", r.Min(), r.Max())
+	}
+	if math.Abs(r.Mean()-4) > 1e-12 {
+		t.Errorf("mean = %g", r.Mean())
+	}
+	if math.Abs(r.Imbalance()-3) > 1e-12 {
+		t.Errorf("imbalance = %g", r.Imbalance())
+	}
+}
+
+func TestRankTimesEmptyAndZero(t *testing.T) {
+	var r RankTimes
+	if r.Min() != 0 || r.Max() != 0 || r.Mean() != 0 {
+		t.Error("empty RankTimes must be zero")
+	}
+	z := RankTimes{Seconds: []float64{0, 1}}
+	if !math.IsInf(z.Imbalance(), 1) {
+		t.Error("zero-min imbalance must be +Inf")
+	}
+}
+
+func TestBlueWonderSpec(t *testing.T) {
+	cfg := BlueWonder(192)
+	if cfg.Nodes != 192 || cfg.Node.Cores != 16 || cfg.Node.MemGB != 128 {
+		t.Errorf("BlueWonder spec wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,145 @@
+package collectl
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sampler records a (time, heap) series while work runs, the way the
+// real Collectl tool samples RAM during a Trinity run to draw the
+// Fig. 2 / Fig. 11 curves.
+type Sampler struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []Sample
+	marks   []Mark
+	stop    chan struct{}
+	done    chan struct{}
+	start   time.Time
+}
+
+// Sample is one measurement point.
+type Sample struct {
+	At      float64 // seconds since Start
+	HeapGB  float64
+	Routine int // live goroutines, a proxy for active threads
+}
+
+// Mark labels a moment in the series (stage transitions).
+type Mark struct {
+	At    float64
+	Label string
+}
+
+// NewSampler creates a sampler with the given interval (default 50 ms).
+func NewSampler(interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	return &Sampler{interval: interval}
+}
+
+// Start begins sampling in the background.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return // already running
+	}
+	s.start = time.Now()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.record()
+		}
+	}
+}
+
+func (s *Sampler) record() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	s.samples = append(s.samples, Sample{
+		At:      time.Since(s.start).Seconds(),
+		HeapGB:  float64(ms.HeapAlloc) / 1e9,
+		Routine: runtime.NumGoroutine(),
+	})
+	s.mu.Unlock()
+}
+
+// MarkStage labels the current instant, e.g. at a stage boundary.
+func (s *Sampler) MarkStage(label string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop == nil {
+		return
+	}
+	s.marks = append(s.marks, Mark{At: time.Since(s.start).Seconds(), Label: label})
+}
+
+// Stop ends sampling and returns the collected series. One final
+// sample is taken so short stages are never empty.
+func (s *Sampler) Stop() ([]Sample, []Mark) {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop = nil
+	s.mu.Unlock()
+	if stop == nil {
+		return nil, nil
+	}
+	close(stop)
+	<-done
+	s.record()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...), append([]Mark(nil), s.marks...)
+}
+
+// RenderSeries draws the heap series as a text sparkline with stage
+// marks, the textual analog of the paper's Collectl plots.
+func RenderSeries(w io.Writer, samples []Sample, marks []Mark) error {
+	if len(samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	peak := 0.0
+	for _, s := range samples {
+		if s.HeapGB > peak {
+			peak = s.HeapGB
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	line := make([]rune, len(samples))
+	for i, s := range samples {
+		idx := 0
+		if peak > 0 {
+			idx = int(s.HeapGB / peak * float64(len(levels)-1))
+		}
+		line[i] = levels[idx]
+	}
+	if _, err := fmt.Fprintf(w, "heap (peak %.3f GB over %.2fs):\n%s\n",
+		peak, samples[len(samples)-1].At, string(line)); err != nil {
+		return err
+	}
+	for _, m := range marks {
+		if _, err := fmt.Fprintf(w, "  @%7.3fs %s\n", m.At, m.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

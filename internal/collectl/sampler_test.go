@@ -1,0 +1,95 @@
+package collectl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerCollectsSeries(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	s.Start()
+	s.MarkStage("phase-one")
+	// Allocate something observable and let a few ticks pass.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 50; i++ {
+		sink = append(sink, make([]byte, 1<<16))
+		time.Sleep(time.Millisecond / 2)
+	}
+	_ = sink
+	s.MarkStage("phase-two")
+	samples, marks := s.Stop()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	if len(marks) != 2 || marks[0].Label != "phase-one" {
+		t.Fatalf("marks = %+v", marks)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At < samples[i-1].At {
+			t.Fatal("sample times not monotonic")
+		}
+	}
+	if samples[len(samples)-1].HeapGB <= 0 {
+		t.Error("heap never measured")
+	}
+}
+
+func TestSamplerStopIdempotent(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	s.Start()
+	time.Sleep(3 * time.Millisecond)
+	a, _ := s.Stop()
+	b, _ := s.Stop()
+	if len(a) == 0 {
+		t.Error("first stop returned nothing")
+	}
+	if b != nil {
+		t.Error("second stop must return nil")
+	}
+}
+
+func TestSamplerMarkBeforeStartIgnored(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	s.MarkStage("too-early")
+	s.Start()
+	time.Sleep(2 * time.Millisecond)
+	_, marks := s.Stop()
+	if len(marks) != 0 {
+		t.Errorf("marks = %+v", marks)
+	}
+}
+
+func TestSamplerDoubleStart(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	s.Start()
+	s.Start() // must not spawn a second loop or panic
+	time.Sleep(2 * time.Millisecond)
+	if samples, _ := s.Stop(); len(samples) == 0 {
+		t.Error("no samples after double start")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	samples := []Sample{{At: 0, HeapGB: 0.1}, {At: 1, HeapGB: 0.5}, {At: 2, HeapGB: 0.2}}
+	marks := []Mark{{At: 0.5, Label: "jellyfish"}}
+	var buf bytes.Buffer
+	if err := RenderSeries(&buf, samples, marks); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "jellyfish") || !strings.Contains(out, "peak 0.500 GB") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSeries(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Error("empty render wrong")
+	}
+}

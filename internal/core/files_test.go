@@ -1,0 +1,137 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gotrinity/internal/bowtie"
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/seq"
+)
+
+func TestRunFilesProducesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	d := rnaseq.Generate(rnaseq.Tiny(21))
+	readsPath := filepath.Join(dir, "reads.fa")
+	if err := seq.WriteFastaFile(readsPath, d.Reads); err != nil {
+		t.Fatal(err)
+	}
+	art, err := RunFiles(readsPath, filepath.Join(dir, "work"), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, path := range map[string]string{
+		"kmers":       art.Kmers,
+		"contigs":     art.Contigs,
+		"sam":         art.SAM,
+		"components":  art.Components,
+		"assignments": art.Assignments,
+		"transcripts": art.Transcripts,
+	} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s artifact missing: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s artifact empty", name)
+		}
+	}
+	ts, err := seq.ReadFastaFile(art.Transcripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Fatal("no transcripts in file")
+	}
+}
+
+// The file-based pipeline must produce the same transcripts as the
+// in-memory pipeline for the same config.
+func TestRunFilesMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	d := rnaseq.Generate(rnaseq.Tiny(22))
+	readsPath := filepath.Join(dir, "reads.fa")
+	if err := seq.WriteFastaFile(readsPath, d.Reads); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	art, err := RunFiles(readsPath, filepath.Join(dir, "work"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileTs, err := seq.ReadFastaFile(art.Transcripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Run(d.Reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memSet := map[string]bool{}
+	for _, tr := range mem.Transcripts {
+		memSet[string(tr.Seq)] = true
+	}
+	if len(fileTs) != len(mem.Transcripts) {
+		t.Fatalf("file %d vs memory %d transcripts", len(fileTs), len(mem.Transcripts))
+	}
+	for _, tr := range fileTs {
+		if !memSet[string(tr.Seq)] {
+			t.Fatalf("file transcript %s missing from in-memory run", tr.ID)
+		}
+	}
+}
+
+func TestRunFilesBadInput(t *testing.T) {
+	if _, err := RunFiles("/nonexistent/reads.fa", t.TempDir(), tinyConfig()); err == nil {
+		t.Error("accepted missing reads file")
+	}
+}
+
+func TestReadSAMRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := rnaseq.Generate(rnaseq.Tiny(23))
+	res, err := Run(d.Reads, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]bowtie.SAMHeaderEntry, len(res.Contigs))
+	for i, c := range res.Contigs {
+		refs[i] = bowtie.SAMHeaderEntry{Name: c.ID, Length: len(c.Seq)}
+	}
+	path := filepath.Join(dir, "x.sam")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bowtie.WriteSAMRecords(f, refs, res.Alignments); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	back, err := bowtie.ReadSAM(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Alignments) {
+		t.Fatalf("read %d alignments, wrote %d", len(back), len(res.Alignments))
+	}
+	// Spot-check the first record against the original (order differs:
+	// SAM is contig/pos sorted).
+	byRead := map[string]bowtie.Alignment{}
+	for _, a := range res.Alignments {
+		byRead[a.ReadID] = a
+	}
+	for _, a := range back {
+		orig := byRead[a.ReadID]
+		if a.ContigID != orig.ContigID || a.Pos != orig.Pos ||
+			a.Reverse != orig.Reverse || a.Mismatches != orig.Mismatches ||
+			a.ReadLen != orig.ReadLen {
+			t.Fatalf("round trip mismatch: %+v vs %+v", a, orig)
+		}
+	}
+}

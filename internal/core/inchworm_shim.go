@@ -1,0 +1,15 @@
+package core
+
+import (
+	"gotrinity/internal/inchworm"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/seq"
+)
+
+// inchwormRun keeps files.go at one altitude.
+func inchwormRun(entries []jellyfish.Entry, cfg Config) ([]seq.Record, inchworm.Stats, error) {
+	return inchworm.Run(entries, inchworm.Options{
+		K:            cfg.K,
+		MinKmerCount: cfg.MinKmerCount,
+	})
+}

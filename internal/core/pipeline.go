@@ -1,0 +1,292 @@
+// Package core orchestrates the full Trinity workflow — the role of
+// the Trinity.pl driver script: Jellyfish → Inchworm → Chrysalis
+// (Bowtie, GraphFromFasta, ReadsToTranscripts, FastaToDebruijn,
+// QuantifyGraph) → Butterfly. Like the paper's extended Trinity.pl it
+// takes an "nprocs" argument: with Ranks=1 the Chrysalis hot spots run
+// as the original OpenMP-only code; with Ranks>1 they run the hybrid
+// MPI+OpenMP implementation.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gotrinity/internal/bowtie"
+	"gotrinity/internal/butterfly"
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/collectl"
+	"gotrinity/internal/inchworm"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/pyfasta"
+	"gotrinity/internal/seq"
+)
+
+// Config assembles the per-stage options of one pipeline run.
+type Config struct {
+	K              int   // pipeline k-mer length (Trinity default 25)
+	Ranks          int   // MPI processes for the hybrid Chrysalis (the Trinity.pl nprocs argument)
+	ThreadsPerRank int   // OpenMP threads per rank (default 16)
+	Seed           int64 // run seed; perturbs the weld harvest order (stochastic output)
+
+	MinKmerCount   int // Inchworm error filter (default 2)
+	MinWeldSupport int // GraphFromFasta weld read support (default 2)
+	MaxWelds       int // GraphFromFasta per-contig weld cap (default 100)
+	MaxMemReads    int // ReadsToTranscripts chunk size (default 1000)
+	Replicas       int // timing-replay replicas for the cost model (default 1)
+	MinPairSupport int // drop transcripts spanned by fewer mate pairs (0 = keep all)
+
+	// SampleInterval enables the Collectl-style background sampler at
+	// the given period, filling Result.Samples/Marks (0 = disabled).
+	SampleInterval time.Duration
+
+	Bowtie    bowtie.Options
+	Butterfly butterfly.Options
+}
+
+func (c *Config) normalize() error {
+	if c.K <= 0 {
+		c.K = 25
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.ThreadsPerRank <= 0 {
+		c.ThreadsPerRank = 16
+	}
+	if c.K > 31 {
+		return fmt.Errorf("core: k=%d out of range", c.K)
+	}
+	return nil
+}
+
+// Result carries every intermediate and final product of a run.
+type Result struct {
+	Contigs     []seq.Record         // Inchworm contigs
+	Alignments  []bowtie.Alignment   // Bowtie read→contig alignments
+	Scaffolds   [][2]int32           // contig pairs inferred from mate pairs
+	GFF         *chrysalis.GFFResult // components + welds + per-rank profiles
+	R2T         *chrysalis.R2TResult // read assignments + per-rank profiles
+	Graphs      []*chrysalis.ComponentGraph
+	Transcripts []butterfly.Transcript
+	PairSupport []int             // mate pairs spanning each transcript (indexed like Transcripts)
+	Trace       *collectl.Trace   // measured stage trace (laptop scale)
+	Samples     []collectl.Sample // background samples (when SampleInterval > 0)
+	Marks       []collectl.Mark   // stage-boundary marks for the samples
+
+	InchwormStats inchworm.Stats
+	BowtieStats   bowtie.Stats
+	SplitStats    pyfasta.Stats
+}
+
+// TranscriptRecords returns the final transcripts as FASTA records.
+func (r *Result) TranscriptRecords() []seq.Record {
+	return butterfly.Records(r.Transcripts)
+}
+
+// Run executes the full pipeline over the given reads.
+func Run(reads []seq.Record, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	meter := collectl.NewMeter()
+	var sampler *collectl.Sampler
+	if cfg.SampleInterval > 0 {
+		sampler = collectl.NewSampler(cfg.SampleInterval)
+		sampler.Start()
+	}
+	stage := func(name string, fn func() error) error {
+		if sampler != nil {
+			sampler.MarkStage(name)
+		}
+		return meter.Run(name, fn)
+	}
+
+	// --- Jellyfish: k-mer counting over the reads.
+	var table *jellyfish.CountTable
+	err := stage("jellyfish", func() error {
+		var err error
+		table, err = jellyfish.Count(reads, jellyfish.Options{K: cfg.K})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: jellyfish: %w", err)
+	}
+
+	// --- Inchworm: greedy contigs from the k-mer dictionary.
+	err = stage("inchworm", func() error {
+		contigs, st, err := inchworm.Run(table.Entries(1), inchworm.Options{
+			K:            cfg.K,
+			MinKmerCount: cfg.MinKmerCount,
+		})
+		res.Contigs, res.InchwormStats = contigs, st
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: inchworm: %w", err)
+	}
+	if len(res.Contigs) == 0 {
+		return nil, fmt.Errorf("core: inchworm produced no contigs (too few reads?)")
+	}
+
+	// --- Bowtie: align reads to contigs; with Ranks>1 the contig set
+	// is PyFasta-split and each partition aligned independently.
+	err = stage("bowtie", func() error {
+		parts := [][]seq.Record{res.Contigs}
+		if cfg.Ranks > 1 {
+			var st pyfasta.Stats
+			var err error
+			parts, st, err = pyfasta.Split(res.Contigs, cfg.Ranks, pyfasta.EvenBases)
+			if err != nil {
+				return err
+			}
+			res.SplitStats = st
+		}
+		// Contig indices must stay global across partitions.
+		globalIndex := map[string]int{}
+		for i, c := range res.Contigs {
+			globalIndex[c.ID] = i
+		}
+		var nodeAls [][]bowtie.Alignment
+		for _, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			ix, err := bowtie.NewIndex(part, cfg.Bowtie)
+			if err != nil {
+				return err
+			}
+			als, st := bowtie.NewAligner(ix).AlignAll(reads)
+			for i := range als {
+				als[i].Contig = globalIndex[als[i].ContigID]
+			}
+			nodeAls = append(nodeAls, als)
+			res.BowtieStats.Reads += st.Reads
+			res.BowtieStats.Aligned += st.Aligned
+			res.BowtieStats.SeedProbes += st.SeedProbes
+			res.BowtieStats.BasesCompared += st.BasesCompared
+		}
+		res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
+		res.Scaffolds = ScaffoldPairs(res.Alignments)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: bowtie: %w", err)
+	}
+
+	// --- GraphFromFasta: weld contigs into components (hybrid when
+	// Ranks > 1), combining weld pairs with Bowtie scaffold pairs.
+	err = stage("graphfromfasta", func() error {
+		var err error
+		res.GFF, err = chrysalis.GraphFromFasta(res.Contigs, table, cfg.Ranks, chrysalis.GFFOptions{
+			K:                 cfg.K,
+			MinWeldSupport:    cfg.MinWeldSupport,
+			MaxWeldsPerContig: cfg.MaxWelds,
+			ThreadsPerRank:    cfg.ThreadsPerRank,
+			Seed:              cfg.Seed,
+			ScaffoldPairs:     res.Scaffolds,
+			Replicas:          cfg.Replicas,
+		})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: graphfromfasta: %w", err)
+	}
+
+	// --- ReadsToTranscripts: assign reads to components.
+	err = stage("readstotranscripts", func() error {
+		var err error
+		res.R2T, err = chrysalis.ReadsToTranscripts(reads, res.Contigs, res.GFF.Components,
+			cfg.Ranks, chrysalis.R2TOptions{
+				K:              cfg.K,
+				MaxMemReads:    cfg.MaxMemReads,
+				ThreadsPerRank: cfg.ThreadsPerRank,
+				Replicas:       cfg.Replicas,
+			})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: readstotranscripts: %w", err)
+	}
+
+	// --- FastaToDebruijn + QuantifyGraph.
+	err = stage("fastatodebruijn", func() error {
+		var err error
+		res.Graphs, err = chrysalis.FastaToDeBruijn(res.Contigs, res.GFF.Components, cfg.K)
+		if err != nil {
+			return err
+		}
+		chrysalis.QuantifyGraph(res.Graphs, reads, res.R2T.Assignments)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fastatodebruijn: %w", err)
+	}
+
+	// --- Butterfly: transcripts from the quantified graphs. The run
+	// seed flows into the path-enumeration tie-breaking unless the
+	// caller pinned its own butterfly seed.
+	err = stage("butterfly", func() error {
+		bopt := cfg.Butterfly
+		if bopt.Seed == 0 {
+			bopt.Seed = cfg.Seed
+		}
+		res.Transcripts = butterfly.Reconstruct(res.Graphs, bopt)
+		res.PairSupport = butterfly.PairSupport(res.Transcripts, res.Graphs, reads)
+		if cfg.MinPairSupport > 0 {
+			res.Transcripts = butterfly.FilterByPairSupport(res.Transcripts, res.PairSupport, cfg.MinPairSupport)
+			res.PairSupport = butterfly.PairSupport(res.Transcripts, res.Graphs, reads)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: butterfly: %w", err)
+	}
+
+	if sampler != nil {
+		res.Samples, res.Marks = sampler.Stop()
+	}
+	res.Trace = meter.Trace()
+	return res, nil
+}
+
+// ScaffoldPairs derives contig pairs from mate-paired alignments: when
+// read X/1 and X/2 align to two different contigs, those contigs are
+// candidates for the same bundle (§III-A's combination of Bowtie
+// output with welding pairs).
+func ScaffoldPairs(als []bowtie.Alignment) [][2]int32 {
+	mate := map[string]int{} // pair base id -> contig of the first-seen mate
+	seen := map[[2]int32]bool{}
+	var out [][2]int32
+	for _, a := range als {
+		base, ok := pairBase(a.ReadID)
+		if !ok {
+			continue
+		}
+		if other, dup := mate[base]; dup {
+			if other != a.Contig {
+				p := [2]int32{int32(other), int32(a.Contig)}
+				if p[0] > p[1] {
+					p[0], p[1] = p[1], p[0]
+				}
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		} else {
+			mate[base] = a.Contig
+		}
+	}
+	return out
+}
+
+// pairBase strips the /1 or /2 mate suffix, returning ok=false for
+// unpaired read ids.
+func pairBase(id string) (string, bool) {
+	if strings.HasSuffix(id, "/1") || strings.HasSuffix(id, "/2") {
+		return id[:len(id)-2], true
+	}
+	return "", false
+}

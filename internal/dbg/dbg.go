@@ -1,0 +1,241 @@
+// Package dbg implements the de Bruijn graphs that Chrysalis builds
+// for each clustered component (the FastaToDebruijn sub-step) and that
+// Butterfly later traverses. Nodes are k-mers; an edge connects two
+// k-mers with a (k-1)-base overlap. Coverage counts how many input
+// sequences (contigs or reads) supported each node.
+package dbg
+
+import (
+	"fmt"
+	"sort"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+// Graph is a de Bruijn graph over k-mers.
+type Graph struct {
+	K     int
+	nodes map[kmer.Kmer]*node
+}
+
+type node struct {
+	coverage uint32
+	out      [4]bool // which of the 4 successor edges exist
+	in       [4]bool // which of the 4 predecessor edges exist
+}
+
+// New creates an empty graph for the given k.
+func New(k int) (*Graph, error) {
+	if k <= 1 || k > kmer.MaxK {
+		return nil, fmt.Errorf("dbg: k=%d out of range 2..%d", k, kmer.MaxK)
+	}
+	return &Graph{K: k, nodes: make(map[kmer.Kmer]*node)}, nil
+}
+
+// AddSequence threads s through the graph, creating nodes for every
+// k-mer and edges between consecutive k-mers, adding `weight` coverage
+// to each node. Ambiguous bases break the thread.
+func (g *Graph) AddSequence(s []byte, weight uint32) {
+	it := kmer.NewIterator(s, g.K)
+	var prev kmer.Kmer
+	hasPrev := false
+	prevPos := -2
+	for {
+		m, pos, ok := it.Next()
+		if !ok {
+			return
+		}
+		n := g.getOrCreate(m)
+		n.coverage += weight
+		if hasPrev && pos == prevPos+1 {
+			g.nodes[prev].out[m.LastBase()] = true
+			n.in[prev.FirstBase(g.K)] = true
+		}
+		prev, prevPos, hasPrev = m, pos, true
+	}
+}
+
+func (g *Graph) getOrCreate(m kmer.Kmer) *node {
+	if n, ok := g.nodes[m]; ok {
+		return n
+	}
+	n := &node{}
+	g.nodes[m] = n
+	return n
+}
+
+// NodeCount returns the number of distinct k-mer nodes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// Coverage returns the coverage of a k-mer node (0 if absent).
+func (g *Graph) Coverage(m kmer.Kmer) uint32 {
+	if n, ok := g.nodes[m]; ok {
+		return n.coverage
+	}
+	return 0
+}
+
+// Successors returns the existing successor k-mers of m.
+func (g *Graph) Successors(m kmer.Kmer) []kmer.Kmer {
+	n, ok := g.nodes[m]
+	if !ok {
+		return nil
+	}
+	var out []kmer.Kmer
+	for code := uint64(0); code < 4; code++ {
+		if n.out[code] {
+			next := m.AppendBase(code, g.K)
+			if _, exists := g.nodes[next]; exists {
+				out = append(out, next)
+			}
+		}
+	}
+	return out
+}
+
+// Predecessors returns the existing predecessor k-mers of m.
+func (g *Graph) Predecessors(m kmer.Kmer) []kmer.Kmer {
+	n, ok := g.nodes[m]
+	if !ok {
+		return nil
+	}
+	var out []kmer.Kmer
+	for code := uint64(0); code < 4; code++ {
+		if n.in[code] {
+			prev := m.PrependBase(code, g.K)
+			if _, exists := g.nodes[prev]; exists {
+				out = append(out, prev)
+			}
+		}
+	}
+	return out
+}
+
+// OutDegree returns the number of successor edges of m.
+func (g *Graph) OutDegree(m kmer.Kmer) int { return len(g.Successors(m)) }
+
+// InDegree returns the number of predecessor edges of m.
+func (g *Graph) InDegree(m kmer.Kmer) int { return len(g.Predecessors(m)) }
+
+// Nodes returns all k-mer nodes in deterministic (sorted) order.
+func (g *Graph) Nodes() []kmer.Kmer {
+	out := make([]kmer.Kmer, 0, len(g.nodes))
+	for m := range g.nodes {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unitig is a maximal unbranched path, the unit Butterfly traverses.
+type Unitig struct {
+	ID       int
+	Seq      []byte
+	Coverage float64 // mean node coverage along the path
+	Out      []int   // successor unitig ids
+	In       []int   // predecessor unitig ids
+	first    kmer.Kmer
+	last     kmer.Kmer
+}
+
+// Compacted is the unitig graph produced by Compact.
+type Compacted struct {
+	K       int
+	Unitigs []Unitig
+}
+
+// Compact collapses every maximal linear chain of the graph into a
+// unitig and connects unitigs by the original k-mer edges.
+func (g *Graph) Compact() *Compacted {
+	c := &Compacted{K: g.K}
+	owner := make(map[kmer.Kmer]int) // k-mer -> unitig id
+
+	// A unitig starts at any node that is not the linear continuation
+	// of exactly one predecessor.
+	starts := make([]kmer.Kmer, 0)
+	for _, m := range g.Nodes() {
+		preds := g.Predecessors(m)
+		if len(preds) != 1 || g.OutDegree(preds[0]) != 1 {
+			starts = append(starts, m)
+		}
+	}
+	visited := make(map[kmer.Kmer]bool)
+	build := func(start kmer.Kmer) {
+		if visited[start] {
+			return
+		}
+		id := len(c.Unitigs)
+		u := Unitig{ID: id, first: start}
+		var covSum float64
+		covN := 0
+		m := start
+		u.Seq = append(u.Seq, []byte(m.Decode(g.K))...)
+		for {
+			visited[m] = true
+			owner[m] = id
+			covSum += float64(g.Coverage(m))
+			covN++
+			succs := g.Successors(m)
+			if len(succs) != 1 {
+				break
+			}
+			// next continues the chain only if m is its sole predecessor.
+			next := succs[0]
+			if visited[next] || len(g.Predecessors(next)) != 1 {
+				break
+			}
+			m = next
+			u.Seq = append(u.Seq, seq.IndexBase(m.LastBase()))
+		}
+		u.last = m
+		u.Coverage = covSum / float64(covN)
+		c.Unitigs = append(c.Unitigs, u)
+	}
+	for _, s := range starts {
+		build(s)
+	}
+	// Remaining unvisited nodes belong to perfect cycles; break each at
+	// its smallest k-mer.
+	for _, m := range g.Nodes() {
+		if !visited[m] {
+			build(m)
+		}
+	}
+
+	// Wire unitig adjacency through the boundary k-mers.
+	for i := range c.Unitigs {
+		u := &c.Unitigs[i]
+		for _, succ := range g.Successors(u.last) {
+			if o, ok := owner[succ]; ok && (o != u.ID || succ == u.first) {
+				u.Out = append(u.Out, o)
+			}
+		}
+	}
+	for i := range c.Unitigs {
+		for _, o := range c.Unitigs[i].Out {
+			c.Unitigs[o].In = append(c.Unitigs[o].In, i)
+		}
+	}
+	return c
+}
+
+// Sources returns unitig ids with no predecessors.
+func (c *Compacted) Sources() []int {
+	var out []int
+	for i := range c.Unitigs {
+		if len(c.Unitigs[i].In) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalBases returns the summed unitig lengths.
+func (c *Compacted) TotalBases() int {
+	n := 0
+	for i := range c.Unitigs {
+		n += len(c.Unitigs[i].Seq)
+	}
+	return n
+}

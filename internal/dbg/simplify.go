@@ -1,0 +1,203 @@
+package dbg
+
+import (
+	"gotrinity/internal/kmer"
+)
+
+// Graph simplification: tip clipping and bubble popping, the standard
+// cleanup passes that remove sequencing-error artifacts (dead-end
+// spurs and low-coverage alternative arms) before path enumeration.
+// Trinity applies equivalent pruning inside Butterfly; here they are
+// optional passes the butterfly package can run per component.
+
+// deleteNode removes m and detaches it from its neighbors' edge flags.
+func (g *Graph) deleteNode(m kmer.Kmer) {
+	n, ok := g.nodes[m]
+	if !ok {
+		return
+	}
+	for code := uint64(0); code < 4; code++ {
+		if n.in[code] {
+			prev := m.PrependBase(code, g.K)
+			if pn, ok := g.nodes[prev]; ok {
+				pn.out[m.LastBase()] = false
+			}
+		}
+		if n.out[code] {
+			next := m.AppendBase(code, g.K)
+			if nn, ok := g.nodes[next]; ok {
+				nn.in[m.FirstBase(g.K)] = false
+			}
+		}
+	}
+	delete(g.nodes, m)
+}
+
+// chainFrom walks a linear chain starting at m in the given direction
+// (fwd: successors) while degrees stay 1, up to maxLen nodes. It
+// returns the chain and whether it dead-ends (tip) within the limit.
+func (g *Graph) chainFrom(m kmer.Kmer, fwd bool, maxLen int) (chain []kmer.Kmer, deadEnd bool) {
+	cur := m
+	for len(chain) < maxLen {
+		chain = append(chain, cur)
+		var nexts []kmer.Kmer
+		if fwd {
+			nexts = g.Successors(cur)
+		} else {
+			nexts = g.Predecessors(cur)
+		}
+		if len(nexts) == 0 {
+			return chain, true
+		}
+		if len(nexts) != 1 {
+			return chain, false // reached a junction: not a tip end
+		}
+		var degIn int
+		if fwd {
+			degIn = g.InDegree(nexts[0])
+		} else {
+			degIn = g.OutDegree(nexts[0])
+		}
+		if degIn != 1 {
+			return chain, false // next node is a junction
+		}
+		cur = nexts[0]
+	}
+	return chain, false
+}
+
+// ClipTips removes dead-end chains of at most maxLen nodes whose mean
+// coverage is below covFrac of the junction node they hang off.
+// It returns the number of nodes removed, iterating to a fixed point.
+func (g *Graph) ClipTips(maxLen int, covFrac float64) int {
+	if maxLen <= 0 {
+		maxLen = 2 * g.K
+	}
+	removed := 0
+	for {
+		clippedThisRound := 0
+		for _, m := range g.Nodes() {
+			if _, ok := g.nodes[m]; !ok {
+				continue // already removed this round
+			}
+			// A tip starts where the chain has no continuation on one
+			// side and hangs off a junction on the other.
+			var chain []kmer.Kmer
+			var junction kmer.Kmer
+			var haveJunction bool
+			switch {
+			case g.InDegree(m) == 0 && g.OutDegree(m) <= 1:
+				c, _ := g.chainFrom(m, true, maxLen)
+				chain = c
+				if len(c) > 0 {
+					if succs := g.Successors(c[len(c)-1]); len(succs) == 1 {
+						junction, haveJunction = succs[0], true
+					}
+				}
+			case g.OutDegree(m) == 0 && g.InDegree(m) <= 1:
+				c, _ := g.chainFrom(m, false, maxLen)
+				chain = c
+				if len(c) > 0 {
+					if preds := g.Predecessors(c[len(c)-1]); len(preds) == 1 {
+						junction, haveJunction = preds[0], true
+					}
+				}
+			default:
+				continue
+			}
+			if len(chain) == 0 || len(chain) >= maxLen {
+				continue // too long to be an error artifact
+			}
+			if !haveJunction {
+				continue // an isolated linear component, not a tip
+			}
+			var covSum float64
+			for _, cm := range chain {
+				covSum += float64(g.Coverage(cm))
+			}
+			mean := covSum / float64(len(chain))
+			if mean >= covFrac*float64(g.Coverage(junction)) {
+				continue // well-supported: likely a real transcript end
+			}
+			for _, cm := range chain {
+				g.deleteNode(cm)
+			}
+			clippedThisRound += len(chain)
+		}
+		removed += clippedThisRound
+		if clippedThisRound == 0 {
+			return removed
+		}
+	}
+}
+
+// PopBubbles collapses two-arm bubbles: when a junction forks into
+// exactly two linear arms of at most maxLen nodes that reconverge at
+// the same node, the weaker arm is removed if its mean coverage is
+// below covFrac of the stronger's. Returns nodes removed.
+func (g *Graph) PopBubbles(maxLen int, covFrac float64) int {
+	if maxLen <= 0 {
+		maxLen = 2 * g.K
+	}
+	removed := 0
+	for _, m := range g.Nodes() {
+		if _, ok := g.nodes[m]; !ok {
+			continue
+		}
+		succs := g.Successors(m)
+		if len(succs) != 2 {
+			continue
+		}
+		armA, endA, okA := g.linearArm(succs[0], maxLen)
+		armB, endB, okB := g.linearArm(succs[1], maxLen)
+		if !okA || !okB || endA != endB {
+			continue
+		}
+		covA := meanCoverage(g, armA)
+		covB := meanCoverage(g, armB)
+		weak, strongCov := armA, covB
+		weakCov := covA
+		if covB < covA {
+			weak, strongCov = armB, covA
+			weakCov = covB
+		}
+		if weakCov >= covFrac*strongCov {
+			continue // both arms well supported: a real isoform bubble
+		}
+		for _, cm := range weak {
+			g.deleteNode(cm)
+		}
+		removed += len(weak)
+	}
+	return removed
+}
+
+// linearArm follows a strictly linear run from start until the first
+// node with in-degree > 1 (the reconvergence point), returning the arm
+// nodes (excluding that point).
+func (g *Graph) linearArm(start kmer.Kmer, maxLen int) (arm []kmer.Kmer, end kmer.Kmer, ok bool) {
+	cur := start
+	for steps := 0; steps < maxLen; steps++ {
+		if g.InDegree(cur) > 1 {
+			return arm, cur, len(arm) > 0
+		}
+		arm = append(arm, cur)
+		succs := g.Successors(cur)
+		if len(succs) != 1 {
+			return nil, 0, false
+		}
+		cur = succs[0]
+	}
+	return nil, 0, false
+}
+
+func meanCoverage(g *Graph, nodes []kmer.Kmer) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range nodes {
+		sum += float64(g.Coverage(m))
+	}
+	return sum / float64(len(nodes))
+}

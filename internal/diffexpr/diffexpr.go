@@ -1,0 +1,174 @@
+// Package diffexpr tests transcripts for differential expression
+// between two conditions, in the spirit of edgeR — the second
+// downstream tool §II-A of the paper names ("tools such as RSEM, edgeR
+// etc. ... in particular for differential expression analysis").
+//
+// The model is deliberately the classical core of such tools: library
+// size normalisation, per-transcript fold change, and an exact
+// Poisson-style two-sample test on normalised counts with a
+// Benjamini-Hochberg false-discovery correction. It operates on the
+// expected counts the express package produces.
+package diffexpr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one condition's expression estimate for a shared
+// transcript set: counts[i] is transcript i's (possibly fractional)
+// read count.
+type Sample struct {
+	Name   string
+	Counts []float64
+}
+
+// Result is one transcript's test outcome.
+type Result struct {
+	Transcript  string
+	CountA      float64 // normalised count, condition A
+	CountB      float64 // normalised count, condition B
+	Log2FC      float64 // log2 fold change (B over A)
+	P           float64 // two-sided p-value
+	Q           float64 // Benjamini-Hochberg adjusted p
+	Significant bool    // Q below the configured threshold
+}
+
+// Options configures the test.
+type Options struct {
+	FDR      float64 // Benjamini-Hochberg threshold (default 0.05)
+	Pseudo   float64 // pseudo-count stabilising fold changes (default 0.5)
+	MinCount float64 // skip transcripts with fewer total raw counts (default 1)
+}
+
+func (o *Options) normalize() {
+	if o.FDR <= 0 {
+		o.FDR = 0.05
+	}
+	if o.Pseudo <= 0 {
+		o.Pseudo = 0.5
+	}
+	if o.MinCount <= 0 {
+		o.MinCount = 1
+	}
+}
+
+// Test compares two conditions over a shared transcript list.
+func Test(transcripts []string, a, b Sample, opt Options) ([]Result, error) {
+	opt.normalize()
+	n := len(transcripts)
+	if len(a.Counts) != n || len(b.Counts) != n {
+		return nil, fmt.Errorf("diffexpr: count vectors (%d, %d) do not match %d transcripts",
+			len(a.Counts), len(b.Counts), n)
+	}
+	// Median-of-ratios normalisation (DESeq-style): robust to a few
+	// strongly differential transcripts, which would skew a plain
+	// total-count factor (the composition bias edgeR's TMM guards
+	// against).
+	sumA, sumB := sum(a.Counts), sum(b.Counts)
+	if sumA == 0 || sumB == 0 {
+		return nil, fmt.Errorf("diffexpr: a condition has zero total counts")
+	}
+	var ratios []float64
+	for i := 0; i < n; i++ {
+		if a.Counts[i] > 0 && b.Counts[i] > 0 {
+			ratios = append(ratios, b.Counts[i]/a.Counts[i])
+		}
+	}
+	m := sumB / sumA // fall back to total-count scaling
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		m = ratios[len(ratios)/2]
+	}
+	// Split the factor symmetrically so both conditions move toward the
+	// common scale.
+	fa, fb := math.Sqrt(m), 1/math.Sqrt(m)
+
+	results := make([]Result, n)
+	for i := 0; i < n; i++ {
+		ca, cb := a.Counts[i]*fa, b.Counts[i]*fb
+		r := Result{
+			Transcript: transcripts[i],
+			CountA:     ca,
+			CountB:     cb,
+			Log2FC:     math.Log2((cb + opt.Pseudo) / (ca + opt.Pseudo)),
+			P:          1,
+		}
+		if a.Counts[i]+b.Counts[i] >= opt.MinCount {
+			r.P = poissonTwoSampleP(ca, cb)
+		}
+		results[i] = r
+	}
+	benjaminiHochberg(results, opt.FDR)
+	return results, nil
+}
+
+// poissonTwoSampleP tests H0: equal rates, via the conditional
+// binomial: given total k = ka+kb, ka ~ Binomial(k, 1/2) under H0.
+// A normal approximation with continuity correction serves for the
+// count ranges expression analysis sees.
+func poissonTwoSampleP(ka, kb float64) float64 {
+	k := ka + kb
+	if k <= 0 {
+		return 1
+	}
+	// Normal approx to Binomial(k, 0.5).
+	mu := k / 2
+	sd := math.Sqrt(k) / 2
+	z := (math.Abs(ka-mu) - 0.5) / sd
+	if z < 0 {
+		z = 0
+	}
+	return 2 * normUpper(z)
+}
+
+// normUpper is the standard normal upper tail probability.
+func normUpper(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// benjaminiHochberg fills Q and Significant in place.
+func benjaminiHochberg(rs []Result, fdr float64) {
+	n := len(rs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return rs[idx[x]].P < rs[idx[y]].P })
+	// Adjusted p: monotone from the largest rank down.
+	minQ := 1.0
+	for rank := n - 1; rank >= 0; rank-- {
+		i := idx[rank]
+		q := rs[i].P * float64(n) / float64(rank+1)
+		if q < minQ {
+			minQ = q
+		}
+		if minQ > 1 {
+			minQ = 1
+		}
+		rs[i].Q = minQ
+		rs[i].Significant = minQ <= fdr
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TopTable returns results ordered by adjusted significance (Q, then
+// |log2FC| descending), the familiar edgeR-style summary.
+func TopTable(rs []Result) []Result {
+	out := append([]Result(nil), rs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Q != out[j].Q {
+			return out[i].Q < out[j].Q
+		}
+		return math.Abs(out[i].Log2FC) > math.Abs(out[j].Log2FC)
+	})
+	return out
+}

@@ -1,0 +1,127 @@
+package diffexpr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTestDetectsStrongChange(t *testing.T) {
+	transcripts := []string{"t0", "t1", "t2"}
+	a := Sample{Name: "ctrl", Counts: []float64{1000, 500, 50}}
+	b := Sample{Name: "case", Counts: []float64{1000, 500, 500}} // t2 up 10x
+	rs, err := Test(transcripts, a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[2].Significant {
+		t.Errorf("10x change not significant: %+v", rs[2])
+	}
+	if rs[2].Log2FC < 2.5 {
+		t.Errorf("log2FC = %.2f, want ~3.0", rs[2].Log2FC)
+	}
+	if rs[0].Significant || rs[1].Significant {
+		t.Errorf("unchanged transcripts flagged: %+v %+v", rs[0], rs[1])
+	}
+}
+
+func TestLibraryNormalisation(t *testing.T) {
+	// Condition B sequenced 3x deeper but proportionally identical:
+	// nothing should be significant.
+	transcripts := []string{"t0", "t1"}
+	a := Sample{Counts: []float64{300, 700}}
+	b := Sample{Counts: []float64{900, 2100}}
+	rs, err := Test(transcripts, a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Significant {
+			t.Errorf("depth-only difference flagged: %+v", r)
+		}
+		if math.Abs(r.Log2FC) > 0.1 {
+			t.Errorf("fold change after normalisation: %+v", r)
+		}
+	}
+}
+
+func TestFalseDiscoveryControl(t *testing.T) {
+	// Many null transcripts with Poisson noise: BH should keep false
+	// positives near zero.
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	transcripts := make([]string, n)
+	ca := make([]float64, n)
+	cb := make([]float64, n)
+	for i := range transcripts {
+		transcripts[i] = "t"
+		lambda := 20 + rng.Float64()*200
+		ca[i] = poissonDraw(rng, lambda)
+		cb[i] = poissonDraw(rng, lambda)
+	}
+	rs, err := Test(transcripts, Sample{Counts: ca}, Sample{Counts: cb}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := 0
+	for _, r := range rs {
+		if r.Significant {
+			fp++
+		}
+	}
+	if fp > n/20 {
+		t.Errorf("%d/%d null transcripts flagged", fp, n)
+	}
+}
+
+func poissonDraw(rng *rand.Rand, lambda float64) float64 {
+	// Knuth for small lambda; normal approx for large.
+	if lambda > 50 {
+		return math.Max(0, math.Round(lambda+rng.NormFloat64()*math.Sqrt(lambda)))
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= rng.Float64()
+	}
+	return float64(k - 1)
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Test([]string{"a"}, Sample{Counts: []float64{1, 2}}, Sample{Counts: []float64{1}}, Options{}); err == nil {
+		t.Error("accepted mismatched count vectors")
+	}
+	if _, err := Test([]string{"a"}, Sample{Counts: []float64{0}}, Sample{Counts: []float64{1}}, Options{}); err == nil {
+		t.Error("accepted zero-total condition")
+	}
+}
+
+func TestTopTableOrdering(t *testing.T) {
+	transcripts := []string{"null", "up", "weak"}
+	a := Sample{Counts: []float64{500, 100, 495}}
+	b := Sample{Counts: []float64{500, 800, 505}}
+	rs, err := Test(transcripts, a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopTable(rs)
+	if top[0].Transcript != "up" {
+		t.Errorf("top hit = %s", top[0].Transcript)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Q < top[i-1].Q {
+			t.Error("top table not ordered by Q")
+		}
+	}
+}
+
+func TestBHMonotone(t *testing.T) {
+	rs := []Result{{P: 0.01}, {P: 0.02}, {P: 0.9}, {P: 0.04}}
+	benjaminiHochberg(rs, 0.05)
+	for _, r := range rs {
+		if r.Q < r.P || r.Q > 1 {
+			t.Errorf("Q=%g out of range for P=%g", r.Q, r.P)
+		}
+	}
+}

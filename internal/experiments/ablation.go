@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gotrinity/internal/bowtie"
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/cluster"
+	"gotrinity/internal/mpiio"
+	"gotrinity/internal/pyfasta"
+	"gotrinity/internal/seq"
+)
+
+// The ablations quantify the design choices the paper discusses in
+// prose: chunked round-robin vs the rejected pre-allocated blocks
+// (§III-B), dynamic vs static OpenMP scheduling (§III-B), the
+// redundant-streaming read distribution vs the rejected
+// master-distribute scheme (§III-C), and base-balanced vs
+// count-balanced PyFasta splitting (§III-A).
+
+// AblationRow compares one variant against the paper's choice.
+type AblationRow struct {
+	Experiment string
+	Variant    string
+	Nodes      int
+	Seconds    float64 // paper-scale time of the governing phase
+}
+
+// AblationDistribution compares chunked round-robin against
+// pre-allocated contiguous blocks for GraphFromFasta's loops.
+func AblationDistribution(l *Lab, nodes int) ([]AblationRow, error) {
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	cfg, _, err := l.calibrateGFF(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Nodes = nodes
+	var rows []AblationRow
+	for _, v := range []struct {
+		name string
+		s    chrysalis.Strategy
+	}{
+		{"chunked round-robin (paper)", chrysalis.ChunkedRoundRobin},
+		{"pre-allocated blocks (rejected)", chrysalis.BlockedContiguous},
+	} {
+		res, err := chrysalis.GraphFromFasta(p.contigs, p.table, nodes, chrysalis.GFFOptions{
+			K:              l.K,
+			ThreadsPerRank: threadsPerNode,
+			Replicas:       timingReplicas,
+			Strategy:       v.s,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var totals cluster.RankTimes
+		for _, prof := range res.Profiles {
+			_, _, _, tot := gffRankSeconds(prof, cfg)
+			totals.Seconds = append(totals.Seconds, tot)
+		}
+		rows = append(rows, AblationRow{"gff-distribution", v.name, nodes, totals.Max()})
+	}
+	return rows, nil
+}
+
+// AblationSchedule compares dynamic against static OpenMP scheduling
+// inside each GraphFromFasta rank.
+func AblationSchedule(l *Lab, nodes int) ([]AblationRow, error) {
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	cfg, _, err := l.calibrateGFF(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Nodes = nodes
+	var rows []AblationRow
+	for _, v := range []struct {
+		name   string
+		static bool
+	}{
+		{"dynamic schedule (paper)", false},
+		{"static schedule", true},
+	} {
+		res, err := chrysalis.GraphFromFasta(p.contigs, p.table, nodes, chrysalis.GFFOptions{
+			K:              l.K,
+			ThreadsPerRank: threadsPerNode,
+			Replicas:       timingReplicas,
+			StaticSchedule: v.static,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var totals cluster.RankTimes
+		for _, prof := range res.Profiles {
+			_, _, _, tot := gffRankSeconds(prof, cfg)
+			totals.Seconds = append(totals.Seconds, tot)
+		}
+		rows = append(rows, AblationRow{"gff-omp-schedule", v.name, nodes, totals.Max()})
+	}
+	return rows, nil
+}
+
+// AblationR2TDistribution compares the redundant-streaming read scheme
+// against the rejected master-distribute scheme.
+func AblationR2TDistribution(l *Lab, nodes int) ([]AblationRow, error) {
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	_, gff, err := l.calibrateGFF(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := l.calibrateR2T(p, gff.Components)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Nodes = nodes
+	var rows []AblationRow
+	for _, v := range []struct {
+		name   string
+		master bool
+	}{
+		{"redundant streaming (paper)", false},
+		{"master-distribute (rejected)", true},
+	} {
+		res, err := chrysalis.ReadsToTranscripts(p.dataset.Reads, p.contigs, gff.Components,
+			nodes, chrysalis.R2TOptions{
+				K:                l.K,
+				ThreadsPerRank:   threadsPerNode,
+				Replicas:         timingReplicas,
+				MasterDistribute: v.master,
+			})
+		if err != nil {
+			return nil, err
+		}
+		var totals cluster.RankTimes
+		for _, prof := range res.Profiles {
+			_, _, tot := r2tRankSeconds(prof, cfg)
+			totals.Seconds = append(totals.Seconds, tot)
+		}
+		rows = append(rows, AblationRow{"r2t-distribution", v.name, nodes, totals.Max()})
+	}
+	return rows, nil
+}
+
+// AblationPyFastaMode compares base-balanced against count-balanced
+// contig splitting for the distributed Bowtie.
+func AblationPyFastaMode(l *Lab, nodes int) ([]AblationRow, error) {
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	opt := bowtie.Options{SeedLen: 16, Threads: 4}
+	readBases := 0
+	for _, r := range p.dataset.Reads {
+		readBases += len(r.Seq)
+	}
+	ioUnits := readIOWeight * float64(readBases)
+	// Calibrate on the monolithic baseline as Fig10 does.
+	ixAll, err := bowtie.NewIndex(p.contigs, opt)
+	if err != nil {
+		return nil, err
+	}
+	_, stAll := bowtie.NewAligner(ixAll).AlignAll(p.dataset.Reads)
+	baseUnits := verifyWeight*float64(stAll.BasesCompared) + probeWeight*float64(stAll.SeedProbes) + ioUnits
+	cfg := l.bwConfig(1, p.dataset)
+	cfg.Calibrate(baseUnits, p.dataset.ScaleFactor(), paperBowtieBaseline, 1)
+
+	var rows []AblationRow
+	for _, v := range []struct {
+		name string
+		m    pyfasta.Mode
+	}{
+		{"even bases (greedy)", pyfasta.EvenBases},
+		{"even record count (round-robin)", pyfasta.EvenCount},
+	} {
+		parts, _, err := pyfasta.Split(p.contigs, nodes, v.m)
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for _, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			ix, err := bowtie.NewIndex(part, opt)
+			if err != nil {
+				return nil, err
+			}
+			_, st := bowtie.NewAligner(ix).AlignAll(p.dataset.Reads)
+			units := verifyWeight*float64(st.BasesCompared) + probeWeight*float64(st.SeedProbes) + ioUnits
+			if t := cfg.WorkTime(units); t > worst {
+				worst = t
+			}
+		}
+		rows = append(rows, AblationRow{"bowtie-split-mode", v.name, nodes, worst})
+	}
+	return rows, nil
+}
+
+// AblationMPIIO quantifies the paper's §VI future-work direction
+// "exploring MPI-I/O for RNA-Seq data": the redundant-streaming R2T
+// I/O (every rank scans the whole read file) against striped parallel
+// reads (each rank reads only its own byte range; internal/mpiio).
+// The striped reader really runs — the rows report the modeled
+// streaming cost each scheme pays at paper scale.
+func AblationMPIIO(l *Lab, nodes int) ([]AblationRow, error) {
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	// Write the read file and exercise the striped reader for real.
+	dir, err := os.MkdirTemp("", "mpiio-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "reads.fa")
+	if err := seq.WriteFastaFile(path, p.dataset.Reads); err != nil {
+		return nil, err
+	}
+	parts, err := mpiio.ReadFastaParallel(path, nodes)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	maxStripe := 0
+	for _, part := range parts {
+		n := 0
+		for _, r := range part {
+			n += len(r.Seq)
+		}
+		total += n
+		if n > maxStripe {
+			maxStripe = n
+		}
+	}
+	if got := len(flattenRecords(parts)); got != len(p.dataset.Reads) {
+		return nil, fmt.Errorf("experiments: striped read lost records: %d vs %d", got, len(p.dataset.Reads))
+	}
+
+	// Model both schemes with the R2T-calibrated rate: streaming cost is
+	// IOScanFactor per byte scanned past + full cost for owned bytes.
+	_, gff, err := l.calibrateGFF(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := l.calibrateR2T(p, gff.Components)
+	if err != nil {
+		return nil, err
+	}
+	const ioScan = 0.02                                                      // chrysalis.R2TOptions default IOScanFactor
+	redundant := ioScan * float64(total) * float64(nodes-1) / float64(nodes) // skipped chunks per rank
+	striped := ioScan * float64(maxStripe)                                   // each rank scans only its stripe
+	rows := []AblationRow{
+		{"r2t-io", "redundant streaming (paper)", nodes, cfg.WorkTime(redundant)},
+		{"r2t-io", "striped MPI-IO (future work)", nodes, cfg.WorkTime(striped)},
+	}
+	return rows, nil
+}
+
+func flattenRecords(parts [][]seq.Record) []seq.Record {
+	var out []seq.Record
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// RenderAblations prints ablation rows as a table.
+func RenderAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintf(w, "%-20s %-34s %6s %12s\n", "experiment", "variant", "nodes", "seconds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-34s %6d %12.0f\n", r.Experiment, r.Variant, r.Nodes, r.Seconds)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationDistribution(t *testing.T) {
+	l := testLab()
+	rows, err := AblationDistribution(l, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	rr, blocked := rows[0].Seconds, rows[1].Seconds
+	// The paper rejected pre-allocation because it "did not give us a
+	// good speedup": it must not beat chunked round-robin meaningfully.
+	if blocked < rr*0.9 {
+		t.Errorf("blocked (%.0f) substantially beats round-robin (%.0f)", blocked, rr)
+	}
+	var buf bytes.Buffer
+	RenderAblations(&buf, rows)
+	if !strings.Contains(buf.String(), "round-robin") {
+		t.Error("render missing variant names")
+	}
+}
+
+func TestAblationSchedule(t *testing.T) {
+	l := testLab()
+	rows, err := AblationSchedule(l, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, static := rows[0].Seconds, rows[1].Seconds
+	// Dynamic scheduling must not lose to static on this non-uniform
+	// workload (the reason the original Trinity used dynamic).
+	if dynamic > static*1.1 {
+		t.Errorf("dynamic (%.0f) clearly worse than static (%.0f)", dynamic, static)
+	}
+}
+
+func TestAblationR2TDistribution(t *testing.T) {
+	l := testLab()
+	rows, err := AblationR2TDistribution(l, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, master := rows[0].Seconds, rows[1].Seconds
+	// §III-C: master-distribute "leads to a bottleneck particularly as
+	// the number of slave nodes increases" — it must be slower.
+	if master <= stream {
+		t.Errorf("master-distribute (%.0f) not slower than redundant streaming (%.0f)", master, stream)
+	}
+}
+
+func TestAblationPyFastaMode(t *testing.T) {
+	l := testLab()
+	rows, err := AblationPyFastaMode(l, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, count := rows[0].Seconds, rows[1].Seconds
+	// Base balancing should not be worse than count balancing under the
+	// skewed contig length distribution.
+	if bases > count*1.05 {
+		t.Errorf("even-bases (%.0f) worse than even-count (%.0f)", bases, count)
+	}
+}
+
+func TestAblationMPIIO(t *testing.T) {
+	l := testLab()
+	rows, err := AblationMPIIO(l, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	redundant, striped := rows[0].Seconds, rows[1].Seconds
+	// Striped reads must dominate: each rank scans ~1/16 of the file
+	// instead of 15/16 of it.
+	if striped >= redundant/4 {
+		t.Errorf("striped I/O (%.1f) not clearly cheaper than redundant (%.1f)", striped, redundant)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gotrinity/internal/core"
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/seq"
+	"gotrinity/internal/stats"
+	"gotrinity/internal/sw"
+	"gotrinity/internal/validate"
+)
+
+// Fig4Result holds the all-to-all Smith-Waterman validation: the
+// category fractions for "Parallel" comparisons (hybrid vs original
+// runs) and "Original" comparisons (original vs original runs), with
+// the two-sample t-test on the full-length-identical fraction.
+type Fig4Result struct {
+	Runs int
+	// Per comparison pair, the classification of the query set.
+	Parallel []validate.SWComparison
+	Original []validate.SWComparison
+	// Welch t-test over the full-length-identical fractions.
+	TTest stats.TTestResult
+	// Identity distribution of the partial category, pooled (panel d).
+	ParallelPartialMean float64
+	OriginalPartialMean float64
+}
+
+// Fig4 reproduces Fig. 4 on the whitefly dataset: `runs` repeated runs
+// of each Trinity version (the stochastic output comes from the run
+// seed, §IV), every parallel run's transcripts aligned all-to-all to
+// an original run's, and original runs aligned to each other as the
+// expected-variation control.
+func Fig4(l *Lab, runs int) (*Fig4Result, error) {
+	if runs <= 1 {
+		runs = 10
+	}
+	if runs < 4 {
+		runs = 4 // the disjoint-pair control needs >=2 comparisons
+	}
+	d := rnaseq.Generate(l.profile(rnaseq.Whitefly(1)))
+	original := make([][]seq.Record, runs)
+	parallel := make([][]seq.Record, runs)
+	for i := 0; i < runs; i++ {
+		l.logf("fig4: run %d/%d (original + parallel)...", i+1, runs)
+		o, err := core.Run(d.Reads, pipelineConfig(l.K, 1, int64(i+1)))
+		if err != nil {
+			return nil, err
+		}
+		original[i] = o.TranscriptRecords()
+		p, err := core.Run(d.Reads, pipelineConfig(l.K, 8, int64(100+i)))
+		if err != nil {
+			return nil, err
+		}
+		parallel[i] = p.TranscriptRecords()
+	}
+	res := &Fig4Result{Runs: runs}
+	sc := sw.DefaultScoring()
+	var pFrac, oFrac []float64
+	var pPart, oPart []float64
+	for i := 0; i < runs; i++ {
+		pc := validate.CompareTranscriptSets(parallel[i], original[i], sc)
+		res.Parallel = append(res.Parallel, pc)
+		if pc.Total() > 0 {
+			pFrac = append(pFrac, float64(pc.FullIdentical)/float64(pc.Total()))
+		}
+		pPart = append(pPart, pc.PartialIdentities...)
+	}
+	// Original-vs-original control from disjoint run pairs, so every
+	// comparison is statistically independent (reusing a run in two
+	// comparisons would deflate the variance estimate and bias the
+	// t-test toward false significance).
+	for i := 0; i+1 < runs; i += 2 {
+		oc := validate.CompareTranscriptSets(original[i], original[i+1], sc)
+		res.Original = append(res.Original, oc)
+		if oc.Total() > 0 {
+			oFrac = append(oFrac, float64(oc.FullIdentical)/float64(oc.Total()))
+		}
+		oPart = append(oPart, oc.PartialIdentities...)
+	}
+	tt, err := stats.WelchTTest(pFrac, oFrac)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4 t-test: %w", err)
+	}
+	res.TTest = tt
+	res.ParallelPartialMean = stats.Mean(pPart)
+	res.OriginalPartialMean = stats.Mean(oPart)
+	return res, nil
+}
+
+// RenderFig4 prints the category table and the t-test verdict.
+func RenderFig4(w io.Writer, r *Fig4Result) {
+	fmt.Fprintf(w, "Fig 4: all-to-all Smith-Waterman validation, whitefly dataset (%d runs per version)\n", r.Runs)
+	fmt.Fprintf(w, "%-10s %18s %22s %22s %10s\n",
+		"series", "(a) full 100%", "(b) full <100%", "(c) partial <100%", "unmatched")
+	sum := func(cs []validate.SWComparison) (a, b, c, u, tot int) {
+		for _, x := range cs {
+			a += x.FullIdentical
+			b += x.FullNonIdentical
+			c += x.Partial
+			u += x.Unmatched
+			tot += x.Total()
+		}
+		return
+	}
+	pa, pb, pc, pu, pt := sum(r.Parallel)
+	oa, ob, oc, ou, ot := sum(r.Original)
+	pct := func(n, tot int) string {
+		if tot == 0 {
+			return "0.0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(tot))
+	}
+	fmt.Fprintf(w, "%-10s %18s %22s %22s %10s\n", "Parallel", pct(pa, pt), pct(pb, pt), pct(pc, pt), pct(pu, pt))
+	fmt.Fprintf(w, "%-10s %18s %22s %22s %10s\n", "Original", pct(oa, ot), pct(ob, ot), pct(oc, ot), pct(ou, ot))
+	fmt.Fprintf(w, "(d) partial-category identity: parallel %.3f vs original %.3f\n",
+		r.ParallelPartialMean, r.OriginalPartialMean)
+	verdict := "NO significant difference"
+	if r.TTest.P < 0.05 {
+		verdict = "SIGNIFICANT difference"
+	}
+	fmt.Fprintf(w, "two-sample t-test on full-identical fraction: t=%.3f df=%.1f p=%.3f -> %s\n",
+		r.TTest.T, r.TTest.DF, r.TTest.P, verdict)
+	fmt.Fprintf(w, "(note: at equal seed the hybrid output is bit-identical to the original's;\n")
+	fmt.Fprintf(w, " the comparison measures seed-to-seed variation, as the paper's does)\n")
+}

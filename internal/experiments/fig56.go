@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gotrinity/internal/core"
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/validate"
+)
+
+// Fig56Row is one (dataset, version) cell of Figs. 5 and 6: the
+// full-length reconstruction counts and the fusion counts, averaged
+// over repeated runs.
+type Fig56Row struct {
+	Dataset string
+	Version string // "original" or "parallel"
+	Runs    int
+
+	// Fig. 5 (means over runs).
+	FullGenes    float64
+	FullIsoforms float64
+	// Fig. 6 (means over runs).
+	FusedGenes    float64
+	FusedIsoforms float64
+
+	// Reference totals for context.
+	RefGenes    int
+	RefIsoforms int
+}
+
+// Fig56 reproduces Figs. 5 and 6 on the Schizophrenia and Drosophila
+// validation datasets: both Trinity versions, `runs` seeds each,
+// aligned against the known reference transcripts.
+func Fig56(l *Lab, runs int) ([]Fig56Row, error) {
+	if runs <= 0 {
+		runs = 3
+	}
+	var rows []Fig56Row
+	for _, preset := range []rnaseq.Profile{rnaseq.Schizophrenia(1), rnaseq.Drosophila(1)} {
+		d := rnaseq.Generate(l.profile(preset))
+		refGenes := map[int]bool{}
+		for _, r := range d.Reference {
+			refGenes[r.Gene] = true
+		}
+		for _, version := range []struct {
+			name  string
+			ranks int
+		}{{"original", 1}, {"parallel", 8}} {
+			row := Fig56Row{
+				Dataset: preset.Name, Version: version.name, Runs: runs,
+				RefGenes: len(refGenes), RefIsoforms: len(d.Reference),
+			}
+			for s := 0; s < runs; s++ {
+				l.logf("fig5/6: %s %s run %d/%d...", preset.Name, version.name, s+1, runs)
+				res, err := core.Run(d.Reads, pipelineConfig(l.K, version.ranks, int64(s+1+version.ranks*1000)))
+				if err != nil {
+					return nil, err
+				}
+				recs := res.TranscriptRecords()
+				fl := validate.FullLengthReconstruction(recs, d.Reference, 0.9, 0.95)
+				fu := validate.FusedTranscripts(recs, d.Reference, 0.9, 0.95)
+				row.FullGenes += float64(fl.Genes)
+				row.FullIsoforms += float64(fl.Isoforms)
+				row.FusedGenes += float64(fu.Genes)
+				row.FusedIsoforms += float64(fu.Isoforms)
+			}
+			row.FullGenes /= float64(runs)
+			row.FullIsoforms /= float64(runs)
+			row.FusedGenes /= float64(runs)
+			row.FusedIsoforms /= float64(runs)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig56 prints the Fig. 5 and Fig. 6 tables.
+func RenderFig56(w io.Writer, rows []Fig56Row) {
+	fmt.Fprintf(w, "Fig 5: full-length reconstructed genes/isoforms vs reference (mean over runs)\n")
+	fmt.Fprintf(w, "%-14s %-10s %12s %14s %10s %12s\n",
+		"dataset", "version", "genes FL", "isoforms FL", "ref genes", "ref isoforms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-10s %12.1f %14.1f %10d %12d\n",
+			r.Dataset, r.Version, r.FullGenes, r.FullIsoforms, r.RefGenes, r.RefIsoforms)
+	}
+	fmt.Fprintf(w, "\nFig 6: fused reconstructed genes/isoforms (mean over runs)\n")
+	fmt.Fprintf(w, "%-14s %-10s %14s %16s\n", "dataset", "version", "genes fused", "isoforms fused")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-10s %14.1f %16.1f\n", r.Dataset, r.Version, r.FusedGenes, r.FusedIsoforms)
+	}
+}

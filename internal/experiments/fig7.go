@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/cluster"
+)
+
+// Fig7Row is one node count of Fig. 7 (hybrid GraphFromFasta) — the
+// per-loop min/max rank times and the total, in paper-scale seconds —
+// plus the Fig. 8 breakdown percentages.
+type Fig7Row struct {
+	Nodes     int
+	Loop1Min  float64
+	Loop1Max  float64
+	Loop2Min  float64
+	Loop2Max  float64
+	NonParMax float64
+	Total     float64 // slowest rank's loop1+loop2+non-parallel
+	Speedup   float64 // vs the 1-node OpenMP baseline
+
+	// Fig. 8: share of the slowest rank's time per region.
+	Loop1Pct, Loop2Pct, NonParPct float64
+}
+
+// Fig7 reproduces Figs. 7 and 8: the hybrid MPI+OpenMP GraphFromFasta
+// scaling sweep over the given node counts (paper: 16..192, each node
+// one rank with 16 threads), calibrated so the 1-node baseline equals
+// the paper's 122,610 s.
+func Fig7(l *Lab, nodeCounts []int) ([]Fig7Row, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{16, 32, 64, 128, 192}
+	}
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	cfg1, _, err := l.calibrateGFF(p)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig7Row, 0, len(nodeCounts))
+	for _, nodes := range nodeCounts {
+		l.logf("fig7: GraphFromFasta with %d nodes x %d threads...", nodes, threadsPerNode)
+		res, err := chrysalis.GraphFromFasta(p.contigs, p.table, nodes, chrysalis.GFFOptions{
+			K:              l.K,
+			ThreadsPerRank: threadsPerNode,
+			Replicas:       timingReplicas,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := cfg1
+		cfg.Nodes = nodes
+		var loop1, loop2, totals cluster.RankTimes
+		var nonparMax float64
+		for _, prof := range res.Profiles {
+			l1, l2, np, tot := gffRankSeconds(prof, cfg)
+			loop1.Seconds = append(loop1.Seconds, l1)
+			loop2.Seconds = append(loop2.Seconds, l2)
+			totals.Seconds = append(totals.Seconds, tot)
+			if np > nonparMax {
+				nonparMax = np
+			}
+		}
+		row := Fig7Row{
+			Nodes:     nodes,
+			Loop1Min:  loop1.Min(),
+			Loop1Max:  loop1.Max(),
+			Loop2Min:  loop2.Min(),
+			Loop2Max:  loop2.Max(),
+			NonParMax: nonparMax,
+			Total:     totals.Max(),
+		}
+		row.Speedup = paperGFFBaseline / row.Total
+		row.Loop1Pct = 100 * row.Loop1Max / row.Total
+		row.Loop2Pct = 100 * row.Loop2Max / row.Total
+		row.NonParPct = 100 * nonparMax / row.Total
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7 prints the Fig. 7 series.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Fig 7: hybrid (MPI+OpenMP) GraphFromFasta, sugarbeet dataset (paper-scale seconds)\n")
+	fmt.Fprintf(w, "%6s %12s %12s %12s %12s %12s %9s\n",
+		"nodes", "loop1 min", "loop1 max", "loop2 min", "loop2 max", "total", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12.0f %12.0f %12.0f %12.0f %12.0f %8.1fx\n",
+			r.Nodes, r.Loop1Min, r.Loop1Max, r.Loop2Min, r.Loop2Max, r.Total, r.Speedup)
+	}
+}
+
+// RenderFig8 prints the Fig. 8 normalized breakdown.
+func RenderFig8(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Fig 8: GraphFromFasta time breakdown, normalized to 100%%\n")
+	fmt.Fprintf(w, "%6s %10s %10s %12s\n", "nodes", "loop1 %", "loop2 %", "non-par %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %10.1f %10.1f %12.1f\n", r.Nodes, r.Loop1Pct, r.Loop2Pct, r.NonParPct)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/cluster"
+)
+
+// Fig9Row is one node count of Fig. 9 (hybrid ReadsToTranscripts):
+// the MPI-enabled main-loop min/max rank times and the total, in
+// paper-scale seconds.
+type Fig9Row struct {
+	Nodes   int
+	LoopMin float64
+	LoopMax float64
+	RestMax float64 // k-mer→bundle assignment + streaming + concat
+	Total   float64
+	Speedup float64 // vs the 1-node baseline (20,190 s)
+	LoopPct float64 // loop share of total, the paper's <20% observation at 32 nodes
+}
+
+// Fig9 reproduces Fig. 9: ReadsToTranscripts scaling (paper: 4..32
+// nodes, 16 threads per node).
+func Fig9(l *Lab, nodeCounts []int) ([]Fig9Row, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{4, 8, 16, 32}
+	}
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	// Components from the deterministic 1-rank GraphFromFasta.
+	_, gff, err := l.calibrateGFF(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg1, err := l.calibrateR2T(p, gff.Components)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, 0, len(nodeCounts))
+	for _, nodes := range nodeCounts {
+		l.logf("fig9: ReadsToTranscripts with %d nodes x %d threads...", nodes, threadsPerNode)
+		res, err := chrysalis.ReadsToTranscripts(p.dataset.Reads, p.contigs, gff.Components,
+			nodes, chrysalis.R2TOptions{K: l.K, ThreadsPerRank: threadsPerNode, Replicas: timingReplicas})
+		if err != nil {
+			return nil, err
+		}
+		cfg := cfg1
+		cfg.Nodes = nodes
+		var loop, totals cluster.RankTimes
+		var restMax float64
+		for _, prof := range res.Profiles {
+			lp, rest, tot := r2tRankSeconds(prof, cfg)
+			loop.Seconds = append(loop.Seconds, lp)
+			totals.Seconds = append(totals.Seconds, tot)
+			if rest > restMax {
+				restMax = rest
+			}
+		}
+		row := Fig9Row{
+			Nodes:   nodes,
+			LoopMin: loop.Min(),
+			LoopMax: loop.Max(),
+			RestMax: restMax,
+			Total:   totals.Max(),
+		}
+		row.Speedup = paperR2TBaseline / row.Total
+		row.LoopPct = 100 * row.LoopMax / row.Total
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig9 prints the Fig. 9 series.
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintf(w, "Fig 9: hybrid (MPI+OpenMP) ReadsToTranscripts, sugarbeet dataset (paper-scale seconds)\n")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %8s\n",
+		"nodes", "loop min", "loop max", "rest", "total", "speedup", "loop %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %10.0f %10.0f %10.0f %10.0f %8.1fx %7.1f%%\n",
+			r.Nodes, r.LoopMin, r.LoopMax, r.RestMax, r.Total, r.Speedup, r.LoopPct)
+	}
+}

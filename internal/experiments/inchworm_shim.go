@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"gotrinity/internal/inchworm"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/seq"
+)
+
+// inchwormRun isolates the inchworm dependency so lab.go reads at one
+// altitude.
+func inchwormRun(entries []jellyfish.Entry, k int) ([]seq.Record, inchworm.Stats, error) {
+	return inchworm.Run(entries, inchworm.Options{K: k, MinKmerCount: 2})
+}

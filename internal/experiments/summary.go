@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Headline collects the paper's abstract-level claims next to what the
+// reproduction measures.
+type Headline struct {
+	GFFSpeedup16  float64 // paper: 4.5x
+	GFFSpeedup192 float64 // paper: 20.7x
+	R2TSpeedup32  float64 // paper: 19.75x
+	BowtieSpeedup float64 // paper: ~3x at 128 nodes
+	ChrysalisFrom float64 // paper: >50 h (1 node)
+	ChrysalisTo   float64 // paper: <5 h (parallel)
+}
+
+// Summary computes the headline numbers from the scaling figures.
+func Summary(l *Lab) (*Headline, error) {
+	h := &Headline{}
+	gff, err := Fig7(l, []int{16, 192})
+	if err != nil {
+		return nil, err
+	}
+	h.GFFSpeedup16 = gff[0].Speedup
+	h.GFFSpeedup192 = gff[1].Speedup
+
+	r2t, err := Fig9(l, []int{32})
+	if err != nil {
+		return nil, err
+	}
+	h.R2TSpeedup32 = r2t[0].Speedup
+
+	bow, err := Fig10(l, []int{1, 128})
+	if err != nil {
+		return nil, err
+	}
+	h.BowtieSpeedup = bow[1].Speedup
+
+	// Chrysalis stage total: 1 node vs 16 nodes.
+	serial, err := Fig2(l)
+	if err != nil {
+		return nil, err
+	}
+	h.ChrysalisFrom = serial.ChrysalisHours
+	par, err := Fig11(l)
+	if err != nil {
+		return nil, err
+	}
+	h.ChrysalisTo = par.ChrysalisHours
+	return h, nil
+}
+
+// RenderHeadline prints paper-vs-measured for the abstract claims.
+func RenderHeadline(w io.Writer, h *Headline) {
+	fmt.Fprintf(w, "Headline results (paper vs reproduction)\n")
+	fmt.Fprintf(w, "%-46s %10s %12s\n", "claim", "paper", "measured")
+	fmt.Fprintf(w, "%-46s %10s %11.1fx\n", "GraphFromFasta speedup, 16 nodes", "4.5x", h.GFFSpeedup16)
+	fmt.Fprintf(w, "%-46s %10s %11.1fx\n", "GraphFromFasta speedup, 192 nodes", "20.7x", h.GFFSpeedup192)
+	fmt.Fprintf(w, "%-46s %10s %11.1fx\n", "ReadsToTranscripts speedup, 32 nodes", "19.75x", h.R2TSpeedup32)
+	fmt.Fprintf(w, "%-46s %10s %11.1fx\n", "Bowtie speedup, 128 nodes", "~3x", h.BowtieSpeedup)
+	fmt.Fprintf(w, "%-46s %10s %10.1fh\n", "Chrysalis runtime, 1 node", ">50h", h.ChrysalisFrom)
+	fmt.Fprintf(w, "%-46s %10s %10.1fh\n", "Chrysalis runtime, 16 nodes", "<5h", h.ChrysalisTo)
+}

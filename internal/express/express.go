@@ -1,0 +1,240 @@
+// Package express estimates transcript abundances from reads, in the
+// spirit of RSEM — the quantification tool the Trinity platform ships
+// for downstream expression analysis (§II-A of the paper: "Trinity
+// also includes tools such as RSEM, edgeR etc. that take the output of
+// the Trinity workflow and estimate levels of gene expression").
+//
+// The model is the standard one: each read may be compatible with
+// several transcripts (isoforms share exons); an EM loop alternately
+// soft-assigns reads proportionally to current abundances and
+// re-estimates abundances from the soft assignments, with
+// effective-length normalisation. Output is reported in TPM.
+package express
+
+import (
+	"fmt"
+	"math"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+// Options configures quantification.
+type Options struct {
+	K             int     // k-mer length for read-transcript matching (default 21)
+	MinKmerHits   int     // k-mers a read must share with a transcript (default 3)
+	MaxIterations int     // EM iterations (default 100)
+	Tolerance     float64 // stop when max abundance change falls below this (default 1e-4)
+	ReadLen       int     // nominal read length for effective lengths (default: first read's)
+}
+
+func (o *Options) normalize() error {
+	if o.K <= 0 {
+		o.K = 21
+	}
+	if o.K > kmer.MaxK {
+		return fmt.Errorf("express: k=%d out of range", o.K)
+	}
+	if o.MinKmerHits <= 0 {
+		o.MinKmerHits = 3
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	return nil
+}
+
+// Abundance is one transcript's estimate.
+type Abundance struct {
+	Transcript   string  // record ID
+	Length       int     // transcript length
+	EffLength    float64 // effective length (length - readLen + 1, floored at 1)
+	ExpectedHits float64 // EM-assigned read count
+	TPM          float64 // transcripts per million
+}
+
+// Result is a full quantification.
+type Result struct {
+	Abundances []Abundance // indexed like the input transcripts
+	Assigned   int         // reads compatible with >=1 transcript
+	Unassigned int
+	Iterations int // EM iterations executed
+}
+
+// Quantify estimates abundances of the transcripts from the reads.
+func Quantify(transcripts []seq.Record, reads []seq.Record, opt Options) (*Result, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if len(transcripts) == 0 {
+		return nil, fmt.Errorf("express: no transcripts")
+	}
+	if opt.ReadLen <= 0 {
+		if len(reads) > 0 {
+			opt.ReadLen = len(reads[0].Seq)
+		} else {
+			opt.ReadLen = 76
+		}
+	}
+
+	// Index transcript k-mers for compatibility classes.
+	owner := map[kmer.Kmer][]int32{}
+	for ti := range transcripts {
+		it := kmer.NewIterator(transcripts[ti].Seq, opt.K)
+		for {
+			m, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			lst := owner[m]
+			if len(lst) > 0 && lst[len(lst)-1] == int32(ti) {
+				continue
+			}
+			owner[m] = append(lst, int32(ti))
+		}
+	}
+
+	// Build equivalence classes: sets of transcripts compatible with a
+	// read collapse into one class with a count — the trick that makes
+	// EM linear in distinct classes instead of reads.
+	classCounts := map[string]int{}
+	classMembers := map[string][]int32{}
+	res := &Result{}
+	for ri := range reads {
+		members := compatible(reads[ri].Seq, owner, opt)
+		if len(members) == 0 {
+			res.Unassigned++
+			continue
+		}
+		res.Assigned++
+		key := classKey(members)
+		classCounts[key]++
+		classMembers[key] = members
+	}
+
+	n := len(transcripts)
+	effLen := make([]float64, n)
+	for i := range transcripts {
+		el := float64(len(transcripts[i].Seq) - opt.ReadLen + 1)
+		if el < 1 {
+			el = 1
+		}
+		effLen[i] = el
+	}
+
+	// EM over equivalence classes.
+	theta := make([]float64, n) // relative abundances
+	for i := range theta {
+		theta[i] = 1 / float64(n)
+	}
+	expected := make([]float64, n)
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		for i := range expected {
+			expected[i] = 0
+		}
+		for key, count := range classCounts {
+			members := classMembers[key]
+			var denom float64
+			for _, ti := range members {
+				denom += theta[ti] / effLen[ti]
+			}
+			if denom == 0 {
+				continue
+			}
+			for _, ti := range members {
+				expected[ti] += float64(count) * (theta[ti] / effLen[ti]) / denom
+			}
+		}
+		// M step: new theta proportional to expected counts.
+		var total float64
+		for i := range expected {
+			total += expected[i]
+		}
+		if total == 0 {
+			break
+		}
+		maxDelta := 0.0
+		for i := range theta {
+			next := expected[i] / total
+			if d := math.Abs(next - theta[i]); d > maxDelta {
+				maxDelta = d
+			}
+			theta[i] = next
+		}
+		res.Iterations = iter + 1
+		if maxDelta < opt.Tolerance {
+			break
+		}
+	}
+
+	// TPM: rate per effective length, normalised to a million.
+	var rateSum float64
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = expected[i] / effLen[i]
+		rateSum += rates[i]
+	}
+	res.Abundances = make([]Abundance, n)
+	for i := range transcripts {
+		tpm := 0.0
+		if rateSum > 0 {
+			tpm = rates[i] / rateSum * 1e6
+		}
+		res.Abundances[i] = Abundance{
+			Transcript:   transcripts[i].ID,
+			Length:       len(transcripts[i].Seq),
+			EffLength:    effLen[i],
+			ExpectedHits: expected[i],
+			TPM:          tpm,
+		}
+	}
+	return res, nil
+}
+
+// compatible returns the transcripts sharing at least MinKmerHits
+// k-mers with the read on either strand, ascending and deduplicated.
+func compatible(read []byte, owner map[kmer.Kmer][]int32, opt Options) []int32 {
+	hits := map[int32]int{}
+	tally := func(s []byte) {
+		it := kmer.NewIterator(s, opt.K)
+		for {
+			m, _, ok := it.Next()
+			if !ok {
+				return
+			}
+			for _, ti := range owner[m] {
+				hits[ti]++
+			}
+		}
+	}
+	tally(read)
+	tally(seq.ReverseComplement(read))
+	var out []int32
+	for ti, n := range hits {
+		if n >= opt.MinKmerHits {
+			out = append(out, ti)
+		}
+	}
+	sortInt32s(out)
+	return out
+}
+
+func sortInt32s(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// classKey canonicalises a member set (already sorted).
+func classKey(members []int32) string {
+	buf := make([]byte, 0, 4*len(members))
+	for _, m := range members {
+		buf = append(buf, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(buf)
+}

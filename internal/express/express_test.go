@@ -1,0 +1,146 @@
+package express
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/seq"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+// Reads drawn 9:1 from two distinct transcripts must yield ~9:1 TPM.
+func TestQuantifyTwoDistinctTranscripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ta := seq.Record{ID: "A", Seq: randDNA(rng, 500)}
+	tb := seq.Record{ID: "B", Seq: randDNA(rng, 500)}
+	var reads []seq.Record
+	draw := func(src []byte) {
+		start := rng.Intn(len(src) - 60)
+		reads = append(reads, seq.Record{ID: "r", Seq: src[start : start+60]})
+	}
+	for i := 0; i < 900; i++ {
+		draw(ta.Seq)
+	}
+	for i := 0; i < 100; i++ {
+		draw(tb.Seq)
+	}
+	res, err := Quantify([]seq.Record{ta, tb}, reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned != 1000 || res.Unassigned != 0 {
+		t.Fatalf("assigned=%d unassigned=%d", res.Assigned, res.Unassigned)
+	}
+	ratio := res.Abundances[0].TPM / res.Abundances[1].TPM
+	if ratio < 7 || ratio > 11 {
+		t.Errorf("TPM ratio = %.2f, want ~9", ratio)
+	}
+	sum := res.Abundances[0].TPM + res.Abundances[1].TPM
+	if math.Abs(sum-1e6) > 1 {
+		t.Errorf("TPM sum = %.1f", sum)
+	}
+}
+
+// EM must resolve multi-mapping reads: a short transcript contained in
+// a long one gets its unique reads plus a fair share of shared ones.
+func TestQuantifySharedSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shared := randDNA(rng, 300)
+	long := append(append(randDNA(rng, 200), shared...), randDNA(rng, 200)...)
+	short := shared
+	trs := []seq.Record{{ID: "long", Seq: long}, {ID: "short", Seq: short}}
+	var reads []seq.Record
+	// All reads from the long transcript's unique 5' region.
+	for i := 0; i < 300; i++ {
+		start := rng.Intn(140)
+		reads = append(reads, seq.Record{ID: "r", Seq: long[start : start+60]})
+	}
+	res, err := Quantify(trs, reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abundances[0].TPM < res.Abundances[1].TPM*5 {
+		t.Errorf("long TPM %.0f not dominant over short %.0f",
+			res.Abundances[0].TPM, res.Abundances[1].TPM)
+	}
+}
+
+func TestQuantifyUnassignedReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trs := []seq.Record{{ID: "A", Seq: randDNA(rng, 300)}}
+	reads := []seq.Record{{ID: "junk", Seq: randDNA(rng, 60)}}
+	res, err := Quantify(trs, reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unassigned != 1 || res.Assigned != 0 {
+		t.Errorf("assigned=%d unassigned=%d", res.Assigned, res.Unassigned)
+	}
+}
+
+func TestQuantifyErrors(t *testing.T) {
+	if _, err := Quantify(nil, nil, Options{}); err == nil {
+		t.Error("accepted empty transcript set")
+	}
+	if _, err := Quantify([]seq.Record{{ID: "a", Seq: []byte("ACGT")}}, nil, Options{K: 40}); err == nil {
+		t.Error("accepted k out of range")
+	}
+}
+
+// End-to-end: estimates over the generator's ground truth must rank
+// correctly for well-separated expression levels.
+func TestQuantifyRecoversGroundTruthRanking(t *testing.T) {
+	p := rnaseq.Tiny(9)
+	p.Reads = 6000
+	p.MaxIsoforms = 1 // one transcript per gene: unambiguous truth
+	p.ExpressionSigma = 2.0
+	d := rnaseq.Generate(p)
+	trs := d.ReferenceRecords()
+	res, err := Quantify(trs, d.Reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected read share of transcript i ∝ expression × length.
+	type pair struct{ truth, est float64 }
+	var pairs []pair
+	for i, tr := range d.Reference {
+		pairs = append(pairs, pair{
+			truth: d.Expression[tr.Gene] * float64(len(tr.Seq)),
+			est:   res.Abundances[i].ExpectedHits,
+		})
+	}
+	// The top-truth transcript must be among the top-2 estimates.
+	bestTruth, bestEst := 0, 0
+	for i, p := range pairs {
+		if p.truth > pairs[bestTruth].truth {
+			bestTruth = i
+		}
+		if p.est > pairs[bestEst].est {
+			bestEst = i
+		}
+	}
+	if bestTruth != bestEst {
+		second := 0
+		for i, p := range pairs {
+			if i != bestEst && p.est > pairs[second].est {
+				second = i
+			}
+		}
+		if bestTruth != second {
+			t.Errorf("highest-expressed transcript %d not in top-2 estimates (%d, %d)",
+				bestTruth, bestEst, second)
+		}
+	}
+	if res.Iterations == 0 {
+		t.Error("EM did not iterate")
+	}
+}

@@ -1,0 +1,243 @@
+// Package fm implements the Burrows-Wheeler-transform full-text index
+// that the real Bowtie aligner is built on (Langmead et al., ref. [13]
+// of the paper: "ultrafast and memory-efficient alignment"). It
+// provides suffix-array construction, the BWT, rank/occurrence
+// checkpoints, backward search, and position location — enough to
+// serve as an alternative seed-location backend for the bowtie
+// package and to study the memory/speed trade-off the paper's
+// future-work section raises.
+package fm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alphabet: byte codes used inside the index. The sentinel terminates
+// the text and sorts before everything.
+const (
+	codeSentinel = 0
+	codeA        = 1
+	codeC        = 2
+	codeG        = 3
+	codeT        = 4
+	codeN        = 5
+	alphabetSize = 6
+)
+
+// encodeBase maps an ASCII base to its index code; 'N' and anything
+// unknown map to codeN (never matched by patterns).
+func encodeBase(b byte) byte {
+	switch b {
+	case 'A', 'a':
+		return codeA
+	case 'C', 'c':
+		return codeC
+	case 'G', 'g':
+		return codeG
+	case 'T', 't':
+		return codeT
+	}
+	return codeN
+}
+
+const (
+	occSampleRate = 128 // checkpoint spacing for rank queries
+	saSampleRate  = 32  // suffix-array sampling for locate
+)
+
+// Index is an FM-index over one text.
+type Index struct {
+	n   int    // text length including sentinel
+	bwt []byte // Burrows-Wheeler transform, index codes
+	c   [alphabetSize + 1]int
+	// occ[k][j] = occurrences of code j in bwt[0 : k*occSampleRate).
+	occ [][alphabetSize]int32
+	// samples maps a marked SA row to its text position; a row is
+	// marked when its suffix position is a multiple of saSampleRate.
+	samples  map[int]int32
+	saMarked []bool
+}
+
+// New builds an FM-index over text (ASCII bases). The text may contain
+// 'N' separators; patterns containing only ACGT never match across
+// them.
+func New(text []byte) (*Index, error) {
+	if len(text) == 0 {
+		return nil, fmt.Errorf("fm: empty text")
+	}
+	// Encode text + sentinel.
+	t := make([]byte, len(text)+1)
+	for i, b := range text {
+		t[i] = encodeBase(b)
+	}
+	t[len(text)] = codeSentinel
+
+	sa := buildSuffixArray(t)
+	ix := &Index{n: len(t)}
+	ix.bwt = make([]byte, len(t))
+	for i, p := range sa {
+		if p == 0 {
+			ix.bwt[i] = t[len(t)-1]
+		} else {
+			ix.bwt[i] = t[p-1]
+		}
+	}
+	// C array: for each code, the count of smaller codes.
+	var counts [alphabetSize]int
+	for _, b := range t {
+		counts[b]++
+	}
+	run := 0
+	for j := 0; j < alphabetSize; j++ {
+		ix.c[j] = run
+		run += counts[j]
+	}
+	ix.c[alphabetSize] = run
+
+	// Occurrence checkpoints.
+	nCheck := len(t)/occSampleRate + 1
+	ix.occ = make([][alphabetSize]int32, nCheck+1)
+	var acc [alphabetSize]int32
+	for i, b := range ix.bwt {
+		if i%occSampleRate == 0 {
+			ix.occ[i/occSampleRate] = acc
+		}
+		acc[b]++
+	}
+	ix.occ[nCheck] = acc
+
+	// SA samples for locate.
+	ix.saMarked = make([]bool, len(t))
+	ix.samples = make(map[int]int32, len(t)/saSampleRate+1)
+	for i, p := range sa {
+		if int(p)%saSampleRate == 0 {
+			ix.saMarked[i] = true
+			ix.samples[i] = p
+		}
+	}
+	return ix, nil
+}
+
+// rank returns the number of occurrences of code in bwt[0:i).
+func (ix *Index) rank(code byte, i int) int {
+	chk := i / occSampleRate
+	cnt := int(ix.occ[chk][code])
+	for j := chk * occSampleRate; j < i; j++ {
+		if ix.bwt[j] == code {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// lf is the last-to-first mapping of BWT row i.
+func (ix *Index) lf(i int) int {
+	b := ix.bwt[i]
+	return ix.c[b] + ix.rank(b, i)
+}
+
+// Search returns the SA interval [lo, hi) of rows whose suffixes start
+// with pattern, via backward search. An empty interval means no match.
+func (ix *Index) Search(pattern []byte) (lo, hi int) {
+	lo, hi = 0, ix.n
+	for i := len(pattern) - 1; i >= 0; i-- {
+		code := encodeBase(pattern[i])
+		if code == codeN {
+			return 0, 0 // ambiguous bases never match
+		}
+		lo = ix.c[code] + ix.rank(code, lo)
+		hi = ix.c[code] + ix.rank(code, hi)
+		if lo >= hi {
+			return 0, 0
+		}
+	}
+	return lo, hi
+}
+
+// Count returns the number of occurrences of pattern in the text.
+func (ix *Index) Count(pattern []byte) int {
+	lo, hi := ix.Search(pattern)
+	return hi - lo
+}
+
+// Locate returns the sorted text positions of every occurrence of
+// pattern, resolved by LF-walking to the nearest SA sample.
+func (ix *Index) Locate(pattern []byte) []int {
+	lo, hi := ix.Search(pattern)
+	if lo >= hi {
+		return nil
+	}
+	out := make([]int, 0, hi-lo)
+	for row := lo; row < hi; row++ {
+		out = append(out, ix.position(row))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// position resolves SA[row] by walking LF until a sampled row.
+func (ix *Index) position(row int) int {
+	steps := 0
+	for !ix.saMarked[row] {
+		row = ix.lf(row)
+		steps++
+	}
+	return (int(ix.samples[row]) + steps) % ix.n
+}
+
+// Len returns the indexed text length (excluding the sentinel).
+func (ix *Index) Len() int { return ix.n - 1 }
+
+// MemoryFootprint estimates the index's resident bytes — the quantity
+// the paper's future work on memory reduction cares about.
+func (ix *Index) MemoryFootprint() int {
+	return len(ix.bwt) + // bwt bytes
+		len(ix.occ)*alphabetSize*4 + // checkpoints
+		len(ix.samples)*12 + // sampled SA entries
+		len(ix.saMarked) // marks
+}
+
+// buildSuffixArray constructs the suffix array by prefix doubling
+// (O(n log^2 n)), sufficient for contig-scale texts.
+func buildSuffixArray(t []byte) []int32 {
+	n := len(t)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+		rank[i] = int32(t[i])
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+k < n {
+				second = rank[int(i)+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			f1, s1 := key(sa[a])
+			f2, s2 := key(sa[b])
+			if f1 != f2 {
+				return f1 < f2
+			}
+			return s1 < s2
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			f1, s1 := key(sa[i-1])
+			f2, s2 := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if f1 != f2 || s1 != s2 {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[sa[n-1]]) == n-1 {
+			break
+		}
+	}
+	return sa
+}

@@ -1,0 +1,183 @@
+package fm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveOccurrences(text, pattern []byte) []int {
+	if len(pattern) == 0 || bytes.ContainsAny(pattern, "N") {
+		return nil
+	}
+	var out []int
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pattern)], pattern) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("accepted empty text")
+	}
+}
+
+func TestSearchKnownText(t *testing.T) {
+	ix, err := New([]byte("GATTACAGATTACA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Count([]byte("GATTACA")); got != 2 {
+		t.Errorf("Count(GATTACA) = %d, want 2", got)
+	}
+	if got := ix.Count([]byte("TTAC")); got != 2 {
+		t.Errorf("Count(TTAC) = %d, want 2", got)
+	}
+	if got := ix.Count([]byte("GGGG")); got != 0 {
+		t.Errorf("Count(GGGG) = %d, want 0", got)
+	}
+	pos := ix.Locate([]byte("GATTACA"))
+	if len(pos) != 2 || pos[0] != 0 || pos[1] != 7 {
+		t.Errorf("Locate = %v, want [0 7]", pos)
+	}
+}
+
+func TestSearchSingleBase(t *testing.T) {
+	ix, _ := New([]byte("ACGTACGT"))
+	if got := ix.Count([]byte("A")); got != 2 {
+		t.Errorf("Count(A) = %d", got)
+	}
+	if got := ix.Locate([]byte("T")); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("Locate(T) = %v", got)
+	}
+}
+
+func TestAmbiguousPatternNeverMatches(t *testing.T) {
+	ix, _ := New([]byte("ANNA"))
+	if got := ix.Count([]byte("NN")); got != 0 {
+		t.Errorf("N pattern matched %d times", got)
+	}
+}
+
+func TestSeparatorsBlockCrossMatches(t *testing.T) {
+	// Two contigs joined by N: a pattern spanning the join must not hit.
+	ix, _ := New([]byte("AAAACCCC" + "N" + "GGGGTTTT"))
+	if got := ix.Count([]byte("CCGG")); got != 0 {
+		t.Errorf("pattern crossed the N separator: %d", got)
+	}
+	if got := ix.Count([]byte("CCCC")); got != 1 {
+		t.Errorf("Count(CCCC) = %d", got)
+	}
+}
+
+// Property: Count and Locate agree with a naive scan on random texts
+// and patterns (both pattern-from-text and random patterns).
+func TestMatchesNaiveScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		text := randDNA(rng, 50+rng.Intn(400))
+		ix, err := New(text)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			var pattern []byte
+			if trial%2 == 0 && len(text) > 10 {
+				start := rng.Intn(len(text) - 8)
+				pattern = text[start : start+3+rng.Intn(5)]
+			} else {
+				pattern = randDNA(rng, 1+rng.Intn(6))
+			}
+			want := naiveOccurrences(text, pattern)
+			got := ix.Locate(pattern)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			if ix.Count(pattern) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixArrayIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	raw := randDNA(rng, 300)
+	text := make([]byte, len(raw)+1)
+	for i, b := range raw {
+		text[i] = encodeBase(b)
+	}
+	text[len(raw)] = codeSentinel
+	sa := buildSuffixArray(text)
+	if len(sa) != len(text) {
+		t.Fatalf("sa length %d", len(sa))
+	}
+	seen := make([]bool, len(sa))
+	for i := 1; i < len(sa); i++ {
+		if bytes.Compare(text[sa[i-1]:], text[sa[i]:]) >= 0 {
+			t.Fatalf("suffixes %d and %d out of order", i-1, i)
+		}
+	}
+	for _, p := range sa {
+		if seen[p] {
+			t.Fatal("duplicate suffix position")
+		}
+		seen[p] = true
+	}
+}
+
+func TestMemoryFootprintPositive(t *testing.T) {
+	ix, _ := New([]byte("ACGTACGTACGT"))
+	if ix.MemoryFootprint() <= 0 {
+		t.Error("footprint must be positive")
+	}
+	if ix.Len() != 12 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func BenchmarkFMSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	text := randDNA(rng, 100000)
+	ix, err := New(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pattern := text[5000:5016]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(pattern)
+	}
+}
+
+func BenchmarkFMBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	text := randDNA(rng, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package jellyfish
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzLoad(f *testing.F) {
+	f.Add("3\tACGTA\n1\tTTTTT\n", 5)
+	f.Add("x\tACGTA\n", 5)
+	f.Add("", 5)
+	f.Add("1\tACGN\n", 4)
+	f.Fuzz(func(t *testing.T, data string, k int) {
+		if k < 1 || k > 31 {
+			return
+		}
+		entries, err := Load(strings.NewReader(data), k)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if len(e.Kmer.Decode(k)) != k {
+				t.Fatal("entry with wrong k decoded")
+			}
+		}
+	})
+}

@@ -1,0 +1,269 @@
+// Package jellyfish is the k-mer counting stage of the pipeline,
+// mirroring the role of Jellyfish in Trinity: it counts canonical (or
+// stranded) k-mers across millions of reads using a sharded concurrent
+// hash table, and dumps the counts in the text format consumed by
+// Inchworm ("count kmer" per line, like `jellyfish dump -c`).
+package jellyfish
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+// Options configures a counting run.
+type Options struct {
+	K         int  // k-mer length (1..31)
+	Canonical bool // count k-mer and reverse complement together
+	MinCount  int  // drop k-mers rarer than this at dump time (error filter)
+	Threads   int  // worker goroutines; 0 means GOMAXPROCS
+	Shards    int  // hash shards; 0 means 4×threads rounded up to pow2
+}
+
+func (o *Options) normalize() error {
+	if o.K <= 0 || o.K > kmer.MaxK {
+		return fmt.Errorf("jellyfish: k=%d out of range 1..%d", o.K, kmer.MaxK)
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.MinCount <= 0 {
+		o.MinCount = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = nextPow2(4 * o.Threads)
+	} else {
+		o.Shards = nextPow2(o.Shards)
+	}
+	return nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// CountTable holds k-mer counts sharded by hash so that independent
+// goroutines rarely contend on the same lock.
+type CountTable struct {
+	K      int
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[kmer.Kmer]uint32
+}
+
+// NewCountTable allocates an empty table with the given k and shard
+// count (rounded to a power of two).
+func NewCountTable(k, shards int) *CountTable {
+	shards = nextPow2(shards)
+	t := &CountTable{K: k, shards: make([]shard, shards), mask: uint64(shards - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[kmer.Kmer]uint32)
+	}
+	return t
+}
+
+// mix is a 64-bit finaliser (splitmix64) spreading k-mer bits across
+// shards.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add increments the count of m by delta.
+func (t *CountTable) Add(m kmer.Kmer, delta uint32) {
+	s := &t.shards[mix(uint64(m))&t.mask]
+	s.mu.Lock()
+	s.m[m] += delta
+	s.mu.Unlock()
+}
+
+// Get returns the count of m.
+func (t *CountTable) Get(m kmer.Kmer) uint32 {
+	s := &t.shards[mix(uint64(m))&t.mask]
+	s.mu.Lock()
+	c := s.m[m]
+	s.mu.Unlock()
+	return c
+}
+
+// Distinct returns the number of distinct k-mers stored.
+func (t *CountTable) Distinct() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Total returns the total number of k-mer occurrences counted.
+func (t *CountTable) Total() uint64 {
+	var n uint64
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		for _, c := range t.shards[i].m {
+			n += uint64(c)
+		}
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Entry is one (k-mer, count) pair in a dump.
+type Entry struct {
+	Kmer  kmer.Kmer
+	Count uint32
+}
+
+// Entries snapshots the table as a slice filtered by minCount, sorted
+// by k-mer value for deterministic output.
+func (t *CountTable) Entries(minCount int) []Entry {
+	var out []Entry
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		for m, c := range t.shards[i].m {
+			if int(c) >= minCount {
+				out = append(out, Entry{m, c})
+			}
+		}
+		t.shards[i].mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kmer < out[j].Kmer })
+	return out
+}
+
+// Count tallies the k-mers of every record into a fresh table.
+func Count(recs []seq.Record, opt Options) (*CountTable, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	table := NewCountTable(opt.K, opt.Shards)
+	var wg sync.WaitGroup
+	work := make(chan int, opt.Threads)
+	for w := 0; w < opt.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				countRecord(table, recs[idx].Seq, opt)
+			}
+		}()
+	}
+	for i := range recs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return table, nil
+}
+
+func countRecord(table *CountTable, s []byte, opt Options) {
+	it := kmer.NewIterator(s, opt.K)
+	for {
+		m, _, ok := it.Next()
+		if !ok {
+			return
+		}
+		if opt.Canonical {
+			m, _ = m.Canonical(opt.K)
+		}
+		table.Add(m, 1)
+	}
+}
+
+// Dump writes the table as "count<TAB>kmer" lines (decreasing count,
+// then increasing k-mer), the text format Inchworm parses.
+func Dump(w io.Writer, t *CountTable, minCount int) error {
+	entries := t.Entries(minCount)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Kmer < entries[j].Kmer
+	})
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", e.Count, e.Kmer.Decode(t.K)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpFile writes the dump to path.
+func DumpFile(path string, t *CountTable, minCount int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Dump(f, t, minCount); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load parses a dump produced by Dump back into entries. k must match
+// the dump's k-mer length.
+func Load(r io.Reader, k int) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Entry
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("jellyfish: dump line %d: want 2 fields, got %d", lineno, len(fields))
+		}
+		c, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("jellyfish: dump line %d: bad count %q", lineno, fields[0])
+		}
+		if len(fields[1]) != k {
+			return nil, fmt.Errorf("jellyfish: dump line %d: k-mer length %d, want %d", lineno, len(fields[1]), k)
+		}
+		m, ok := kmer.Encode([]byte(fields[1]), k)
+		if !ok {
+			return nil, fmt.Errorf("jellyfish: dump line %d: invalid k-mer %q", lineno, fields[1])
+		}
+		out = append(out, Entry{m, uint32(c)})
+	}
+	return out, sc.Err()
+}
+
+// LoadFile reads a dump file.
+func LoadFile(path string, k int) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, k)
+}

@@ -1,0 +1,335 @@
+// Package mpi provides an in-process message-passing runtime with MPI
+// semantics: a fixed set of ranks, point-to-point sends and receives
+// with tag matching, and the collectives the paper's hybrid Chrysalis
+// relies on (Barrier, Bcast, Gatherv, Allgatherv, Allreduce).
+//
+// Ranks are goroutines. Although they share one address space, the
+// programming model is distributed-memory by convention: all data that
+// crosses rank boundaries is copied through explicit communication
+// calls, exactly as with real MPI, and every call is metered so a
+// cluster cost model can charge latency and bandwidth for it.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op identifies a reduction operator.
+type Op int
+
+// Reduction operators supported by Reduce/Allreduce.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// Stats meters the traffic a single rank generated. The cluster cost
+// model converts these into virtual communication time.
+type Stats struct {
+	BytesSent      int64 // payload bytes this rank sent (P2P + its collective contributions)
+	BytesRecv      int64 // payload bytes this rank received
+	Messages       int64 // point-to-point messages sent
+	CollectiveOps  int64 // collective operations participated in
+	CollectiveWait int64 // barriers (including those inside collectives)
+}
+
+type message struct {
+	tag  int
+	data []byte
+}
+
+// World owns the shared state of one simulated MPI job: the mailbox
+// matrix, the reusable barrier, and the collective exchange slots.
+type World struct {
+	size  int
+	boxes [][]chan message // boxes[src][dst]
+
+	barrier sharedBarrier
+
+	slotMu sync.Mutex // protects slots between the two barriers of a collective
+	slots  [][]byte
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
+	}
+	w := &World{size: size, slots: make([][]byte, size)}
+	w.boxes = make([][]chan message, size)
+	for s := 0; s < size; s++ {
+		w.boxes[s] = make([]chan message, size)
+		for d := 0; d < size; d++ {
+			w.boxes[s][d] = make(chan message, 64)
+		}
+	}
+	w.barrier.init(size)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run launches one goroutine per rank executing body and blocks until
+// all ranks return. It returns the per-rank communication statistics.
+func (w *World) Run(body func(c *Comm)) []Stats {
+	stats := make([]Stats, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{world: w, rank: rank, pending: make([][]message, w.size)}
+			body(c)
+			stats[rank] = c.Stats
+		}(r)
+	}
+	wg.Wait()
+	return stats
+}
+
+// Comm is one rank's handle on the world. A Comm must only be used by
+// the goroutine that received it from Run.
+type Comm struct {
+	world   *World
+	rank    int
+	pending [][]message // out-of-order messages awaiting a matching Recv
+	Stats   Stats
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to rank dst with the given tag. The payload is
+// copied, so the caller may reuse the buffer immediately (MPI buffered
+// send semantics).
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.world.boxes[c.rank][dst] <- message{tag: tag, data: buf}
+	c.Stats.BytesSent += int64(len(data))
+	c.Stats.Messages++
+}
+
+// Recv blocks until a message with the given tag arrives from rank src
+// and returns its payload. Messages with other tags from src are
+// queued for later Recvs (MPI tag matching).
+func (c *Comm) Recv(src, tag int) []byte {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	q := c.pending[src]
+	for i, m := range q {
+		if m.tag == tag {
+			c.pending[src] = append(q[:i], q[i+1:]...)
+			c.Stats.BytesRecv += int64(len(m.data))
+			return m.data
+		}
+	}
+	for {
+		m := <-c.world.boxes[src][c.rank]
+		if m.tag == tag {
+			c.Stats.BytesRecv += int64(len(m.data))
+			return m.data
+		}
+		c.pending[src] = append(c.pending[src], m)
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.world.barrier.await()
+	c.Stats.CollectiveWait++
+}
+
+// Bcast distributes root's payload to every rank; every rank returns an
+// independent copy.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.rank == root {
+		c.world.slotMu.Lock()
+		c.world.slots[root] = data
+		c.world.slotMu.Unlock()
+		c.Stats.BytesSent += int64(len(data)) * int64(c.world.size-1)
+	}
+	c.Barrier()
+	c.world.slotMu.Lock()
+	src := c.world.slots[root]
+	c.world.slotMu.Unlock()
+	out := make([]byte, len(src))
+	copy(out, src)
+	if c.rank != root {
+		c.Stats.BytesRecv += int64(len(src))
+	}
+	c.Barrier() // slots must survive until everyone has copied
+	c.Stats.CollectiveOps++
+	return out
+}
+
+// Allgatherv pools each rank's variable-length contribution: every
+// rank returns the full slice of all contributions indexed by rank.
+// This is the paper's pooling primitive for welding sequences (§III-B).
+func (c *Comm) Allgatherv(data []byte) [][]byte {
+	c.world.slotMu.Lock()
+	c.world.slots[c.rank] = data
+	c.world.slotMu.Unlock()
+	c.Barrier()
+	out := make([][]byte, c.world.size)
+	c.world.slotMu.Lock()
+	for r := 0; r < c.world.size; r++ {
+		buf := make([]byte, len(c.world.slots[r]))
+		copy(buf, c.world.slots[r])
+		out[r] = buf
+		if r != c.rank {
+			c.Stats.BytesRecv += int64(len(buf))
+		}
+	}
+	c.world.slotMu.Unlock()
+	c.Stats.BytesSent += int64(len(data)) * int64(c.world.size-1)
+	c.Barrier()
+	c.Stats.CollectiveOps++
+	return out
+}
+
+// Gatherv collects every rank's contribution at root. Non-root ranks
+// receive nil.
+func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	c.world.slotMu.Lock()
+	c.world.slots[c.rank] = data
+	c.world.slotMu.Unlock()
+	if c.rank != root {
+		c.Stats.BytesSent += int64(len(data))
+	}
+	c.Barrier()
+	var out [][]byte
+	if c.rank == root {
+		out = make([][]byte, c.world.size)
+		c.world.slotMu.Lock()
+		for r := 0; r < c.world.size; r++ {
+			buf := make([]byte, len(c.world.slots[r]))
+			copy(buf, c.world.slots[r])
+			out[r] = buf
+			if r != root {
+				c.Stats.BytesRecv += int64(len(buf))
+			}
+		}
+		c.world.slotMu.Unlock()
+	}
+	c.Barrier()
+	c.Stats.CollectiveOps++
+	return out
+}
+
+// AllgatherInt exchanges one int per rank — the "exchange the size of
+// the packed sequence" step that precedes each Allgatherv in §III-B.
+func (c *Comm) AllgatherInt(v int) []int {
+	parts := c.Allgatherv(encodeInt64(int64(v)))
+	out := make([]int, len(parts))
+	for r, p := range parts {
+		out[r] = int(decodeInt64(p))
+	}
+	return out
+}
+
+// AllgathervInt64 pools variable-length int64 slices from all ranks.
+func (c *Comm) AllgathervInt64(v []int64) [][]int64 {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		putInt64(buf[8*i:], x)
+	}
+	parts := c.Allgatherv(buf)
+	out := make([][]int64, len(parts))
+	for r, p := range parts {
+		xs := make([]int64, len(p)/8)
+		for i := range xs {
+			xs[i] = getInt64(p[8*i:])
+		}
+		out[r] = xs
+	}
+	return out
+}
+
+// AllreduceInt64 combines v across all ranks with op; every rank gets
+// the result.
+func (c *Comm) AllreduceInt64(v int64, op Op) int64 {
+	parts := c.Allgatherv(encodeInt64(v))
+	acc := decodeInt64(parts[0])
+	for _, p := range parts[1:] {
+		x := decodeInt64(p)
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		default:
+			panic(fmt.Sprintf("mpi: unknown op %d", op))
+		}
+	}
+	return acc
+}
+
+func encodeInt64(v int64) []byte {
+	buf := make([]byte, 8)
+	putInt64(buf, v)
+	return buf
+}
+
+func decodeInt64(b []byte) int64 { return getInt64(b) }
+
+func putInt64(b []byte, v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getInt64(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}
+
+// sharedBarrier is a reusable sense-reversing barrier.
+type sharedBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	phase   uint64
+}
+
+func (b *sharedBarrier) init(size int) {
+	b.size = size
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *sharedBarrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.size {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldRunAllRanks(t *testing.T) {
+	var seen int64
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		atomic.AddInt64(&seen, 1)
+		if c.Size() != 8 {
+			t.Errorf("size = %d", c.Size())
+		}
+	})
+	if seen != 8 {
+		t.Errorf("ran %d ranks, want 8", seen)
+	}
+}
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 0")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendRecvRing(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+		c.Send(next, 0, []byte(fmt.Sprintf("from-%d", c.Rank())))
+		got := c.Recv(prev, 0)
+		want := fmt.Sprintf("from-%d", prev)
+		if string(got) != want {
+			t.Errorf("rank %d got %q, want %q", c.Rank(), got, want)
+		}
+	})
+}
+
+func TestRecvTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("seven"))
+			c.Send(1, 3, []byte("three"))
+		} else {
+			// Receive in the opposite order of sending: tag 3 first.
+			if got := c.Recv(0, 3); string(got) != "three" {
+				t.Errorf("tag 3 got %q", got)
+			}
+			if got := c.Recv(0, 7); string(got) != "seven" {
+				t.Errorf("tag 7 got %q", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte("AAAA")
+			c.Send(1, 0, buf)
+			copy(buf, "ZZZZ") // mutate after send: receiver must see AAAA
+		} else {
+			if got := c.Recv(0, 0); string(got) != "AAAA" {
+				t.Errorf("got %q, want AAAA", got)
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		var payload []byte
+		if c.Rank() == 2 {
+			payload = []byte("hello cluster")
+		}
+		got := c.Bcast(2, payload)
+		if string(got) != "hello cluster" {
+			t.Errorf("rank %d bcast got %q", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 7
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		mine := bytes.Repeat([]byte{byte('a' + c.Rank())}, c.Rank()+1)
+		all := c.Allgatherv(mine)
+		if len(all) != n {
+			t.Fatalf("rank %d got %d parts", c.Rank(), len(all))
+		}
+		for r := 0; r < n; r++ {
+			want := bytes.Repeat([]byte{byte('a' + r)}, r+1)
+			if !bytes.Equal(all[r], want) {
+				t.Errorf("rank %d part %d = %q, want %q", c.Rank(), r, all[r], want)
+			}
+		}
+	})
+}
+
+func TestAllgathervRepeated(t *testing.T) {
+	// Back-to-back collectives must not cross-contaminate slot state.
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		for round := 0; round < 10; round++ {
+			v := []byte{byte(c.Rank()), byte(round)}
+			all := c.Allgatherv(v)
+			for r := 0; r < 4; r++ {
+				if all[r][0] != byte(r) || all[r][1] != byte(round) {
+					t.Errorf("round %d rank %d: bad part %v", round, r, all[r])
+				}
+			}
+		}
+	})
+}
+
+func TestGatherv(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		parts := c.Gatherv(0, []byte{byte(c.Rank() * 10)})
+		if c.Rank() == 0 {
+			if len(parts) != n {
+				t.Fatalf("root got %d parts", len(parts))
+			}
+			for r := 0; r < n; r++ {
+				if parts[r][0] != byte(r*10) {
+					t.Errorf("part %d = %d", r, parts[r][0])
+				}
+			}
+		} else if parts != nil {
+			t.Errorf("non-root rank %d got parts", c.Rank())
+		}
+	})
+}
+
+func TestAllgatherInt(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		sizes := c.AllgatherInt(c.Rank() * c.Rank())
+		for r, s := range sizes {
+			if s != r*r {
+				t.Errorf("sizes[%d] = %d", r, s)
+			}
+		}
+	})
+}
+
+func TestAllgathervInt64(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		mine := make([]int64, c.Rank())
+		for i := range mine {
+			mine[i] = int64(c.Rank()*100 + i)
+		}
+		all := c.AllgathervInt64(mine)
+		for r := 0; r < 3; r++ {
+			if len(all[r]) != r {
+				t.Fatalf("part %d len=%d", r, len(all[r]))
+			}
+			for i, v := range all[r] {
+				if v != int64(r*100+i) {
+					t.Errorf("all[%d][%d] = %d", r, i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		if got := c.AllreduceInt64(int64(c.Rank()+1), OpSum); got != 21 {
+			t.Errorf("sum = %d, want 21", got)
+		}
+		if got := c.AllreduceInt64(int64(c.Rank()), OpMax); got != 5 {
+			t.Errorf("max = %d, want 5", got)
+		}
+		if got := c.AllreduceInt64(int64(c.Rank()), OpMin); got != 0 {
+			t.Errorf("min = %d, want 0", got)
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier every rank must observe all pre-barrier writes.
+	const n = 8
+	w := NewWorld(n)
+	flags := make([]int64, n)
+	w.Run(func(c *Comm) {
+		atomic.StoreInt64(&flags[c.Rank()], 1)
+		c.Barrier()
+		for r := 0; r < n; r++ {
+			if atomic.LoadInt64(&flags[r]) != 1 {
+				t.Errorf("rank %d: flag %d unset after barrier", c.Rank(), r)
+			}
+		}
+	})
+}
+
+func TestStatsAccounting(t *testing.T) {
+	w := NewWorld(2)
+	stats := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 100))
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Allgatherv(make([]byte, 10))
+	})
+	if stats[0].BytesSent != 100+10 {
+		t.Errorf("rank0 sent = %d", stats[0].BytesSent)
+	}
+	if stats[1].BytesRecv != 100+10 {
+		t.Errorf("rank1 recv = %d", stats[1].BytesRecv)
+	}
+	if stats[0].Messages != 1 || stats[1].Messages != 0 {
+		t.Errorf("messages = %d/%d", stats[0].Messages, stats[1].Messages)
+	}
+	if stats[0].CollectiveOps != 1 {
+		t.Errorf("collectives = %d", stats[0].CollectiveOps)
+	}
+}
+
+func TestInt64Codec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40), 9e18} {
+		if got := decodeInt64(encodeInt64(v)); got != v {
+			t.Errorf("roundtrip %d = %d", v, got)
+		}
+	}
+}
+
+func BenchmarkAllgatherv16(b *testing.B) {
+	w := NewWorld(16)
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *Comm) {
+			c.Allgatherv(payload)
+		})
+	}
+}

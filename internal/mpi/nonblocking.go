@@ -1,0 +1,203 @@
+package mpi
+
+import "fmt"
+
+// Nonblocking point-to-point operations and the remaining collectives
+// (Scatterv, communicator split). The paper's Chrysalis only needs the
+// blocking collectives, but a usable MPI analog without Isend/Irecv
+// would force busy layouts on any downstream user of the runtime.
+
+// Request is a handle on an outstanding nonblocking operation.
+type Request struct {
+	done chan []byte
+	data []byte
+	recv bool
+	comm *Comm
+}
+
+// Isend starts a nonblocking send. The payload is copied immediately,
+// so the caller may reuse the buffer. The returned request completes
+// when the message has been delivered to the destination mailbox.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: isend to invalid rank %d", dst))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	r := &Request{done: make(chan []byte, 1), comm: c}
+	c.Stats.BytesSent += int64(len(data))
+	c.Stats.Messages++
+	go func() {
+		c.world.boxes[c.rank][dst] <- message{tag: tag, data: buf}
+		r.done <- nil
+	}()
+	return r
+}
+
+// Irecv starts a nonblocking receive for a message with the given tag
+// from src. Wait returns its payload.
+//
+// Note: Irecv consumes from the same mailbox as Recv; do not mix a
+// blocking Recv with an outstanding Irecv from the same source, as
+// message stealing between them is unspecified (matching MPI's
+// guidance on overlapping receives).
+func (c *Comm) Irecv(src, tag int) *Request {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: irecv from invalid rank %d", src))
+	}
+	r := &Request{done: make(chan []byte, 1), recv: true, comm: c}
+	go func() {
+		// Tag matching against the pending queue is owned by the comm's
+		// goroutine; nonblocking receives bypass the queue and match
+		// directly from the mailbox stream.
+		for {
+			m := <-c.world.boxes[src][c.rank]
+			if m.tag == tag {
+				r.done <- m.data
+				return
+			}
+			c.world.requeue(src, c.rank, m)
+		}
+	}()
+	return r
+}
+
+// requeue puts an unmatched message back on the mailbox (tail order;
+// acceptable because tags are matched, not ordered, across tags).
+func (w *World) requeue(src, dst int, m message) {
+	w.boxes[src][dst] <- m
+}
+
+// Wait blocks until the request completes and returns the received
+// payload for receives (nil for sends).
+func (r *Request) Wait() []byte {
+	data := <-r.done
+	if r.recv && r.comm != nil {
+		r.comm.Stats.BytesRecv += int64(len(data))
+	}
+	return data
+}
+
+// Waitall completes every request, returning receive payloads in
+// request order.
+func Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// Scatterv distributes root's per-rank payloads: rank i receives
+// parts[i]. Non-root ranks pass nil parts.
+func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
+	if c.rank == root {
+		if len(parts) != c.world.size {
+			panic(fmt.Sprintf("mpi: scatterv needs %d parts, got %d", c.world.size, len(parts)))
+		}
+		c.world.slotMu.Lock()
+		for r := 0; r < c.world.size; r++ {
+			c.world.slots[r] = parts[r]
+			if r != root {
+				c.Stats.BytesSent += int64(len(parts[r]))
+			}
+		}
+		c.world.slotMu.Unlock()
+	}
+	c.Barrier()
+	c.world.slotMu.Lock()
+	src := c.world.slots[c.rank]
+	c.world.slotMu.Unlock()
+	out := make([]byte, len(src))
+	copy(out, src)
+	if c.rank != root {
+		c.Stats.BytesRecv += int64(len(src))
+	}
+	c.Barrier()
+	c.Stats.CollectiveOps++
+	return out
+}
+
+// ReduceInt64 combines v across ranks with op; only root receives the
+// result (others get 0), matching MPI_Reduce.
+func (c *Comm) ReduceInt64(root int, v int64, op Op) int64 {
+	parts := c.Gatherv(root, encodeInt64(v))
+	if c.rank != root {
+		return 0
+	}
+	acc := decodeInt64(parts[0])
+	for _, p := range parts[1:] {
+		x := decodeInt64(p)
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		default:
+			panic(fmt.Sprintf("mpi: unknown op %d", op))
+		}
+	}
+	return acc
+}
+
+// Alltoallv exchanges per-destination payloads: send[i] goes to rank
+// i; the result's element [i] is what rank i sent to this rank. It is
+// built from Allgatherv of the flattened send matrix rows, which keeps
+// the accounting faithful (every byte crosses the wire).
+func (c *Comm) Alltoallv(send [][]byte) [][]byte {
+	if len(send) != c.world.size {
+		panic(fmt.Sprintf("mpi: alltoallv needs %d send buffers, got %d", c.world.size, len(send)))
+	}
+	// Flatten: [n payloads, each length-prefixed].
+	var flat []byte
+	for _, p := range send {
+		var lenBuf [8]byte
+		putInt64(lenBuf[:], int64(len(p)))
+		flat = append(flat, lenBuf[:]...)
+		flat = append(flat, p...)
+	}
+	rows := c.Allgatherv(flat)
+	out := make([][]byte, c.world.size)
+	for src, row := range rows {
+		// Walk to this rank's segment within src's row.
+		off := 0
+		for dst := 0; dst < c.world.size; dst++ {
+			if off+8 > len(row) {
+				panic("mpi: alltoallv row truncated")
+			}
+			n := int(getInt64(row[off:]))
+			off += 8
+			if dst == c.rank {
+				seg := make([]byte, n)
+				copy(seg, row[off:off+n])
+				out[src] = seg
+			}
+			off += n
+		}
+	}
+	return out
+}
+
+// SplitColor partitions the world by color, returning this rank's new
+// rank within its color group and the group's size. It is a metadata
+// split (MPI_Comm_split's numbering) — the returned coordinates let
+// callers address subgroups through the parent communicator.
+func (c *Comm) SplitColor(color int) (newRank, newSize int) {
+	colors := c.AllgatherInt(color)
+	for r, col := range colors {
+		if col != color {
+			continue
+		}
+		if r == c.rank {
+			newRank = newSize
+		}
+		newSize++
+	}
+	return newRank, newSize
+}

@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIsendIrecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 5, []byte("hello"))
+			req.Wait()
+		} else {
+			req := c.Irecv(0, 5)
+			if got := req.Wait(); string(got) != "hello" {
+				t.Errorf("irecv got %q", got)
+			}
+		}
+	})
+}
+
+func TestIsendOverlap(t *testing.T) {
+	// Multiple in-flight sends complete via Waitall.
+	const n = 8
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < n; i++ {
+				reqs = append(reqs, c.Isend(1, i, []byte(fmt.Sprintf("m%d", i))))
+			}
+			Waitall(reqs)
+		} else {
+			// Receive in reverse tag order to exercise matching.
+			for i := n - 1; i >= 0; i-- {
+				req := c.Irecv(0, i)
+				if got := req.Wait(); string(got) != fmt.Sprintf("m%d", i) {
+					t.Errorf("tag %d got %q", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestIsendCopiesBuffer(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte("XXXX")
+			req := c.Isend(1, 0, buf)
+			copy(buf, "YYYY")
+			req.Wait()
+		} else {
+			if got := c.Irecv(0, 0).Wait(); string(got) != "XXXX" {
+				t.Errorf("got %q", got)
+			}
+		}
+	})
+}
+
+func TestIrecvStats(t *testing.T) {
+	w := NewWorld(2)
+	stats := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, make([]byte, 64)).Wait()
+		} else {
+			c.Irecv(0, 0).Wait()
+		}
+	})
+	if stats[0].BytesSent != 64 || stats[1].BytesRecv != 64 {
+		t.Errorf("stats = %+v %+v", stats[0], stats[1])
+	}
+}
+
+func TestScatterv(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		var parts [][]byte
+		if c.Rank() == 1 {
+			parts = make([][]byte, n)
+			for r := range parts {
+				parts[r] = []byte{byte(r * 11)}
+			}
+		}
+		got := c.Scatterv(1, parts)
+		if len(got) != 1 || got[0] != byte(c.Rank()*11) {
+			t.Errorf("rank %d scatterv got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestScattervPanicsOnWrongPartCount(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for wrong part count")
+				}
+				// Unblock the peer's barrier after the panic.
+				c.world.slotMu.Lock()
+				c.world.slots[0] = nil
+				c.world.slots[1] = nil
+				c.world.slotMu.Unlock()
+				c.Barrier()
+				c.Barrier()
+			}()
+			c.Scatterv(0, [][]byte{{1}})
+		} else {
+			c.Scatterv(0, nil)
+		}
+	})
+}
+
+func TestSplitColor(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		color := c.Rank() % 2
+		newRank, newSize := c.SplitColor(color)
+		if newSize != 3 {
+			t.Errorf("rank %d: group size %d", c.Rank(), newSize)
+		}
+		if want := c.Rank() / 2; newRank != want {
+			t.Errorf("rank %d: new rank %d, want %d", c.Rank(), newRank, want)
+		}
+	})
+}
+
+func TestReduceInt64(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		got := c.ReduceInt64(2, int64(c.Rank()+1), OpSum)
+		if c.Rank() == 2 {
+			if got != 15 {
+				t.Errorf("root sum = %d, want 15", got)
+			}
+		} else if got != 0 {
+			t.Errorf("non-root rank %d got %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		send := make([][]byte, n)
+		for dst := 0; dst < n; dst++ {
+			// Payload encodes (src, dst) and has per-pair length.
+			send[dst] = bytesRepeat(byte(c.Rank()*10+dst), c.Rank()+dst+1)
+		}
+		got := c.Alltoallv(send)
+		for src := 0; src < n; src++ {
+			want := bytesRepeat(byte(src*10+c.Rank()), src+c.Rank()+1)
+			if string(got[src]) != string(want) {
+				t.Errorf("rank %d from %d: %v, want %v", c.Rank(), src, got[src], want)
+			}
+		}
+	})
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestAlltoallvPanicsOnWrongShape(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for wrong send shape")
+			}
+		}()
+		c.Alltoallv([][]byte{{1}, {2}}) // world size is 1
+	})
+}
+
+func TestAlltoallvSelf(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		got := c.Alltoallv([][]byte{{9, 9}})
+		if len(got) != 1 || string(got[0]) != string([]byte{9, 9}) {
+			t.Errorf("self alltoallv = %v", got)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package mpiio implements striped parallel FASTA input — the
+// "exploring MPI-I/O for RNA-Seq data" direction of the paper's future
+// work (§VI). Instead of every rank redundantly streaming the whole
+// read file (the §III-C scheme), each rank reads only its own byte
+// range, with the classic MPI-IO record-boundary rule: a rank owns
+// exactly the records whose header byte ('>') falls inside its stripe.
+// The union over ranks is therefore exactly the serial read, with no
+// record duplicated or lost.
+package mpiio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"gotrinity/internal/seq"
+)
+
+// Range is one rank's half-open byte range [Lo, Hi).
+type Range struct {
+	Lo, Hi int64
+}
+
+// PlanStripes splits size bytes evenly into ranks ranges.
+func PlanStripes(size int64, ranks int) ([]Range, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("mpiio: rank count %d must be positive", ranks)
+	}
+	out := make([]Range, ranks)
+	for r := 0; r < ranks; r++ {
+		out[r] = Range{
+			Lo: size * int64(r) / int64(ranks),
+			Hi: size * int64(r+1) / int64(ranks),
+		}
+	}
+	return out, nil
+}
+
+// ReadFastaStripe reads the records owned by one stripe of the file:
+// those whose '>' header byte lies in [r.Lo, r.Hi). A record that
+// starts inside the stripe is read to completion even if its body
+// crosses Hi.
+func ReadFastaStripe(path string, r Range) ([]seq.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if r.Lo >= r.Hi {
+		return nil, nil
+	}
+	start, ok, err := findHeaderAt(f, r.Lo)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || start >= r.Hi {
+		return nil, nil // no record starts inside this stripe
+	}
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var out []seq.Record
+	pos := start
+	var cur *seq.Record
+	for {
+		line, err := br.ReadBytes('\n')
+		lineStart := pos
+		pos += int64(len(line))
+		done := err == io.EOF && len(line) == 0
+		if err != nil && err != io.EOF && !done {
+			return nil, err
+		}
+		line = trimEOL(line)
+		if len(line) > 0 && line[0] == '>' {
+			if lineStart >= r.Hi {
+				break // next stripe's record
+			}
+			id, desc := splitHeader(line[1:])
+			out = append(out, seq.Record{ID: id, Desc: desc})
+			cur = &out[len(out)-1]
+		} else if cur != nil && len(line) > 0 {
+			cur.Seq = append(cur.Seq, seq.Upper(line)...)
+		}
+		if done || (err == io.EOF && len(line) == 0) {
+			break
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	return out, nil
+}
+
+// findHeaderAt returns the byte offset of the first '>' at or after
+// off that begins a line (offset 0, or preceded by '\n').
+func findHeaderAt(f *os.File, off int64) (int64, bool, error) {
+	// Back up one byte so a '>' exactly at off with a preceding '\n'
+	// is classified correctly.
+	seekTo := off - 1
+	if seekTo < 0 {
+		seekTo = 0
+	}
+	if _, err := f.Seek(seekTo, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	pos := seekTo
+	prev := byte('\n') // virtual newline before the file start
+	if seekTo > 0 {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, false, err
+		}
+		prev = b
+		pos++
+	}
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return 0, false, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		if b == '>' && prev == '\n' && pos >= off {
+			return pos, true, nil
+		}
+		prev = b
+		pos++
+	}
+}
+
+// ReadFastaParallel reads the whole file as ranks concurrent stripes
+// and returns the per-rank record sets; concatenated in rank order
+// they equal the serial read.
+func ReadFastaParallel(path string, ranks int) ([][]seq.Record, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	stripes, err := PlanStripes(fi.Size(), ranks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]seq.Record, ranks)
+	errs := make([]error, ranks)
+	done := make(chan int, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(rank int) {
+			out[rank], errs[rank] = ReadFastaStripe(path, stripes[rank])
+			done <- rank
+		}(r)
+	}
+	for i := 0; i < ranks; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mpiio: stripe %d: %w", r, err)
+		}
+	}
+	return out, nil
+}
+
+func trimEOL(line []byte) []byte {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line
+}
+
+func splitHeader(h []byte) (id, desc string) {
+	s := string(h)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i], trimSpace(s[i+1:])
+		}
+	}
+	return trimSpace(s), ""
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package mpiio
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/seq"
+)
+
+func writeTestFasta(t *testing.T, recs []seq.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "reads.fa")
+	if err := seq.WriteFastaFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func flatten(parts [][]seq.Record) []seq.Record {
+	var out []seq.Record
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func assertSameAsSerial(t *testing.T, path string, ranks int) {
+	t.Helper()
+	serial, err := seq.ReadFastaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := ReadFastaParallel(path, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := flatten(parts)
+	if len(got) != len(serial) {
+		t.Fatalf("ranks=%d: %d records vs serial %d", ranks, len(got), len(serial))
+	}
+	for i := range serial {
+		if got[i].ID != serial[i].ID || string(got[i].Seq) != string(serial[i].Seq) {
+			t.Fatalf("ranks=%d: record %d differs (%s vs %s)", ranks, i, got[i].ID, serial[i].ID)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(99))
+	path := writeTestFasta(t, d.Reads[:500])
+	for _, ranks := range []int{1, 2, 3, 7, 16, 64} {
+		assertSameAsSerial(t, path, ranks)
+	}
+}
+
+func TestMultiLineRecordsAcrossStripes(t *testing.T) {
+	// Long wrapped sequences guarantee stripe boundaries fall inside
+	// record bodies.
+	rng := rand.New(rand.NewSource(4))
+	var recs []seq.Record
+	for i := 0; i < 20; i++ {
+		s := make([]byte, 500+rng.Intn(1000))
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		recs = append(recs, seq.Record{ID: recID(i), Desc: "with description", Seq: s})
+	}
+	path := writeTestFasta(t, recs)
+	for _, ranks := range []int{2, 5, 13} {
+		assertSameAsSerial(t, path, ranks)
+	}
+}
+
+func recID(i int) string {
+	return "seq" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// Property: every record appears exactly once no matter the stripe
+// count.
+func TestStripePartitionProperty(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(3))
+	path := writeTestFasta(t, d.Reads[:120])
+	serial, err := seq.ReadFastaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ranksRaw uint8) bool {
+		ranks := int(ranksRaw)%40 + 1
+		parts, err := ReadFastaParallel(path, ranks)
+		if err != nil {
+			return false
+		}
+		return len(flatten(parts)) == len(serial)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreRanksThanRecords(t *testing.T) {
+	recs := []seq.Record{{ID: "only", Seq: []byte("ACGTACGT")}}
+	path := writeTestFasta(t, recs)
+	assertSameAsSerial(t, path, 10)
+}
+
+func TestPlanStripesErrors(t *testing.T) {
+	if _, err := PlanStripes(100, 0); err == nil {
+		t.Error("accepted 0 ranks")
+	}
+	stripes, err := PlanStripes(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripes[0].Lo != 0 || stripes[3].Hi != 100 {
+		t.Errorf("stripes = %+v", stripes)
+	}
+	for i := 1; i < len(stripes); i++ {
+		if stripes[i].Lo != stripes[i-1].Hi {
+			t.Error("stripes not contiguous")
+		}
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, err := ReadFastaParallel("/nonexistent.fa", 2); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestEmptyStripe(t *testing.T) {
+	recs, err := ReadFastaStripe(writeTestFasta(t, []seq.Record{{ID: "x", Seq: []byte("ACGT")}}), Range{5, 5})
+	if err != nil || recs != nil {
+		t.Errorf("empty stripe: %v %v", recs, err)
+	}
+}

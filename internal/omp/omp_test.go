@@ -1,0 +1,135 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func coverageCheck(t *testing.T, n, threads int, sched Schedule) {
+	t.Helper()
+	hits := make([]int64, n)
+	ParallelFor(n, threads, sched, func(i, tid int) {
+		atomic.AddInt64(&hits[i], 1)
+		if tid < 0 || tid >= threads && threads > 0 {
+			t.Errorf("tid %d out of range", tid)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("sched=%v n=%d threads=%d: index %d visited %d times", sched.Kind, n, threads, i, h)
+		}
+	}
+}
+
+func TestParallelForCoverage(t *testing.T) {
+	for _, sched := range []Schedule{
+		{Kind: Static},
+		{Kind: Dynamic},
+		{Kind: Dynamic, Chunk: 7},
+		{Kind: Guided},
+		{Kind: Guided, Chunk: 3},
+	} {
+		for _, n := range []int{0, 1, 2, 10, 97, 1000} {
+			for _, threads := range []int{1, 2, 3, 8, 50} {
+				coverageCheck(t, n, threads, sched)
+			}
+		}
+	}
+}
+
+// Property: every schedule visits each index exactly once for random
+// (n, threads, chunk).
+func TestParallelForCoverageProperty(t *testing.T) {
+	f := func(nRaw, thrRaw, chunkRaw uint8, kindRaw uint8) bool {
+		n := int(nRaw) % 200
+		threads := int(thrRaw)%16 + 1
+		sched := Schedule{Kind: ScheduleKind(kindRaw % 3), Chunk: int(chunkRaw) % 9}
+		hits := make([]int64, n)
+		ParallelFor(n, threads, sched, func(i, tid int) {
+			atomic.AddInt64(&hits[i], 1)
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelForZeroAndNegativeThreads(t *testing.T) {
+	// threads<=0 defaults to GOMAXPROCS and must still cover all work.
+	coverageCheck(t, 50, 0, Schedule{Kind: Dynamic})
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	n := 1000
+	got := ParallelReduce(n, 8, Schedule{Kind: Dynamic, Chunk: 16}, 0,
+		func(i, tid, acc int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Errorf("reduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestParallelReduceEmpty(t *testing.T) {
+	got := ParallelReduce(0, 4, Schedule{Kind: Static}, 42,
+		func(i, tid, acc int) int { return acc + 1 },
+		func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Errorf("empty reduce = %d, want zero value 42", got)
+	}
+}
+
+func TestScheduleKindString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Error("schedule names wrong")
+	}
+	if ScheduleKind(9).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestStaticPartitionIsContiguousAndBalanced(t *testing.T) {
+	n, threads := 103, 8
+	owner := make([]int, n)
+	ParallelFor(n, threads, Schedule{Kind: Static}, func(i, tid int) {
+		owner[i] = tid
+	})
+	// Owners must be non-decreasing (contiguous blocks) and balanced ±1.
+	counts := make([]int, threads)
+	for i := 1; i < n; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("static schedule not contiguous at %d", i)
+		}
+	}
+	for _, o := range owner {
+		counts[o]++
+	}
+	min, max := n, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("static imbalance: min=%d max=%d", min, max)
+	}
+}
+
+func BenchmarkParallelForDynamic(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		ParallelFor(10000, 8, Schedule{Kind: Dynamic, Chunk: 64}, func(j, tid int) {
+			atomic.AddInt64(&sink, int64(j&1))
+		})
+	}
+}

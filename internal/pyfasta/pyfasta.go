@@ -1,0 +1,107 @@
+// Package pyfasta reproduces the role PyFasta plays in the paper: a
+// single-threaded utility that evenly splits a FASTA file of target
+// sequences into N parts, one per MPI rank, so an unmodified aligner
+// can run on each part in parallel (§III-A). The paper observes the
+// split itself becomes the bottleneck at scale (Fig. 10), so the
+// splitter also meters the bytes it scans.
+package pyfasta
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"gotrinity/internal/seq"
+)
+
+// Mode selects the partitioning strategy.
+type Mode int
+
+const (
+	// EvenCount assigns records round-robin, equalising record counts —
+	// pyfasta split -n's default behaviour.
+	EvenCount Mode = iota
+	// EvenBases greedily assigns each record (longest first is NOT used;
+	// input order is preserved per part) to the part with the fewest
+	// bases so far, equalising base totals under skewed length
+	// distributions.
+	EvenBases
+)
+
+// Stats meters the splitting work: the splitter is single threaded, so
+// its cost scales with total bytes regardless of the part count.
+type Stats struct {
+	Records    int
+	BasesTotal int
+}
+
+// Split partitions records into n parts under the given mode. Parts
+// may be empty when n exceeds the record count.
+func Split(records []seq.Record, n int, mode Mode) ([][]seq.Record, Stats, error) {
+	if n <= 0 {
+		return nil, Stats{}, fmt.Errorf("pyfasta: part count %d must be positive", n)
+	}
+	parts := make([][]seq.Record, n)
+	var st Stats
+	switch mode {
+	case EvenCount:
+		for i, rec := range records {
+			p := i % n
+			parts[p] = append(parts[p], rec)
+			st.Records++
+			st.BasesTotal += len(rec.Seq)
+		}
+	case EvenBases:
+		load := make([]int, n)
+		for _, rec := range records {
+			best := 0
+			for p := 1; p < n; p++ {
+				if load[p] < load[best] {
+					best = p
+				}
+			}
+			parts[best] = append(parts[best], rec)
+			load[best] += len(rec.Seq)
+			st.Records++
+			st.BasesTotal += len(rec.Seq)
+		}
+	default:
+		return nil, Stats{}, fmt.Errorf("pyfasta: unknown mode %d", mode)
+	}
+	return parts, st, nil
+}
+
+// SplitFile reads a FASTA file, splits it into n parts, and writes
+// them alongside the input as <stem>.partK.fa, returning the part
+// paths.
+func SplitFile(path string, n int, mode Mode) ([]string, Stats, error) {
+	records, err := seq.ReadFastaFile(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	parts, st, err := Split(records, n, mode)
+	if err != nil {
+		return nil, st, err
+	}
+	ext := filepath.Ext(path)
+	stem := path[:len(path)-len(ext)]
+	paths := make([]string, n)
+	for p := range parts {
+		paths[p] = fmt.Sprintf("%s.part%d.fa", stem, p)
+		if err := seq.WriteFastaFile(paths[p], parts[p]); err != nil {
+			return nil, st, err
+		}
+	}
+	return paths, st, nil
+}
+
+// PartBases returns the per-part base totals, the balance measure the
+// EvenBases mode optimises.
+func PartBases(parts [][]seq.Record) []int {
+	out := make([]int, len(parts))
+	for p, recs := range parts {
+		for _, r := range recs {
+			out[p] += len(r.Seq)
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package pyfasta
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"gotrinity/internal/seq"
+)
+
+func randomRecords(rng *rand.Rand, n int) []seq.Record {
+	recs := make([]seq.Record, n)
+	for i := range recs {
+		l := 10 + rng.Intn(500)
+		if rng.Float64() < 0.05 {
+			l *= 20 // occasional giant, as with real contigs
+		}
+		s := bytes.Repeat([]byte{'A'}, l)
+		recs[i] = seq.Record{ID: idFor(i), Seq: s}
+	}
+	return recs
+}
+
+func idFor(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i%10)) }
+
+func TestSplitEvenCountRoundRobin(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(1)), 10)
+	parts, st, err := Split(recs, 3, EvenCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 10 {
+		t.Errorf("records = %d", st.Records)
+	}
+	if len(parts[0]) != 4 || len(parts[1]) != 3 || len(parts[2]) != 3 {
+		t.Errorf("part sizes = %d/%d/%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	if parts[0][0].ID != recs[0].ID || parts[1][0].ID != recs[1].ID {
+		t.Error("round-robin order broken")
+	}
+}
+
+func TestSplitPreservesAllRecords(t *testing.T) {
+	f := func(nRaw uint8, partsRaw uint8) bool {
+		n := int(nRaw) % 100
+		p := int(partsRaw)%10 + 1
+		recs := randomRecords(rand.New(rand.NewSource(int64(nRaw)+1)), n)
+		for _, mode := range []Mode{EvenCount, EvenBases} {
+			parts, st, err := Split(recs, p, mode)
+			if err != nil || st.Records != n {
+				return false
+			}
+			seen := map[string]int{}
+			total := 0
+			for _, part := range parts {
+				for _, r := range part {
+					seen[r.ID]++
+					total++
+				}
+			}
+			if total != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitEvenBasesBalances(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(2)), 200)
+	parts, _, err := Split(recs, 8, EvenBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := PartBases(parts)
+	min, max := loads[0], loads[0]
+	var total int
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+		total += l
+	}
+	mean := total / len(loads)
+	// Greedy balancing should land every part within (mean + max record).
+	if max > mean*2 {
+		t.Errorf("EvenBases imbalance: min=%d max=%d mean=%d", min, max, mean)
+	}
+	// And must be no worse than round-robin on the same input.
+	rr, _, _ := Split(recs, 8, EvenCount)
+	rrLoads := PartBases(rr)
+	rrMax := 0
+	for _, l := range rrLoads {
+		if l > rrMax {
+			rrMax = l
+		}
+	}
+	if max > rrMax {
+		t.Errorf("EvenBases max %d worse than EvenCount max %d", max, rrMax)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, _, err := Split(nil, 0, EvenCount); err == nil {
+		t.Error("accepted 0 parts")
+	}
+	if _, _, err := Split(nil, 2, Mode(99)); err == nil {
+		t.Error("accepted unknown mode")
+	}
+}
+
+func TestSplitMorePartsThanRecords(t *testing.T) {
+	recs := randomRecords(rand.New(rand.NewSource(3)), 2)
+	parts, _, err := Split(recs, 5, EvenBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Errorf("non-empty parts = %d, want 2", nonEmpty)
+	}
+}
+
+func TestSplitFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "contigs.fa")
+	recs := randomRecords(rand.New(rand.NewSource(4)), 9)
+	if err := seq.WriteFastaFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	paths, st, err := SplitFile(path, 3, EvenCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 || st.Records != 9 {
+		t.Fatalf("paths=%d records=%d", len(paths), st.Records)
+	}
+	total := 0
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("part file missing: %v", err)
+		}
+		back, err := seq.ReadFastaFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(back)
+	}
+	if total != 9 {
+		t.Errorf("reread %d records, want 9", total)
+	}
+}

@@ -1,0 +1,100 @@
+package rnaseq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gotrinity/internal/seq"
+)
+
+// DatasetFiles are the on-disk artifacts of a generated dataset,
+// mirroring how the paper's datasets ship: a combined reads file plus
+// left/right mate subsets ("two subsets of 9 GB (79.2 M single end and
+// left reads) and 6 GB (50.6 M right reads)", §II-B) and the reference
+// transcripts.
+type DatasetFiles struct {
+	Reads     string // all reads, pairs interleaved
+	Left      string // single-end reads and /1 mates
+	Right     string // /2 mates
+	Reference string // ground-truth transcripts
+}
+
+// WriteFiles writes the dataset into dir and returns the paths.
+func (d *Dataset) WriteFiles(dir string) (*DatasetFiles, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	name := d.Profile.Name
+	if name == "" {
+		name = "dataset"
+	}
+	files := &DatasetFiles{
+		Reads:     filepath.Join(dir, name+".reads.fa"),
+		Left:      filepath.Join(dir, name+".left.fa"),
+		Right:     filepath.Join(dir, name+".right.fa"),
+		Reference: filepath.Join(dir, name+".reference.fa"),
+	}
+	var left, right []seq.Record
+	for _, r := range d.Reads {
+		if strings.HasSuffix(r.ID, "/2") {
+			right = append(right, r)
+		} else {
+			left = append(left, r)
+		}
+	}
+	if err := seq.WriteFastaFile(files.Reads, d.Reads); err != nil {
+		return nil, err
+	}
+	if err := seq.WriteFastaFile(files.Left, left); err != nil {
+		return nil, err
+	}
+	if err := seq.WriteFastaFile(files.Right, right); err != nil {
+		return nil, err
+	}
+	if err := seq.WriteFastaFile(files.Reference, d.ReferenceRecords()); err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// LoadReads reads a combined left+right pair of files back into one
+// interleaved read set (left order preserved; right mates appended
+// after their pair base's left read when present, else at the end).
+func LoadReads(leftPath, rightPath string) ([]seq.Record, error) {
+	left, err := seq.ReadFastaFile(leftPath)
+	if err != nil {
+		return nil, fmt.Errorf("rnaseq: left reads: %w", err)
+	}
+	if rightPath == "" {
+		return left, nil
+	}
+	right, err := seq.ReadFastaFile(rightPath)
+	if err != nil {
+		return nil, fmt.Errorf("rnaseq: right reads: %w", err)
+	}
+	rightByBase := make(map[string]seq.Record, len(right))
+	for _, r := range right {
+		base := strings.TrimSuffix(r.ID, "/2")
+		rightByBase[base] = r
+	}
+	out := make([]seq.Record, 0, len(left)+len(right))
+	used := map[string]bool{}
+	for _, l := range left {
+		out = append(out, l)
+		if base, ok := strings.CutSuffix(l.ID, "/1"); ok {
+			if mate, exists := rightByBase[base]; exists {
+				out = append(out, mate)
+				used[base] = true
+			}
+		}
+	}
+	for _, r := range right {
+		base := strings.TrimSuffix(r.ID, "/2")
+		if !used[base] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package rnaseq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteFilesAndLoadReads(t *testing.T) {
+	p := Tiny(44)
+	p.PairedFrac = 0.6
+	d := Generate(p)
+	files, err := d.WriteFiles(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReads(files.Left, files.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(d.Reads) {
+		t.Fatalf("loaded %d reads, wrote %d", len(back), len(d.Reads))
+	}
+	// Same multiset of sequences.
+	counts := map[string]int{}
+	for _, r := range d.Reads {
+		counts[string(r.Seq)]++
+	}
+	for _, r := range back {
+		counts[string(r.Seq)]--
+	}
+	for s, c := range counts {
+		if c != 0 {
+			t.Fatalf("read multiset differs at %s (%+d)", s[:10], c)
+		}
+	}
+	// Mates must be interleaved /1 then /2.
+	for i := 0; i+1 < len(back); i++ {
+		if strings.HasSuffix(back[i].ID, "/1") {
+			if !strings.HasSuffix(back[i+1].ID, "/2") {
+				t.Fatalf("mate of %s not adjacent", back[i].ID)
+			}
+		}
+	}
+}
+
+func TestLoadReadsLeftOnly(t *testing.T) {
+	p := Tiny(45)
+	p.PairedFrac = 0
+	d := Generate(p)
+	files, err := d.WriteFiles(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReads(files.Left, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(d.Reads) {
+		t.Fatalf("loaded %d, want %d", len(back), len(d.Reads))
+	}
+}
+
+func TestLoadReadsMissingFiles(t *testing.T) {
+	if _, err := LoadReads("/nope/left.fa", ""); err == nil {
+		t.Error("accepted missing left file")
+	}
+	if _, err := LoadReads("/nope/left.fa", "/nope/right.fa"); err == nil {
+		t.Error("accepted missing files")
+	}
+}
+
+func TestWriteFilesSplitsMates(t *testing.T) {
+	p := Tiny(46)
+	p.PairedFrac = 1.0
+	d := Generate(p)
+	dir := t.TempDir()
+	files, err := d.WriteFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := LoadReads(files.Left, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range left {
+		if strings.HasSuffix(r.ID, "/2") {
+			t.Fatalf("right mate %s in left file", r.ID)
+		}
+	}
+}

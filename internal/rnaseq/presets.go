@@ -1,0 +1,116 @@
+package rnaseq
+
+// Dataset presets mirroring the four datasets used in the paper, scaled
+// to laptop size. PaperReads / PaperSizeGB / PaperBaseline record the
+// real-dataset parameters the cost model scales to. The paper's
+// single-node baselines come from §V: GraphFromFasta 122,610 s,
+// ReadsToTranscripts 20,190 s, Bowtie ≈ 8.2 h, all with 16 OpenMP
+// threads on one node, on the sugarbeet dataset.
+
+// Sugarbeet approximates the Rothamsted 129.8 M-read benchmarking
+// dataset (15 GB: 79.2 M single/left + 50.6 M right reads).
+func Sugarbeet(seed int64) Profile {
+	return Profile{
+		Name:            "sugarbeet",
+		Genes:           300,
+		MeanExons:       4,
+		MeanExonLen:     250,
+		LongGeneFrac:    0.03, // a few transcripts in the tens of kilobases
+		MaxIsoforms:     4,
+		UTROverlapFrac:  0.05,
+		ExpressionSigma: 1.5, // very large dynamic range
+		Reads:           60000,
+		ReadLen:         76,
+		PairedFrac:      0.4, // 50.6M of 129.8M reads are right mates
+		ErrorRate:       0.005,
+		PaperReads:      129_800_000,
+		PaperSizeGB:     15,
+		PaperBaseline: map[string]float64{
+			"GraphFromFasta":     122610,
+			"ReadsToTranscripts": 20190,
+			"Bowtie":             8.2 * 3600,
+		},
+		Seed: seed,
+	}
+}
+
+// Whitefly approximates the public evomics.org whitefly set
+// (~420,000 reads, ~210k left + ~210k right) used for the
+// Smith-Waterman validation of Fig. 4.
+func Whitefly(seed int64) Profile {
+	return Profile{
+		Name:            "whitefly",
+		Genes:           60,
+		MeanExons:       3,
+		MeanExonLen:     200,
+		MaxIsoforms:     3,
+		UTROverlapFrac:  0.05,
+		ExpressionSigma: 1.2,
+		Reads:           8000,
+		ReadLen:         76,
+		PairedFrac:      0.5,
+		ErrorRate:       0.004,
+		PaperReads:      420_000,
+		Seed:            seed,
+	}
+}
+
+// Schizophrenia approximates the Trinity FTP validation set
+// (9.2 M left + 6.15 M right reads, ~8 GB) used in Figs. 5 and 6.
+func Schizophrenia(seed int64) Profile {
+	return Profile{
+		Name:            "schizophrenia",
+		Genes:           120,
+		MeanExons:       5,
+		MeanExonLen:     220,
+		MaxIsoforms:     4,
+		UTROverlapFrac:  0.08,
+		ExpressionSigma: 1.3,
+		Reads:           40000, // ~12x coverage: full-length recovery needs depth
+		ReadLen:         76,
+		PairedFrac:      0.45,
+		ErrorRate:       0.004,
+		PaperReads:      15_350_000,
+		PaperSizeGB:     8,
+		Seed:            seed,
+	}
+}
+
+// Drosophila approximates the Trinity FTP Drosophila validation set
+// (50 M reads, ~10 GB) used in Figs. 5 and 6.
+func Drosophila(seed int64) Profile {
+	return Profile{
+		Name:            "drosophila",
+		Genes:           150,
+		MeanExons:       5,
+		MeanExonLen:     240,
+		MaxIsoforms:     5,
+		UTROverlapFrac:  0.08,
+		ExpressionSigma: 1.3,
+		Reads:           56000, // ~12x coverage over the larger transcriptome
+		ReadLen:         76,
+		PairedFrac:      0.5,
+		ErrorRate:       0.004,
+		PaperReads:      50_000_000,
+		PaperSizeGB:     10,
+		Seed:            seed,
+	}
+}
+
+// Tiny is a fast profile for unit tests and the quickstart example.
+func Tiny(seed int64) Profile {
+	return Profile{
+		Name:            "tiny",
+		Genes:           12,
+		MeanExons:       3,
+		MeanExonLen:     150,
+		MaxIsoforms:     2,
+		ExpressionSigma: 1.0,
+		Reads:           1500,
+		ReadLen:         50,
+		PairedFrac:      0.3,
+		ErrorRate:       0.002,
+		PaperReads:      1500,
+		Seed:            seed,
+	}
+}

@@ -1,0 +1,327 @@
+// Package rnaseq generates the synthetic transcriptomes and RNA-seq
+// read sets that stand in for the paper's proprietary datasets
+// (sugarbeet from Rothamsted Research; whitefly; the "Schizophrenia"
+// and Drosophila validation sets from the Trinity FTP site).
+//
+// The generator reproduces the two properties §I of the paper singles
+// out as distinguishing transcriptomics from genome sequencing — a
+// very large dynamic range of expression (log-normal gene expression)
+// and alternative splicing (multiple isoforms per gene sharing exons)
+// — plus the heavy-tailed transcript-length distribution that §V-A
+// identifies as the cause of GraphFromFasta's load imbalance
+// ("some lengths being in tens of thousands, while others only a few
+// hundred characters").
+package rnaseq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gotrinity/internal/seq"
+)
+
+// Profile parameterises one synthetic dataset.
+type Profile struct {
+	Name string
+
+	// Transcriptome shape.
+	Genes          int     // number of genes
+	MeanExons      int     // mean exons per gene
+	MeanExonLen    int     // mean exon length in bases
+	LongGeneFrac   float64 // fraction of genes with ~10x exon count (heavy tail)
+	MaxIsoforms    int     // isoforms per gene drawn from [1, MaxIsoforms]
+	UTROverlapFrac float64 // fraction of adjacent gene pairs sharing UTR sequence (fusion source)
+	UTROverlapLen  int     // length of the shared overlap
+
+	// Expression model: per-gene log-normal.
+	ExpressionSigma float64
+
+	// Read simulation.
+	Reads      int     // total synthetic reads to produce
+	ReadLen    int     // read length in bases
+	PairedFrac float64 // fraction of reads generated as mate pairs
+	InsertMean int     // mean insert size for pairs
+	InsertSD   int     // insert size standard deviation
+	ErrorRate  float64 // per-base substitution error probability
+
+	// Paper-scale bookkeeping for the cluster cost model.
+	PaperReads    int64              // read count of the real dataset
+	PaperSizeGB   float64            // on-disk size of the real dataset
+	PaperBaseline map[string]float64 // paper single-node seconds per stage
+
+	Seed int64
+}
+
+// Transcript is one reference isoform.
+type Transcript struct {
+	Gene    int    // gene index
+	Isoform int    // isoform index within the gene
+	ID      string // e.g. "gene12_iso2"
+	Seq     []byte
+}
+
+// Dataset bundles a generated transcriptome with its simulated reads.
+type Dataset struct {
+	Profile    Profile
+	Reference  []Transcript // the ground-truth isoforms
+	Expression []float64    // per-gene relative expression
+	Reads      []seq.Record // simulated reads (pairs interleaved /1,/2)
+	PairCount  int          // number of mate pairs among Reads
+}
+
+// ScaleFactor returns paper reads per synthetic read — the WorkScale
+// fed to the cluster cost model.
+func (d *Dataset) ScaleFactor() float64 {
+	if d.Profile.PaperReads == 0 || len(d.Reads) == 0 {
+		return 1
+	}
+	return float64(d.Profile.PaperReads) / float64(len(d.Reads))
+}
+
+// ReferenceRecords converts the reference transcripts to seq.Records
+// (for writing reference FASTA files).
+func (d *Dataset) ReferenceRecords() []seq.Record {
+	recs := make([]seq.Record, len(d.Reference))
+	for i, tr := range d.Reference {
+		recs[i] = seq.Record{ID: tr.ID, Desc: fmt.Sprintf("gene=%d isoform=%d len=%d", tr.Gene, tr.Isoform, len(tr.Seq)), Seq: tr.Seq}
+	}
+	return recs
+}
+
+// Generate builds a dataset from a profile, deterministically from
+// Profile.Seed.
+func Generate(p Profile) *Dataset {
+	return GenerateWithExpression(p, nil)
+}
+
+// GenerateWithExpression builds a dataset whose transcriptome is fully
+// determined by the profile seed but whose per-gene expression is
+// overridden by expr (nil keeps the profile's log-normal sampling).
+// Two conditions of a differential-expression experiment are two calls
+// with the same profile and different expression vectors.
+func GenerateWithExpression(p Profile, expr []float64) *Dataset {
+	p = withDefaults(p)
+	rng := rand.New(rand.NewSource(p.Seed))
+	d := &Dataset{Profile: p}
+
+	genes := buildGenes(rng, p)
+	d.Reference = spliceIsoforms(rng, p, genes)
+	d.Expression = sampleExpression(rng, p)
+	if expr != nil {
+		if len(expr) != p.Genes {
+			panic(fmt.Sprintf("rnaseq: expression override has %d genes, profile has %d", len(expr), p.Genes))
+		}
+		d.Expression = append([]float64(nil), expr...)
+	}
+	simulateReads(rng, p, d)
+	return d
+}
+
+func withDefaults(p Profile) Profile {
+	if p.Genes <= 0 {
+		p.Genes = 100
+	}
+	if p.MeanExons <= 0 {
+		p.MeanExons = 4
+	}
+	if p.MeanExonLen <= 0 {
+		p.MeanExonLen = 200
+	}
+	if p.MaxIsoforms <= 0 {
+		p.MaxIsoforms = 3
+	}
+	if p.ExpressionSigma <= 0 {
+		p.ExpressionSigma = 1.2
+	}
+	if p.Reads <= 0 {
+		p.Reads = 10000
+	}
+	if p.ReadLen <= 0 {
+		p.ReadLen = 76
+	}
+	if p.InsertMean <= 0 {
+		p.InsertMean = 300
+	}
+	if p.InsertSD <= 0 {
+		p.InsertSD = 30
+	}
+	if p.UTROverlapLen <= 0 {
+		p.UTROverlapLen = 60
+	}
+	return p
+}
+
+// gene is a set of exon sequences; isoforms are exon subsets.
+type gene struct {
+	exons [][]byte
+}
+
+func buildGenes(rng *rand.Rand, p Profile) []gene {
+	genes := make([]gene, p.Genes)
+	for g := range genes {
+		nExons := 1 + rng.Intn(2*p.MeanExons-1)
+		if rng.Float64() < p.LongGeneFrac {
+			nExons *= 10 // heavy tail: a few very long genes
+		}
+		exons := make([][]byte, nExons)
+		for e := range exons {
+			n := p.MeanExonLen/2 + rng.Intn(p.MeanExonLen)
+			exons[e] = randomDNA(rng, n)
+		}
+		genes[g].exons = exons
+	}
+	// Shared UTR overlaps between adjacent genes: copy the tail of gene
+	// g's last exon into the head of gene g+1's first exon. This is the
+	// paper's stated source of fused reconstructed transcripts (§IV).
+	for g := 0; g+1 < len(genes); g++ {
+		if rng.Float64() >= p.UTROverlapFrac {
+			continue
+		}
+		src := genes[g].exons[len(genes[g].exons)-1]
+		dst := genes[g+1].exons[0]
+		n := p.UTROverlapLen
+		if n > len(src) {
+			n = len(src)
+		}
+		if n > len(dst) {
+			n = len(dst)
+		}
+		copy(dst[:n], src[len(src)-n:])
+	}
+	return genes
+}
+
+func spliceIsoforms(rng *rand.Rand, p Profile, genes []gene) []Transcript {
+	var out []Transcript
+	for g := range genes {
+		nIso := 1 + rng.Intn(p.MaxIsoforms)
+		seen := map[string]bool{}
+		for iso := 0; iso < nIso; iso++ {
+			exons := genes[g].exons
+			// Isoform 0 is the full-length transcript; later isoforms
+			// skip internal exons (alternative splicing) but always keep
+			// the terminal exons (UTRs).
+			var included []int
+			for e := range exons {
+				if iso == 0 || e == 0 || e == len(exons)-1 || rng.Float64() < 0.7 {
+					included = append(included, e)
+				}
+			}
+			key := fmt.Sprint(included)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			var body []byte
+			for _, e := range included {
+				body = append(body, exons[e]...)
+			}
+			out = append(out, Transcript{
+				Gene:    g,
+				Isoform: iso,
+				ID:      fmt.Sprintf("gene%d_iso%d", g, iso),
+				Seq:     body,
+			})
+		}
+	}
+	return out
+}
+
+func sampleExpression(rng *rand.Rand, p Profile) []float64 {
+	expr := make([]float64, p.Genes)
+	for g := range expr {
+		expr[g] = math.Exp(rng.NormFloat64() * p.ExpressionSigma)
+	}
+	return expr
+}
+
+func simulateReads(rng *rand.Rand, p Profile, d *Dataset) {
+	// Sampling weight of a transcript = gene expression × length.
+	weights := make([]float64, len(d.Reference))
+	var total float64
+	for i, tr := range d.Reference {
+		if len(tr.Seq) < p.ReadLen {
+			continue
+		}
+		weights[i] = d.Expression[tr.Gene] * float64(len(tr.Seq))
+		total += weights[i]
+	}
+	cum := make([]float64, len(weights))
+	run := 0.0
+	for i, w := range weights {
+		run += w
+		cum[i] = run
+	}
+	pick := func() *Transcript {
+		x := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &d.Reference[lo]
+	}
+
+	d.Reads = make([]seq.Record, 0, p.Reads)
+	readID := 0
+	for len(d.Reads) < p.Reads {
+		tr := pick()
+		if len(tr.Seq) < p.ReadLen {
+			continue
+		}
+		if rng.Float64() < p.PairedFrac && len(d.Reads)+2 <= p.Reads {
+			insert := p.InsertMean + int(rng.NormFloat64()*float64(p.InsertSD))
+			if insert < p.ReadLen {
+				insert = p.ReadLen
+			}
+			if insert > len(tr.Seq) {
+				insert = len(tr.Seq)
+			}
+			start := rng.Intn(len(tr.Seq) - insert + 1)
+			left := extractRead(rng, tr.Seq[start:start+p.ReadLen], p.ErrorRate)
+			rightStart := start + insert - p.ReadLen
+			right := seq.ReverseComplement(tr.Seq[rightStart : rightStart+p.ReadLen])
+			mutate(rng, right, p.ErrorRate)
+			d.Reads = append(d.Reads,
+				seq.Record{ID: fmt.Sprintf("read%d/1", readID), Seq: left},
+				seq.Record{ID: fmt.Sprintf("read%d/2", readID), Seq: right})
+			d.PairCount++
+		} else {
+			start := rng.Intn(len(tr.Seq) - p.ReadLen + 1)
+			r := extractRead(rng, tr.Seq[start:start+p.ReadLen], p.ErrorRate)
+			d.Reads = append(d.Reads, seq.Record{ID: fmt.Sprintf("read%d", readID), Seq: r})
+		}
+		readID++
+	}
+}
+
+func extractRead(rng *rand.Rand, src []byte, errRate float64) []byte {
+	r := make([]byte, len(src))
+	copy(r, src)
+	mutate(rng, r, errRate)
+	return r
+}
+
+func mutate(rng *rand.Rand, s []byte, errRate float64) {
+	if errRate <= 0 {
+		return
+	}
+	for i := range s {
+		if rng.Float64() < errRate {
+			s[i] = "ACGT"[rng.Intn(4)]
+		}
+	}
+}
+
+func randomDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+package rnaseq
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tiny(7))
+	b := Generate(Tiny(7))
+	if len(a.Reads) != len(b.Reads) || len(a.Reference) != len(b.Reference) {
+		t.Fatal("same seed produced different dataset shapes")
+	}
+	for i := range a.Reads {
+		if string(a.Reads[i].Seq) != string(b.Reads[i].Seq) {
+			t.Fatalf("read %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(Tiny(8))
+	same := len(c.Reads) == len(a.Reads)
+	if same {
+		diff := false
+		for i := range a.Reads {
+			if string(a.Reads[i].Seq) != string(c.Reads[i].Seq) {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical reads")
+	}
+}
+
+func TestGenerateReadCountExact(t *testing.T) {
+	for _, want := range []int{1, 2, 999, 1500} {
+		p := Tiny(1)
+		p.Reads = want
+		d := Generate(p)
+		if len(d.Reads) != want {
+			t.Errorf("reads = %d, want %d", len(d.Reads), want)
+		}
+	}
+}
+
+func TestReadsAreValidDNAOfReadLen(t *testing.T) {
+	d := Generate(Tiny(3))
+	for _, r := range d.Reads {
+		if len(r.Seq) != d.Profile.ReadLen {
+			t.Fatalf("read %s has length %d, want %d", r.ID, len(r.Seq), d.Profile.ReadLen)
+		}
+		for _, b := range r.Seq {
+			if b != 'A' && b != 'C' && b != 'G' && b != 'T' {
+				t.Fatalf("read %s contains %c", r.ID, b)
+			}
+		}
+	}
+}
+
+func TestPairedReadsInterleaved(t *testing.T) {
+	p := Tiny(5)
+	p.PairedFrac = 1.0
+	d := Generate(p)
+	if d.PairCount == 0 {
+		t.Fatal("no pairs generated at PairedFrac=1")
+	}
+	pairs := 0
+	for i := 0; i+1 < len(d.Reads); i++ {
+		if strings.HasSuffix(d.Reads[i].ID, "/1") {
+			if !strings.HasSuffix(d.Reads[i+1].ID, "/2") {
+				t.Fatalf("read %s not followed by mate", d.Reads[i].ID)
+			}
+			base1 := strings.TrimSuffix(d.Reads[i].ID, "/1")
+			base2 := strings.TrimSuffix(d.Reads[i+1].ID, "/2")
+			if base1 != base2 {
+				t.Fatalf("mates %s / %s mismatched", d.Reads[i].ID, d.Reads[i+1].ID)
+			}
+			pairs++
+		}
+	}
+	if pairs != d.PairCount {
+		t.Errorf("found %d pairs, dataset says %d", pairs, d.PairCount)
+	}
+}
+
+func TestReadsDeriveFromReference(t *testing.T) {
+	p := Tiny(9)
+	p.ErrorRate = 0 // exact substrings without errors
+	p.PairedFrac = 0
+	d := Generate(p)
+	refCat := make([]string, len(d.Reference))
+	for i, tr := range d.Reference {
+		refCat[i] = string(tr.Seq)
+	}
+	for _, r := range d.Reads[:50] {
+		found := false
+		for _, ref := range refCat {
+			if strings.Contains(ref, string(r.Seq)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("read %s is not a substring of any reference transcript", r.ID)
+		}
+	}
+}
+
+func TestIsoformsShareGeneAndDiffer(t *testing.T) {
+	p := Tiny(11)
+	p.MaxIsoforms = 3
+	d := Generate(p)
+	byGene := map[int][]Transcript{}
+	for _, tr := range d.Reference {
+		byGene[tr.Gene] = append(byGene[tr.Gene], tr)
+	}
+	if len(byGene) != p.Genes {
+		t.Fatalf("genes with transcripts = %d, want %d", len(byGene), p.Genes)
+	}
+	multi := 0
+	for _, trs := range byGene {
+		seen := map[string]bool{}
+		for _, tr := range trs {
+			if seen[string(tr.Seq)] {
+				t.Fatalf("gene %d has duplicate isoform sequences", tr.Gene)
+			}
+			seen[string(tr.Seq)] = true
+		}
+		if len(trs) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no gene produced multiple isoforms")
+	}
+}
+
+func TestExpressionDynamicRange(t *testing.T) {
+	d := Generate(Sugarbeet(1))
+	min, max := math.Inf(1), 0.0
+	for _, e := range d.Expression {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max/min < 100 {
+		t.Errorf("expression dynamic range %.1f too small for sigma=%.1f", max/min, d.Profile.ExpressionSigma)
+	}
+}
+
+func TestHeavyTailTranscriptLengths(t *testing.T) {
+	d := Generate(Sugarbeet(2))
+	recs := d.ReferenceRecords()
+	st := seq.ComputeStats(recs)
+	if st.MaxLen < 8*int(st.MeanLen) {
+		t.Errorf("no heavy tail: max=%d mean=%.0f", st.MaxLen, st.MeanLen)
+	}
+}
+
+func TestUTROverlapCreatesSharedSequence(t *testing.T) {
+	p := Tiny(13)
+	p.Genes = 40
+	p.UTROverlapFrac = 1.0
+	p.UTROverlapLen = 40
+	d := Generate(p)
+	// The full-length isoform (iso0) of adjacent genes must share a
+	// 40-base run: tail of gene g inside head of gene g+1.
+	iso0 := map[int][]byte{}
+	for _, tr := range d.Reference {
+		if tr.Isoform == 0 {
+			iso0[tr.Gene] = tr.Seq
+		}
+	}
+	shared := 0
+	for g := 0; g+1 < p.Genes; g++ {
+		a, b := iso0[g], iso0[g+1]
+		if a == nil || b == nil || len(a) < 40 {
+			continue
+		}
+		tail := string(a[len(a)-40:])
+		if strings.Contains(string(b), tail) {
+			shared++
+		}
+	}
+	if shared < p.Genes/2 {
+		t.Errorf("only %d/%d adjacent gene pairs share UTR overlap", shared, p.Genes-1)
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	d := Generate(Tiny(1))
+	if sf := d.ScaleFactor(); math.Abs(sf-1) > 1e-9 {
+		t.Errorf("tiny scale factor = %g, want 1", sf)
+	}
+	s := Generate(Sugarbeet(1))
+	want := 129_800_000.0 / float64(len(s.Reads))
+	if sf := s.ScaleFactor(); math.Abs(sf-want) > 1e-6 {
+		t.Errorf("sugarbeet scale factor = %g, want %g", sf, want)
+	}
+}
+
+func TestPresetsGenerate(t *testing.T) {
+	for _, p := range []Profile{Sugarbeet(1), Whitefly(1), Schizophrenia(1), Drosophila(1)} {
+		p.Reads = 2000 // keep the test fast
+		d := Generate(p)
+		if len(d.Reference) == 0 || len(d.Reads) != 2000 {
+			t.Errorf("%s: ref=%d reads=%d", p.Name, len(d.Reference), len(d.Reads))
+		}
+	}
+}
+
+func TestReferenceRecordsMetadata(t *testing.T) {
+	d := Generate(Tiny(4))
+	recs := d.ReferenceRecords()
+	if len(recs) != len(d.Reference) {
+		t.Fatal("record count mismatch")
+	}
+	if !strings.Contains(recs[0].Desc, "gene=") {
+		t.Errorf("desc missing gene annotation: %q", recs[0].Desc)
+	}
+}
+
+func TestGenerateWithExpressionOverride(t *testing.T) {
+	p := Tiny(61)
+	base := Generate(p)
+	expr := append([]float64(nil), base.Expression...)
+	// Silence every gene except gene 0.
+	for g := range expr {
+		if g != 0 {
+			expr[g] = 1e-9
+		}
+	}
+	d := GenerateWithExpression(p, expr)
+	// Same transcriptome...
+	if len(d.Reference) != len(base.Reference) {
+		t.Fatal("override changed the transcriptome")
+	}
+	for i := range d.Reference {
+		if string(d.Reference[i].Seq) != string(base.Reference[i].Seq) {
+			t.Fatal("override changed reference sequences")
+		}
+	}
+	// ...but reads now come (almost) exclusively from gene 0.
+	gene0 := map[string]bool{}
+	for _, tr := range d.Reference {
+		if tr.Gene == 0 {
+			gene0[string(tr.Seq)] = true
+		}
+	}
+	from0 := 0
+	for _, r := range d.Reads[:200] {
+		for s := range gene0 {
+			if strings.Contains(s, string(r.Seq)) || strings.Contains(s, string(seq.ReverseComplement(r.Seq))) {
+				from0++
+				break
+			}
+		}
+	}
+	if from0 < 150 {
+		t.Errorf("only %d/200 reads from the boosted gene", from0)
+	}
+}
+
+func TestGenerateWithExpressionPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong expression length")
+		}
+	}()
+	GenerateWithExpression(Tiny(1), []float64{1})
+}

@@ -1,0 +1,205 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// FastaReader streams records from FASTA input. It handles multi-line
+// sequences and arbitrarily large files without loading them whole.
+type FastaReader struct {
+	br   *bufio.Reader
+	next []byte // buffered header line beginning with '>'
+	eof  bool
+}
+
+// NewFastaReader wraps r in a streaming FASTA parser.
+func NewFastaReader(r io.Reader) *FastaReader {
+	return &FastaReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record, or io.EOF when the input is exhausted.
+func (fr *FastaReader) Read() (Record, error) {
+	var rec Record
+	header, err := fr.headerLine()
+	if err != nil {
+		return rec, err
+	}
+	if len(header) == 0 || header[0] != '>' {
+		return rec, fmt.Errorf("seq: malformed FASTA header %q", truncate(header))
+	}
+	rec.ID, rec.Desc = splitHeader(header[1:])
+	var body bytes.Buffer
+	for {
+		line, err := fr.line()
+		if err == io.EOF {
+			fr.eof = true
+			break
+		}
+		if err != nil {
+			return rec, err
+		}
+		if len(line) > 0 && line[0] == '>' {
+			fr.next = line
+			break
+		}
+		body.Write(line)
+	}
+	rec.Seq = Upper(body.Bytes())
+	return rec, nil
+}
+
+// ReadAll drains the reader into a slice of records.
+func (fr *FastaReader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := fr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func (fr *FastaReader) headerLine() ([]byte, error) {
+	if fr.next != nil {
+		h := fr.next
+		fr.next = nil
+		return h, nil
+	}
+	if fr.eof {
+		return nil, io.EOF
+	}
+	for {
+		line, err := fr.line()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 {
+			continue // skip blank lines between records
+		}
+		return line, nil
+	}
+}
+
+// line reads one trimmed line; it returns io.EOF only when no bytes
+// remain at all.
+func (fr *FastaReader) line() ([]byte, error) {
+	raw, err := fr.br.ReadBytes('\n')
+	if len(raw) == 0 && err != nil {
+		return nil, io.EOF
+	}
+	raw = bytes.TrimRight(raw, "\r\n")
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}
+
+func splitHeader(h []byte) (id, desc string) {
+	s := strings.TrimSpace(string(h))
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+func truncate(b []byte) string {
+	const max = 40
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// FastaWriter writes records in FASTA format with fixed line wrapping.
+type FastaWriter struct {
+	bw   *bufio.Writer
+	Wrap int // bases per line; <=0 means no wrapping
+}
+
+// NewFastaWriter returns a writer that wraps sequence lines at 70 bases.
+func NewFastaWriter(w io.Writer) *FastaWriter {
+	return &FastaWriter{bw: bufio.NewWriterSize(w, 1<<16), Wrap: 70}
+}
+
+// Write emits one record.
+func (fw *FastaWriter) Write(rec *Record) error {
+	if _, err := fw.bw.WriteString(">"); err != nil {
+		return err
+	}
+	if _, err := fw.bw.WriteString(rec.ID); err != nil {
+		return err
+	}
+	if rec.Desc != "" {
+		if _, err := fw.bw.WriteString(" " + rec.Desc); err != nil {
+			return err
+		}
+	}
+	if err := fw.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	s := rec.Seq
+	if fw.Wrap <= 0 {
+		if _, err := fw.bw.Write(s); err != nil {
+			return err
+		}
+		return fw.bw.WriteByte('\n')
+	}
+	for len(s) > 0 {
+		n := fw.Wrap
+		if n > len(s) {
+			n = len(s)
+		}
+		if _, err := fw.bw.Write(s[:n]); err != nil {
+			return err
+		}
+		if err := fw.bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		s = s[n:]
+	}
+	return nil
+}
+
+// Flush commits buffered output.
+func (fw *FastaWriter) Flush() error { return fw.bw.Flush() }
+
+// ReadFastaFile loads every record of a FASTA file into memory.
+func ReadFastaFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return NewFastaReader(f).ReadAll()
+}
+
+// WriteFastaFile writes records to path, creating or truncating it.
+func WriteFastaFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fw := NewFastaWriter(f)
+	for i := range recs {
+		if err := fw.Write(&recs[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

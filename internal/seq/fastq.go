@@ -1,0 +1,112 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// FastqReader streams records from four-line FASTQ input.
+type FastqReader struct {
+	br *bufio.Reader
+}
+
+// NewFastqReader wraps r in a streaming FASTQ parser.
+func NewFastqReader(r io.Reader) *FastqReader {
+	return &FastqReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record, or io.EOF when input is exhausted.
+func (fr *FastqReader) Read() (Record, error) {
+	var rec Record
+	header, err := fr.line()
+	if err != nil {
+		return rec, err
+	}
+	if len(header) == 0 || header[0] != '@' {
+		return rec, fmt.Errorf("seq: malformed FASTQ header %q", truncate(header))
+	}
+	rec.ID, rec.Desc = splitHeader(header[1:])
+	s, err := fr.line()
+	if err != nil {
+		return rec, fmt.Errorf("seq: truncated FASTQ record %s", rec.ID)
+	}
+	rec.Seq = Upper(s)
+	plus, err := fr.line()
+	if err != nil || len(plus) == 0 || plus[0] != '+' {
+		return rec, fmt.Errorf("seq: missing '+' line in FASTQ record %s", rec.ID)
+	}
+	q, err := fr.line()
+	if err != nil {
+		return rec, fmt.Errorf("seq: truncated quality in FASTQ record %s", rec.ID)
+	}
+	if len(q) != len(rec.Seq) {
+		return rec, fmt.Errorf("seq: quality length %d != sequence length %d in %s",
+			len(q), len(rec.Seq), rec.ID)
+	}
+	rec.Qual = q
+	return rec, nil
+}
+
+// ReadAll drains the reader into a slice of records.
+func (fr *FastqReader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := fr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func (fr *FastqReader) line() ([]byte, error) {
+	for {
+		raw, err := fr.br.ReadBytes('\n')
+		if len(raw) == 0 && err != nil {
+			return nil, io.EOF
+		}
+		raw = bytes.TrimRight(raw, "\r\n")
+		if len(raw) == 0 && err == nil {
+			continue // tolerate stray blank lines
+		}
+		out := make([]byte, len(raw))
+		copy(out, raw)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// FastqWriter writes four-line FASTQ records.
+type FastqWriter struct {
+	bw *bufio.Writer
+}
+
+// NewFastqWriter returns a buffered FASTQ writer.
+func NewFastqWriter(w io.Writer) *FastqWriter {
+	return &FastqWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one record; a missing quality string is synthesised as
+// maximum quality so FASTA-sourced records remain writable.
+func (fw *FastqWriter) Write(rec *Record) error {
+	q := rec.Qual
+	if q == nil {
+		q = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+	}
+	header := rec.ID
+	if rec.Desc != "" {
+		header += " " + rec.Desc
+	}
+	_, err := fmt.Fprintf(fw.bw, "@%s\n%s\n+\n%s\n", header, rec.Seq, q)
+	return err
+}
+
+// Flush commits buffered output.
+func (fw *FastqWriter) Flush() error { return fw.bw.Flush() }

@@ -1,0 +1,66 @@
+package seq
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadWriteFastaFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fa")
+	recs := []Record{
+		{ID: "a", Desc: "first", Seq: []byte("ACGTACGT")},
+		{ID: "b", Seq: []byte("TTTT")},
+	}
+	if err := WriteFastaFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFastaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].ID != "a" || !bytes.Equal(back[1].Seq, recs[1].Seq) {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestReadFastaFileMissing(t *testing.T) {
+	if _, err := ReadFastaFile("/nonexistent/path.fa"); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestWriteFastaFileBadDir(t *testing.T) {
+	if err := WriteFastaFile("/nonexistent/dir/x.fa", nil); err == nil {
+		t.Error("accepted unwritable path")
+	}
+}
+
+func TestFastaWriterNoWrap(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFastaWriter(&buf)
+	fw.Wrap = 0
+	long := bytes.Repeat([]byte{'A'}, 200)
+	if err := fw.Write(&Record{ID: "x", Seq: long}); err != nil {
+		t.Fatal(err)
+	}
+	fw.Flush()
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte{'\n'})
+	if len(lines) != 2 {
+		t.Errorf("unwrapped output has %d lines", len(lines))
+	}
+	if len(lines[1]) != 200 {
+		t.Errorf("sequence line length %d", len(lines[1]))
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{ID: "x", Seq: []byte("ACGT")}
+	if got := r.String(); got != "x[4bp]" {
+		t.Errorf("String = %q", got)
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

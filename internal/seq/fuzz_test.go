@@ -1,0 +1,50 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The parsers must never panic on arbitrary input — they parse files
+// users hand the pipeline.
+
+func FuzzFastaReader(f *testing.F) {
+	f.Add([]byte(">a desc\nACGT\nNNNN\n>b\nTT\n"))
+	f.Add([]byte(""))
+	f.Add([]byte(">"))
+	f.Add([]byte("no header\nACGT"))
+	f.Add([]byte(">x\n\n\n>y"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := NewFastaReader(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			for _, b := range r.Seq {
+				switch b {
+				case 'A', 'C', 'G', 'T', 'N':
+				default:
+					t.Fatalf("unnormalised base %q in parsed record", b)
+				}
+			}
+		}
+	})
+}
+
+func FuzzFastqReader(f *testing.F) {
+	f.Add([]byte("@a\nACGT\n+\nIIII\n"))
+	f.Add([]byte("@a\nACGT\n+"))
+	f.Add([]byte("@\n\n+\n\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := NewFastqReader(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if len(r.Qual) != len(r.Seq) {
+				t.Fatal("accepted record with mismatched quality length")
+			}
+		}
+	})
+}

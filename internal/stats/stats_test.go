@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVarianceMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean = %g", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %g", v)
+	}
+	if md := Median(xs); math.Abs(md-4.5) > 1e-12 {
+		t.Errorf("median = %g", md)
+	}
+	if md := Median([]float64{3, 1, 2}); md != 2 {
+		t.Errorf("odd median = %g", md)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty inputs must be 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("singleton variance must be 0")
+	}
+}
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	r, err := WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.T) > 1e-12 || r.P < 0.999 {
+		t.Errorf("identical samples: t=%g p=%g", r.T, r.P)
+	}
+}
+
+func TestWelchTTestClearlyDifferent(t *testing.T) {
+	a := []float64{1, 1.1, 0.9, 1.05, 0.95}
+	b := []float64{10, 10.2, 9.8, 10.1, 9.9}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 1e-6 {
+		t.Errorf("p = %g for clearly different samples", r.P)
+	}
+}
+
+func TestWelchTTestOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.001 {
+		t.Errorf("same-distribution samples rejected: p=%g", r.P)
+	}
+	if r.P > 1 || r.P < 0 {
+		t.Errorf("p out of range: %g", r.P)
+	}
+}
+
+// Known value: t-distribution with df=10, t=2.228 is the 97.5th
+// percentile, so two-sided p must be ~0.05.
+func TestStudentTKnownQuantile(t *testing.T) {
+	p := 2 * studentTCDFUpper(2.228, 10)
+	if math.Abs(p-0.05) > 0.002 {
+		t.Errorf("p(2.228, df=10) = %g, want ~0.05", p)
+	}
+	p = 2 * studentTCDFUpper(1.96, 1e6) // ~normal
+	if math.Abs(p-0.05) > 0.002 {
+		t.Errorf("p(1.96, df=1e6) = %g, want ~0.05", p)
+	}
+}
+
+func TestWelchTTestErrors(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted singleton sample")
+	}
+}
+
+func TestWelchTTestConstantSamples(t *testing.T) {
+	same, err := WelchTTest([]float64{3, 3, 3}, []float64{3, 3})
+	if err != nil || same.P != 1 {
+		t.Errorf("constant equal: p=%g err=%v", same.P, err)
+	}
+	diff, err := WelchTTest([]float64{3, 3, 3}, []float64{4, 4})
+	if err != nil || diff.P != 0 {
+		t.Errorf("constant different: p=%g err=%v", diff.P, err)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := regIncBeta(2.5, 4, 0.3) + regIncBeta(4, 2.5, 0.7); math.Abs(got-1) > 1e-9 {
+		t.Errorf("symmetry violated: %g", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(h.Counts) != 5 {
+		t.Fatalf("buckets = %d", len(h.Counts))
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+		if c != 2 {
+			t.Errorf("uneven bucket: %v", h.Counts)
+		}
+	}
+	if total != 10 {
+		t.Errorf("total = %d", total)
+	}
+	empty := NewHistogram(nil, 3)
+	for _, c := range empty.Counts {
+		if c != 0 {
+			t.Error("empty histogram non-zero")
+		}
+	}
+	constant := NewHistogram([]float64{5, 5, 5}, 2)
+	if constant.Counts[0]+constant.Counts[1] != 3 {
+		t.Error("constant data lost")
+	}
+}

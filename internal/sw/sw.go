@@ -1,0 +1,233 @@
+// Package sw implements Smith-Waterman local alignment, the algorithm
+// the paper uses (via the FASTA program) for its all-to-all validation
+// of reconstructed transcripts (§IV, Fig. 4). The implementation is a
+// standard affine-free dynamic program with configurable match,
+// mismatch and gap scores, reporting identity and similarity over the
+// aligned region.
+package sw
+
+import "fmt"
+
+// Scoring parameterises the dynamic program.
+type Scoring struct {
+	Match    int // score for a matching pair (positive)
+	Mismatch int // score for a mismatching pair (negative)
+	Gap      int // score for a gap position (negative)
+}
+
+// DefaultScoring mirrors common nucleotide settings (+2/-1/-2).
+func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -1, Gap: -2} }
+
+// Result describes the best local alignment between two sequences.
+type Result struct {
+	Score    int
+	AStart   int // alignment start in a (0-based, inclusive)
+	AEnd     int // alignment end in a (exclusive)
+	BStart   int
+	BEnd     int
+	AlignLen int     // columns in the alignment, including gaps
+	Matches  int     // identical columns
+	Identity float64 // Matches / AlignLen
+}
+
+// Align computes the best local alignment of a and b.
+func Align(a, b []byte, sc Scoring) Result {
+	if sc.Match <= 0 {
+		sc = DefaultScoring()
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{}
+	}
+	// H[i][j]: best local score ending at a[i-1], b[j-1]; rolled rows
+	// would save memory but we need the full matrix for traceback.
+	H := make([][]int32, n+1)
+	for i := range H {
+		H[i] = make([]int32, m+1)
+	}
+	var best int32
+	bi, bj := 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := int32(sc.Mismatch)
+			if a[i-1] == b[j-1] {
+				s = int32(sc.Match)
+			}
+			v := H[i-1][j-1] + s
+			if up := H[i-1][j] + int32(sc.Gap); up > v {
+				v = up
+			}
+			if left := H[i][j-1] + int32(sc.Gap); left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			H[i][j] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return Result{}
+	}
+	// Traceback from the maximum.
+	res := Result{Score: int(best), AEnd: bi, BEnd: bj}
+	i, j := bi, bj
+	for i > 0 && j > 0 && H[i][j] > 0 {
+		s := int32(sc.Mismatch)
+		match := a[i-1] == b[j-1]
+		if match {
+			s = int32(sc.Match)
+		}
+		switch {
+		case H[i][j] == H[i-1][j-1]+s:
+			if match {
+				res.Matches++
+			}
+			res.AlignLen++
+			i, j = i-1, j-1
+		case H[i][j] == H[i-1][j]+int32(sc.Gap):
+			res.AlignLen++
+			i--
+		case H[i][j] == H[i][j-1]+int32(sc.Gap):
+			res.AlignLen++
+			j--
+		default:
+			// Unreachable: one predecessor must explain H[i][j].
+			panic(fmt.Sprintf("sw: inconsistent matrix at (%d,%d)", i, j))
+		}
+	}
+	res.AStart, res.BStart = i, j
+	if res.AlignLen > 0 {
+		res.Identity = float64(res.Matches) / float64(res.AlignLen)
+	}
+	return res
+}
+
+// AlignBanded computes the best local alignment restricted to
+// diagonals |i-j| <= band — the standard acceleration for pairs known
+// to be near-identical (validation compares transcripts that differ by
+// scattered substitutions, not large indels). When the true optimum
+// stays inside the band the result equals Align's; band <= 0 falls
+// back to the full dynamic program.
+func AlignBanded(a, b []byte, sc Scoring, band int) Result {
+	if band <= 0 {
+		return Align(a, b, sc)
+	}
+	if sc.Match <= 0 {
+		sc = DefaultScoring()
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{}
+	}
+	// Row-sparse matrix: row i covers columns [lo(i), hi(i)).
+	lo := func(i int) int {
+		l := i - band
+		if l < 0 {
+			l = 0
+		}
+		return l
+	}
+	hi := func(i int) int { // exclusive; valid columns run 0..m
+		h := i + band + 1
+		if h > m+1 {
+			h = m + 1
+		}
+		return h
+	}
+	rows := make([][]int32, n+1)
+	for i := 0; i <= n; i++ {
+		l, h := lo(i), hi(i)
+		if h < l {
+			h = l
+		}
+		rows[i] = make([]int32, h-l+1) // +1 slack simplifies edges
+	}
+	get := func(i, j int) int32 {
+		if i < 0 || j < 0 || i > n || j > m {
+			return 0
+		}
+		l, h := lo(i), hi(i)
+		if j < l || j >= h {
+			return 0
+		}
+		return rows[i][j-l]
+	}
+	var best int32
+	bi, bj := 0, 0
+	for i := 1; i <= n; i++ {
+		start := lo(i)
+		if start < 1 {
+			start = 1
+		}
+		for j := start; j < hi(i); j++ {
+			s := int32(sc.Mismatch)
+			if a[i-1] == b[j-1] {
+				s = int32(sc.Match)
+			}
+			v := get(i-1, j-1) + s
+			if up := get(i-1, j) + int32(sc.Gap); up > v {
+				v = up
+			}
+			if left := get(i, j-1) + int32(sc.Gap); left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			rows[i][j-lo(i)] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return Result{}
+	}
+	res := Result{Score: int(best), AEnd: bi, BEnd: bj}
+	i, j := bi, bj
+	for i > 0 && j > 0 && get(i, j) > 0 {
+		s := int32(sc.Mismatch)
+		match := a[i-1] == b[j-1]
+		if match {
+			s = int32(sc.Match)
+		}
+		switch {
+		case get(i, j) == get(i-1, j-1)+s:
+			if match {
+				res.Matches++
+			}
+			res.AlignLen++
+			i, j = i-1, j-1
+		case get(i, j) == get(i-1, j)+int32(sc.Gap):
+			res.AlignLen++
+			i--
+		case get(i, j) == get(i, j-1)+int32(sc.Gap):
+			res.AlignLen++
+			j--
+		default:
+			panic(fmt.Sprintf("sw: inconsistent banded matrix at (%d,%d)", i, j))
+		}
+	}
+	res.AStart, res.BStart = i, j
+	if res.AlignLen > 0 {
+		res.Identity = float64(res.Matches) / float64(res.AlignLen)
+	}
+	return res
+}
+
+// FullLengthIdentity reports whether the alignment covers at least
+// frac of both sequences — the paper's "aligned in full length"
+// criterion — along with the identity over the aligned region.
+func FullLengthIdentity(a, b []byte, sc Scoring, frac float64) (fullLength bool, identity float64) {
+	r := Align(a, b, sc)
+	if r.AlignLen == 0 {
+		return false, 0
+	}
+	coverA := float64(r.AEnd-r.AStart) / float64(len(a))
+	coverB := float64(r.BEnd-r.BStart) / float64(len(b))
+	return coverA >= frac && coverB >= frac, r.Identity
+}

@@ -1,0 +1,210 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gotrinity/internal/seq"
+)
+
+func TestAlignIdentical(t *testing.T) {
+	s := []byte("ACGTACGTACGT")
+	r := Align(s, s, DefaultScoring())
+	if r.Matches != len(s) || r.Identity != 1.0 {
+		t.Errorf("identical alignment: %+v", r)
+	}
+	if r.AStart != 0 || r.AEnd != len(s) || r.BStart != 0 || r.BEnd != len(s) {
+		t.Errorf("bounds: %+v", r)
+	}
+	if r.Score != 2*len(s) {
+		t.Errorf("score = %d, want %d", r.Score, 2*len(s))
+	}
+}
+
+func TestAlignSubstring(t *testing.T) {
+	a := []byte("TTTTACGTACGTTTTT")
+	b := []byte("ACGTACGT")
+	r := Align(a, b, DefaultScoring())
+	if r.Matches != 8 {
+		t.Errorf("matches = %d, want 8", r.Matches)
+	}
+	if r.AStart != 4 || r.AEnd != 12 {
+		t.Errorf("a-range = [%d,%d)", r.AStart, r.AEnd)
+	}
+}
+
+func TestAlignWithMismatch(t *testing.T) {
+	a := []byte("ACGTACGTAA")
+	b := append([]byte(nil), a...)
+	b[4] = 'T' // A->T
+	r := Align(a, b, DefaultScoring())
+	if r.Matches != len(a)-1 {
+		t.Errorf("matches = %d, want %d", r.Matches, len(a)-1)
+	}
+	if r.Identity >= 1.0 || r.Identity < 0.85 {
+		t.Errorf("identity = %g", r.Identity)
+	}
+}
+
+func TestAlignWithGap(t *testing.T) {
+	a := []byte("AAAACGTACGTCCCC")
+	b := []byte("AAAACGTCGTCCCC") // one base deleted
+	r := Align(a, b, DefaultScoring())
+	if r.AlignLen < len(b) {
+		t.Errorf("alignment too short: %+v", r)
+	}
+	if r.Matches < len(b)-1 {
+		t.Errorf("matches = %d", r.Matches)
+	}
+}
+
+func TestAlignDisjoint(t *testing.T) {
+	r := Align([]byte("AAAAAAAA"), []byte("TTTTTTTT"), DefaultScoring())
+	if r.Score != 0 || r.AlignLen != 0 {
+		t.Errorf("disjoint alignment: %+v", r)
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	r := Align(nil, []byte("ACGT"), DefaultScoring())
+	if r.Score != 0 {
+		t.Errorf("empty alignment scored %d", r.Score)
+	}
+}
+
+func TestZeroScoringDefaults(t *testing.T) {
+	s := []byte("ACGT")
+	r := Align(s, s, Scoring{})
+	if r.Matches != 4 {
+		t.Errorf("default scoring broken: %+v", r)
+	}
+}
+
+// Property: the optimal score is symmetric. (Matches/AlignLen may
+// differ when several tracebacks tie on score.)
+func TestAlignSymmetry(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := randDNA(ra, 5+ra.Intn(60))
+		b := randDNA(rb, 5+rb.Intn(60))
+		x := Align(a, b, DefaultScoring())
+		y := Align(b, a, DefaultScoring())
+		return x.Score == y.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: score never exceeds Match × min(len).
+func TestAlignScoreBound(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := randDNA(ra, 1+ra.Intn(50))
+		b := randDNA(rb, 1+rb.Intn(50))
+		r := Align(a, b, DefaultScoring())
+		max := len(a)
+		if len(b) < max {
+			max = len(b)
+		}
+		return r.Score <= 2*max && r.Identity >= 0 && r.Identity <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullLengthIdentity(t *testing.T) {
+	s := []byte("ACGTACGTACGTACGTACGTACGTACGT")
+	full, id := FullLengthIdentity(s, s, DefaultScoring(), 0.99)
+	if !full || id != 1.0 {
+		t.Errorf("self full-length: %v %g", full, id)
+	}
+	// A fragment covers b fully but not a.
+	frag := s[:10]
+	full, _ = FullLengthIdentity(s, frag, DefaultScoring(), 0.9)
+	if full {
+		t.Error("fragment reported as full-length of both")
+	}
+	// Reverse complement of unrelated sequence: not full length.
+	full, _ = FullLengthIdentity(s, seq.ReverseComplement(s), DefaultScoring(), 0.9)
+	_ = full // may or may not align; just ensure no panic
+}
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "ACGT"[rng.Intn(4)]
+	}
+	return s
+}
+
+func BenchmarkAlign200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randDNA(rng, 200)
+	y := randDNA(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Align(x, y, DefaultScoring())
+	}
+}
+
+// Property: for substitution-only divergence (no indels), a banded
+// alignment with any positive band equals the full DP.
+func TestAlignBandedMatchesFullOnSubstitutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 50 + rng.Intn(150)
+		a := randDNA(rng, n)
+		b := append([]byte(nil), a...)
+		for k := 0; k < n/20; k++ {
+			p := rng.Intn(n)
+			b[p] = seq.Complement(b[p])
+		}
+		full := Align(a, b, DefaultScoring())
+		banded := AlignBanded(a, b, DefaultScoring(), 8)
+		if full.Score != banded.Score || full.Matches != banded.Matches ||
+			full.AStart != banded.AStart || full.AEnd != banded.AEnd {
+			t.Fatalf("banded mismatch: full=%+v banded=%+v", full, banded)
+		}
+	}
+}
+
+func TestAlignBandedHandlesSmallIndel(t *testing.T) {
+	a := []byte("AAAACGTACGTCCCCGGGGTTTT")
+	b := []byte("AAAACGTCGTCCCCGGGGTTTT") // one deletion
+	full := Align(a, b, DefaultScoring())
+	banded := AlignBanded(a, b, DefaultScoring(), 4)
+	if banded.Score != full.Score {
+		t.Errorf("banded %d vs full %d for indel within band", banded.Score, full.Score)
+	}
+}
+
+func TestAlignBandedFallsBackOnNonPositiveBand(t *testing.T) {
+	a := []byte("ACGTACGT")
+	full := Align(a, a, DefaultScoring())
+	banded := AlignBanded(a, a, DefaultScoring(), 0)
+	if banded != full {
+		t.Error("band<=0 must equal full DP")
+	}
+}
+
+func TestAlignBandedEmpty(t *testing.T) {
+	if r := AlignBanded(nil, []byte("ACG"), DefaultScoring(), 3); r.Score != 0 {
+		t.Errorf("empty banded scored %d", r.Score)
+	}
+}
+
+func BenchmarkAlignBanded1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randDNA(rng, 1000)
+	y := append([]byte(nil), x...)
+	y[500] = seq.Complement(y[500])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AlignBanded(x, y, DefaultScoring(), 16)
+	}
+}

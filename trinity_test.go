@@ -1,0 +1,66 @@
+package trinity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gotrinity/internal/sw"
+)
+
+func TestFacadeAssemble(t *testing.T) {
+	d := GenerateDataset(TinyProfile(3))
+	res, err := Assemble(d.Reads, Config{K: 21, ThreadsPerRank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transcripts) == 0 {
+		t.Fatal("no transcripts")
+	}
+	recs := res.TranscriptRecords()
+	cmp := CompareTranscriptSets(recs, recs, sw.DefaultScoring())
+	if cmp.FullIdentical != cmp.Total() {
+		t.Errorf("self-comparison not fully identical: %+v", cmp)
+	}
+}
+
+func TestFacadeHybridMatchesSerial(t *testing.T) {
+	d := GenerateDataset(TinyProfile(4))
+	serial, err := Assemble(d.Reads, Config{K: 21, ThreadsPerRank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := Assemble(d.Reads, Config{K: 21, ThreadsPerRank: 2, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Transcripts) != len(hybrid.Transcripts) {
+		t.Errorf("serial %d vs hybrid %d transcripts", len(serial.Transcripts), len(hybrid.Transcripts))
+	}
+}
+
+func TestFacadeFastaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/reads.fa"
+	d := GenerateDataset(TinyProfile(5))
+	if err := WriteFasta(path, d.Reads[:10]); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFasta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 10 {
+		t.Errorf("round trip = %d reads", len(back))
+	}
+}
+
+func TestFacadeFig3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(&buf, 40, 4, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "round-robin") {
+		t.Error("fig3 output missing")
+	}
+}
