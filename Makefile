@@ -1,0 +1,38 @@
+# Build and verification entry points. `make verify` is the full
+# pre-merge battery: it includes the race detector because the hybrid
+# Chrysalis runs ranks as goroutines and the fault-tolerance layer
+# adds shared checkpoint stores — a data race there is a correctness
+# bug, not a style issue.
+
+GO ?= go
+
+.PHONY: build test race fuzz bench verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every fuzz target (seed corpora always run as
+# part of `make test`; this shakes the generators for a few seconds
+# each).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadComponents -fuzztime 10s ./internal/chrysalis/
+	$(GO) test -run '^$$' -fuzz FuzzReadAssignments -fuzztime 10s ./internal/chrysalis/
+	$(GO) test -run '^$$' -fuzz FuzzChrysalisDegenerateInput -fuzztime 10s ./internal/chrysalis/
+	$(GO) test -run '^$$' -fuzz FuzzReadSAM -fuzztime 10s ./internal/bowtie/
+	$(GO) test -run '^$$' -fuzz FuzzAlignDegenerateReads -fuzztime 10s ./internal/bowtie/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+clean:
+	rm -rf bin

@@ -14,8 +14,12 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
+	"gotrinity/internal/chrysalis"
 	"gotrinity/internal/experiments"
+	"gotrinity/internal/inchworm"
+	"gotrinity/internal/jellyfish"
 )
 
 var (
@@ -229,6 +233,55 @@ func BenchmarkAblationMPIIO(b *testing.B) {
 			b.Fatal(err)
 		}
 		reportSpeedup(b, "striped_vs_redundant", rows[0].Seconds/rows[1].Seconds)
+	}
+}
+
+// BenchmarkChrysalisWithFaultLayer measures what the fault-tolerance
+// layer costs when nothing fails: both Chrysalis hot spots run with
+// chunk checkpointing and recovery enabled but no fault plan, against
+// the plain hybrid baseline. The interleaved timing keeps machine
+// drift out of the comparison; the run fails if the fault layer adds
+// more than 5% once enough samples accumulated (see EXPERIMENTS.md for
+// recorded numbers).
+func BenchmarkChrysalisWithFaultLayer(b *testing.B) {
+	const k, ranks = 21, 4
+	d := GenerateDataset(TinyProfile(1))
+	table, err := jellyfish.Count(d.Reads, jellyfish.Options{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	contigs, _, err := inchworm.Run(table.Entries(1), inchworm.Options{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(rec chrysalis.RecoveryOptions) {
+		res, err := chrysalis.GraphFromFasta(contigs, table, ranks, chrysalis.GFFOptions{
+			K: k, ThreadsPerRank: 2, Recovery: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chrysalis.ReadsToTranscripts(d.Reads, contigs, res.Components, ranks,
+			chrysalis.R2TOptions{K: k, ThreadsPerRank: 2, Recovery: rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var base, faulted time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runOnce(chrysalis.RecoveryOptions{})
+		base += time.Since(t0)
+		t0 = time.Now()
+		runOnce(chrysalis.RecoveryOptions{Enabled: true})
+		faulted += time.Since(t0)
+	}
+	b.StopTimer()
+	overheadPct := 100 * (faulted - base).Seconds() / base.Seconds()
+	b.ReportMetric(overheadPct, "overhead_%")
+	if base > 500*time.Millisecond && overheadPct > 5 {
+		b.Errorf("fault layer overhead %.1f%% exceeds the 5%% budget (baseline %v, fault layer %v)",
+			overheadPct, base, faulted)
 	}
 }
 

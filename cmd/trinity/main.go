@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"gotrinity/internal/chrysalis"
 	"gotrinity/internal/core"
 	"gotrinity/internal/seq"
 )
@@ -32,6 +33,12 @@ func main() {
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
 	minPairs := flag.Int("min-pair-support", 0, "drop transcripts spanned by fewer mate pairs (0 = keep all)")
 	showTrace := flag.Bool("trace", false, "print the per-stage Collectl-style trace")
+	faultSpec := flag.String("fault-spec", "", "inject faults into the hybrid Chrysalis, e.g. \"kill:rank=1,call=5; slow:rank=2,call=0,delay=10ms\"")
+	faultSeed := flag.Int64("fault-seed", 0, "seeded fault plan killing one rank at a pseudo-random point (ignored when --fault-spec is set)")
+	recover := flag.Bool("recover", false, "enable chunk checkpointing/recovery even without injected faults")
+	maxRetries := flag.Int("max-retries", 3, "recovery rounds per Chrysalis pooling phase")
+	retryBackoff := flag.Duration("retry-backoff", 0, "wait before each recovery round (doubles per round)")
+	rankTimeout := flag.Duration("rank-timeout", 0, "evict ranks stalling a collective longer than this (0 = never)")
 	flag.Parse()
 
 	if *readsPath == "" {
@@ -50,12 +57,21 @@ func main() {
 		ThreadsPerRank: *threads,
 		Seed:           *seed,
 		MinPairSupport: *minPairs,
+		FaultSpec:      *faultSpec,
+		FaultSeed:      *faultSeed,
+		Recover:        *recover,
+		MaxRetries:     *maxRetries,
+		RetryBackoff:   *retryBackoff,
+		RankTimeout:    *rankTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("inchworm: %d contigs; chrysalis: %d components; butterfly: %d transcripts",
 		len(res.Contigs), len(res.GFF.Components), len(res.Transcripts))
+	if res.Faults != nil {
+		logRecovery(res.Faults)
+	}
 
 	if err := seq.WriteFastaFile(*outPath, res.TranscriptRecords()); err != nil {
 		log.Fatal(err)
@@ -65,6 +81,20 @@ func main() {
 		if err := res.Trace.Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// logRecovery prints what the fault layer injected and recovered.
+func logRecovery(fr *core.FaultReport) {
+	for _, f := range fr.Injected {
+		log.Printf("fault fired: %s", f)
+	}
+	for _, rep := range []*chrysalis.RecoveryReport{fr.GFF, fr.R2T} {
+		if rep == nil || (rep.Rounds == 0 && len(rep.DeadRanks) == 0 && rep.DroppedContribs == 0) {
+			continue
+		}
+		log.Printf("%s: recovered in %d round(s): dead ranks %v, %d chunk(s) reassigned (%.0f units recomputed), %d dropped contribution(s)",
+			rep.Stage, rep.Rounds, rep.DeadRanks, len(rep.ReassignedChunks), rep.RecomputedUnits, rep.DroppedContribs)
 	}
 }
 

@@ -3,6 +3,8 @@ package bowtie
 import (
 	"strings"
 	"testing"
+
+	"gotrinity/internal/seq"
 )
 
 func FuzzReadSAM(f *testing.F) {
@@ -17,6 +19,38 @@ func FuzzReadSAM(f *testing.F) {
 		for _, a := range als {
 			if a.Pos < 0 {
 				t.Fatal("negative position accepted")
+			}
+		}
+	})
+}
+
+// FuzzAlignDegenerateReads drives the aligner with adversarial reads:
+// empty reads, all-N reads (no valid seed k-mers), and reads shorter
+// than the seed length must be rejected or aligned cleanly, never
+// panic, and never report an out-of-range hit.
+func FuzzAlignDegenerateReads(f *testing.F) {
+	const contig = "ACGTACGTAGGCTTAGCCATGCACGTACGTAGGCTTAGCCATGC"
+	f.Add(contig, "", uint8(16))
+	f.Add(contig, "NNNNNNNNNNNNNNNNNNNN", uint8(16))
+	f.Add(contig, "ACG", uint8(16)) // shorter than the seed
+	f.Add(contig, "ACGTACGTAGGCTTAGCCATGC", uint8(8))
+	f.Fuzz(func(t *testing.T, ref, read string, seedLen uint8) {
+		opt := Options{SeedLen: 4 + int(seedLen)%13, Threads: 1}
+		var contigs []seq.Record
+		if ref != "" {
+			contigs = []seq.Record{{ID: "c1", Seq: []byte(ref)}}
+		}
+		ix, err := NewIndex(contigs, opt)
+		if err != nil {
+			return
+		}
+		als, _ := NewAligner(ix).AlignAll([]seq.Record{{ID: "r1", Seq: []byte(read)}})
+		for _, a := range als {
+			if a.Pos < 0 || a.Pos >= len(ref) {
+				t.Fatalf("alignment position %d outside contig of %d bases", a.Pos, len(ref))
+			}
+			if a.Contig != 0 {
+				t.Fatalf("alignment names contig %d of a 1-contig index", a.Contig)
 			}
 		}
 	})

@@ -3,6 +3,9 @@ package chrysalis
 import (
 	"strings"
 	"testing"
+
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/seq"
 )
 
 func FuzzReadComponents(f *testing.F) {
@@ -46,6 +49,40 @@ func FuzzReadAssignments(f *testing.F) {
 		back, err := ReadAssignments(strings.NewReader(sb.String()))
 		if err != nil || len(back) != len(as) {
 			t.Fatalf("round trip: %v (%d vs %d)", err, len(back), len(as))
+		}
+	})
+}
+
+// FuzzChrysalisDegenerateInput drives both Chrysalis hot spots with
+// adversarial sequence data. The seed corpus covers the classic
+// degenerate shapes — no reads at all, all-N sequences (no valid
+// k-mers), and reads shorter than k — none of which may panic or hang.
+func FuzzChrysalisDegenerateInput(f *testing.F) {
+	f.Add("", "", uint8(5))
+	f.Add("NNNNNNNNNNNNNNNNNNNN", "NNNNNNNN", uint8(7))
+	f.Add("ACGTACGTACGTACGTACGTACGT", "ACG", uint8(9)) // read shorter than k
+	f.Add("ACGTACGTACGTACGTACGTACGT", "ACGTACGTACGTACGT", uint8(4))
+	f.Fuzz(func(t *testing.T, contig, read string, kk uint8) {
+		k := 3 + int(kk)%13
+		var reads []seq.Record
+		if read != "" {
+			reads = []seq.Record{{ID: "r1", Seq: []byte(read)}}
+		}
+		table, err := jellyfish.Count(reads, jellyfish.Options{K: k})
+		if err != nil {
+			return
+		}
+		var contigs []seq.Record
+		if contig != "" {
+			contigs = []seq.Record{{ID: "c1", Seq: []byte(contig)}}
+		}
+		res, err := GraphFromFasta(contigs, table, 1, GFFOptions{K: k, ThreadsPerRank: 1})
+		if err != nil {
+			return
+		}
+		if _, err := ReadsToTranscripts(reads, contigs, res.Components, 1,
+			R2TOptions{K: k, ThreadsPerRank: 1}); err != nil {
+			return
 		}
 	})
 }

@@ -50,6 +50,15 @@ type GFFOptions struct {
 	// "combined with welding pairs ... for full construction of
 	// Inchworm bundles" (§III-A).
 	ScaffoldPairs [][2]int32
+
+	// Faults injects a deterministic failure schedule into the run's
+	// MPI world (see mpi.FaultPlan). A non-nil plan implies the
+	// recovery layer even if Recovery.Enabled is false.
+	Faults *mpi.FaultPlan
+
+	// Recovery configures chunk checkpointing, dead-rank chunk
+	// reassignment and the straggler policy (see recovery.go).
+	Recovery RecoveryOptions
 }
 
 func (o *GFFOptions) normalize() error {
@@ -86,10 +95,10 @@ type Component struct {
 type GFFRankProfile struct {
 	SetupUnits  float64   // non-parallel: contig k-mer index build
 	Loop1Units  float64   // makespan over this rank's logical threads
-	Comm1       mpi.Stats // weld pooling traffic
+	Comm1       mpi.Stats // weld pooling traffic (including recovery rounds)
 	MidUnits    float64   // non-parallel: pooled weld index build
 	Loop2Units  float64   // makespan over this rank's logical threads
-	Comm2       mpi.Stats // pair pooling traffic
+	Comm2       mpi.Stats // pair pooling traffic (including recovery rounds)
 	OutputUnits float64   // non-parallel: union-find + component output
 	Welds       int       // welds this rank harvested
 	Pairs       int       // weld incidences this rank found
@@ -101,6 +110,7 @@ type GFFResult struct {
 	Welds      []string         // pooled, deduplicated welding subsequences
 	Profiles   []GFFRankProfile // one per rank
 	NumPairs   int              // total weld incidences pooled
+	Recovery   *RecoveryReport  // non-nil when the fault layer was active
 }
 
 // GraphFromFasta clusters contigs into components using `ranks` MPI
@@ -109,6 +119,11 @@ type GFFResult struct {
 // OpenMP-only behaviour: the algorithm and its result are identical
 // for every rank count (verified by tests), only the work distribution
 // changes.
+//
+// With a fault plan or Recovery.Enabled, every chunk's welds and pairs
+// are checkpointed as they complete and dead ranks' chunks are
+// recomputed by the survivors; the clustering result of a recovered
+// run is identical to the fault-free run (see recovery.go).
 //
 // readKmers must be a stranded (non-canonical) count table over the
 // input reads with the same k.
@@ -133,6 +148,9 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	}
 	dist.Strategy = opt.Strategy
 
+	ro := opt.Recovery.withDefaults()
+	active := opt.Faults != nil || opt.Recovery.Enabled
+
 	profiles := make([]GFFRankProfile, ranks)
 	results := make([]*GFFResult, ranks)
 
@@ -144,12 +162,58 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	var widx *weldIndex
 	var pooledShared []string
 	// Per-contig loop costs, written by the owning rank, read by every
-	// rank after a barrier for the replicated timing replay.
+	// rank after a barrier for the replicated timing replay. Only the
+	// fault-free path uses the shared arrays; the fault layer keeps
+	// costs in the checkpoint store so an evicted straggler's late
+	// writes cannot race with survivors.
 	costs1 := make([]float64, len(contigs))
 	costs2 := make([]float64, len(contigs))
 
+	var store1 *chunkStore[string] // checkpointed welds per chunk
+	var store2 *chunkStore[int64]  // checkpointed encoded pairs per chunk
+	rep := &recReport{}
+	if active {
+		store1 = newChunkStore[string](dist.Chunks())
+		store2 = newChunkStore[int64](dist.Chunks())
+	}
+
+	// weldChunk and pairChunk compute one chunk's partial result — the
+	// checkpoint unit of the recovery layer.
+	weldChunk := func(ch int) (welds []string, chCosts []float64, units float64) {
+		lo, hi := dist.ChunkRange(ch)
+		chCosts = make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			rot := harvestRotation(opt.Seed, i, len(seqs[i]))
+			ws, u := harvestWelds(seqs[i], i, ix, readKmers, opt, rot)
+			chCosts[i-lo] = u * opt.LoopOpWeight
+			units += chCosts[i-lo]
+			welds = append(welds, ws...)
+		}
+		return welds, chCosts, units
+	}
+	pairChunk := func(ch int) (encs []int64, chCosts []float64, units float64) {
+		lo, hi := dist.ChunkRange(ch)
+		chCosts = make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			pairs, u := scanContigForWelds(seqs[i], i, widx)
+			chCosts[i-lo] = u * opt.LoopOpWeight
+			units += chCosts[i-lo]
+			for _, p := range pairs {
+				encs = append(encs, int64(p[0])<<32|int64(uint32(p[1])))
+			}
+		}
+		return encs, chCosts, units
+	}
+
 	world := mpi.NewWorld(ranks)
-	world.Run(func(c *Comm) {
+	if opt.Faults != nil {
+		world.SetFaults(opt.Faults)
+	}
+	if active && ro.RankTimeout > 0 {
+		world.SetBarrierTimeout(ro.RankTimeout)
+		world.SetRecvTimeout(ro.RankTimeout)
+	}
+	_, errs := world.RunE(func(c *Comm) error {
 		rank := c.Rank()
 		prof := &profiles[rank]
 
@@ -162,56 +226,127 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		// --- Loop 1: harvest welds over this rank's chunks, dividing
 		// each chunk across the logical OpenMP threads dynamically.
 		var myWelds []string
-		dist.ForEachRankItem(rank, func(i int) {
-			rot := harvestRotation(opt.Seed, i, len(seqs[i]))
-			welds, units := harvestWelds(seqs[i], i, ix, readKmers, opt, rot)
-			costs1[i] = units * opt.LoopOpWeight
-			myWelds = append(myWelds, welds...)
-		})
-		c.Barrier() // all per-contig costs visible to every rank
-		prof.Loop1Units = replicatedMakespan(dist, costs1, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+		if active {
+			for _, ch := range dist.RankChunks(rank) {
+				c.Probe() // fault point: a rank can die between chunks
+				ws, chCosts, _ := weldChunk(ch)
+				store1.put(ch, ws, chCosts)
+				myWelds = append(myWelds, ws...)
+			}
+		} else {
+			dist.ForEachRankItem(rank, func(i int) {
+				rot := harvestRotation(opt.Seed, i, len(seqs[i]))
+				welds, units := harvestWelds(seqs[i], i, ix, readKmers, opt, rot)
+				costs1[i] = units * opt.LoopOpWeight
+				myWelds = append(myWelds, welds...)
+			})
+		}
 		prof.Welds = len(myWelds)
 
 		// --- Pool welds on every rank (pack → size exchange →
-		// Allgatherv), as §III-B describes.
+		// Allgatherv), as §III-B describes. Under the fault layer the
+		// pooled list is rebuilt from the checkpoint store instead of
+		// the gathered parts, so killed ranks and dropped contributions
+		// cannot lose welds; recovery rounds recompute missing chunks.
 		before := c.Stats
 		packed := packWelds(myWelds)
-		c.AllgatherInt(len(packed))
-		parts := c.Allgatherv(packed)
-		prof.Comm1 = cluster.StatsDelta(before, c.Stats)
+		if active {
+			counts, _ := c.TryAllgatherInt(len(packed))
+			parts, _ := c.TryAllgatherv(packed)
+			if rank == 0 {
+				countDrops(rep, counts, parts)
+			}
+			if err := recoverChunks(c, "graphfromfasta/welds", ro, rep, store1.missing,
+				func(ch int) ([]byte, float64) {
+					ws, chCosts, units := weldChunk(ch)
+					store1.put(ch, ws, chCosts)
+					return packWelds(ws), units
+				}); err != nil {
+				return err
+			}
+			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
+			myCosts := store1.itemCosts(len(seqs), dist.ChunkRange)
+			prof.Loop1Units = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			widxOnce.Do(func() {
+				chunkParts := make([][]byte, dist.Chunks())
+				for ch := range chunkParts {
+					chunkParts[ch] = packWelds(store1.chunk(ch))
+				}
+				pooledShared = poolWelds(chunkParts)
+				widx = buildWeldIndex(pooledShared, opt.K)
+			})
+		} else {
+			c.Barrier() // all per-contig costs visible to every rank
+			prof.Loop1Units = replicatedMakespan(dist, costs1, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			c.AllgatherInt(len(packed))
+			parts := c.Allgatherv(packed)
+			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
+			widxOnce.Do(func() {
+				pooledShared = poolWelds(parts)
+				widx = buildWeldIndex(pooledShared, opt.K)
+			})
+		}
 
 		// --- Non-parallel middle: build the pooled weld index. The
 		// pooled weld list is identical on every rank by construction.
-		widxOnce.Do(func() {
-			pooledShared = poolWelds(parts)
-			widx = buildWeldIndex(pooledShared, opt.K)
-		})
 		pooled := pooledShared
 		prof.MidUnits = float64(len(pooled)) * 2 // core + rc-core hash inserts
 
 		// --- Loop 2: find (weld, contig) incidences over this rank's
 		// chunks with the same chunked round-robin distribution.
 		var myPairs []int64
-		dist.ForEachRankItem(rank, func(i int) {
-			pairs, units := scanContigForWelds(seqs[i], i, widx)
-			costs2[i] = units * opt.LoopOpWeight
-			for _, p := range pairs {
-				myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
+		if active {
+			for _, ch := range dist.RankChunks(rank) {
+				c.Probe()
+				encs, chCosts, _ := pairChunk(ch)
+				store2.put(ch, encs, chCosts)
+				myPairs = append(myPairs, encs...)
 			}
-		})
-		c.Barrier()
-		prof.Loop2Units = replicatedMakespan(dist, costs2, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+		} else {
+			dist.ForEachRankItem(rank, func(i int) {
+				pairs, units := scanContigForWelds(seqs[i], i, widx)
+				costs2[i] = units * opt.LoopOpWeight
+				for _, p := range pairs {
+					myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
+				}
+			})
+		}
 		prof.Pairs = len(myPairs)
 
 		// --- Pool the pairing indices (integer arrays: "substantially
 		// less communication compared to the first loop").
 		before = c.Stats
-		c.AllgatherInt(len(myPairs))
-		allPairs := c.AllgathervInt64(myPairs)
-		prof.Comm2 = cluster.StatsDelta(before, c.Stats)
+		var allPairs [][]int64
+		if active {
+			c.TryAllgatherInt(len(myPairs))
+			c.TryAllgathervInt64(myPairs)
+			if err := recoverChunks(c, "graphfromfasta/pairs", ro, rep, store2.missing,
+				func(ch int) ([]byte, float64) {
+					encs, chCosts, units := pairChunk(ch)
+					store2.put(ch, encs, chCosts)
+					return packInt64s(encs), units
+				}); err != nil {
+				return err
+			}
+			prof.Comm2 = cluster.StatsDelta(before, c.Stats)
+			myCosts := store2.itemCosts(len(seqs), dist.ChunkRange)
+			prof.Loop2Units = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			allPairs = make([][]int64, dist.Chunks())
+			for ch := range allPairs {
+				allPairs[ch] = store2.chunk(ch)
+			}
+		} else {
+			c.Barrier()
+			prof.Loop2Units = replicatedMakespan(dist, costs2, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			c.AllgatherInt(len(myPairs))
+			allPairs = c.AllgathervInt64(myPairs)
+			prof.Comm2 = cluster.StatsDelta(before, c.Stats)
+		}
 
 		// --- Non-parallel output: weld-sharing contigs → union-find →
-		// components. Every rank computes the identical result.
+		// components. Every rank computes the identical result (the
+		// union-find's groups are canonical, so the pooled pair order —
+		// rank-major or chunk-major — does not matter).
 		byWeld := map[int32][]int32{}
 		total := 0
 		for _, part := range allPairs {
@@ -241,10 +376,25 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		prof.OutputUnits = float64(total) + float64(len(seqs))
 
 		results[rank] = &GFFResult{Components: comps, Welds: pooled, NumPairs: total}
+		return nil
 	})
 
-	res := results[0]
+	// Any completing rank holds the (identical) result; without the
+	// fault layer that is always rank 0.
+	var res *GFFResult
+	for _, r := range results {
+		if r != nil {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		return nil, stageError("graphfromfasta", errs)
+	}
 	res.Profiles = profiles
+	if active {
+		res.Recovery = rep.snapshot("graphfromfasta", world.DeadRanks())
+	}
 	return res, nil
 }
 

@@ -37,6 +37,15 @@ type R2TOptions struct {
 	// ablation benchmarks; results are identical, only the metered
 	// communication and streaming costs change.
 	MasterDistribute bool
+
+	// Faults injects a deterministic failure schedule into the run's
+	// MPI world (see mpi.FaultPlan). A non-nil plan implies the
+	// recovery layer even if Recovery.Enabled is false.
+	Faults *mpi.FaultPlan
+
+	// Recovery configures chunk checkpointing, dead-rank chunk
+	// reassignment and the straggler policy (see recovery.go).
+	Recovery RecoveryOptions
 }
 
 func (o *R2TOptions) normalize() error {
@@ -86,6 +95,7 @@ type R2TRankProfile struct {
 type R2TResult struct {
 	Assignments []Assignment // sorted by read index; unassigned reads omitted
 	Profiles    []R2TRankProfile
+	Recovery    *RecoveryReport // non-nil when the fault layer was active
 }
 
 // bundleKmerTable maps k-mers to the component owning them. Ties go to
@@ -165,6 +175,9 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		return nil, fmt.Errorf("chrysalis: rank count %d must be positive", ranks)
 	}
 
+	ro := opt.Recovery.withDefaults()
+	active := opt.Faults != nil || opt.Recovery.Enabled
+
 	profiles := make([]R2TRankProfile, ranks)
 	perRank := make([][]Assignment, ranks)
 
@@ -175,10 +188,53 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 	var table *bundleKmerTable
 	// Per-read assignment costs, written by the owning rank and read by
 	// every rank (after a barrier) for the replicated timing replay.
+	// The fault layer keeps costs in the checkpoint store instead, so
+	// an evicted straggler's late writes cannot race with survivors.
 	readCosts := make([]float64, len(reads))
 
+	nChunks := (len(reads) + opt.MaxMemReads - 1) / opt.MaxMemReads
+	chunkRange := func(ch int) (lo, hi int) {
+		lo = ch * opt.MaxMemReads
+		hi = lo + opt.MaxMemReads
+		if hi > len(reads) {
+			hi = len(reads)
+		}
+		return lo, hi
+	}
+
+	var store *chunkStore[Assignment] // checkpointed assignments per chunk
+	rep := &recReport{}
+	if active {
+		store = newChunkStore[Assignment](nChunks)
+	}
+
+	// assignChunk computes one chunk's assignments — the checkpoint
+	// unit of the recovery layer. Every rank holds the full read set
+	// (the redundant-streaming scheme), so any rank can recompute any
+	// chunk.
+	assignChunk := func(ch int) (asg []Assignment, chCosts []float64, units float64) {
+		lo, hi := chunkRange(ch)
+		chCosts = make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			comp, matches, u := assignRead(reads[i].Seq, table, opt.MinKmerMatches)
+			chCosts[i-lo] = u * opt.LoopOpWeight
+			units += chCosts[i-lo]
+			if comp >= 0 {
+				asg = append(asg, Assignment{Read: int32(i), Component: comp, Matches: matches})
+			}
+		}
+		return asg, chCosts, units
+	}
+
 	world := mpi.NewWorld(ranks)
-	world.Run(func(c *Comm) {
+	if opt.Faults != nil {
+		world.SetFaults(opt.Faults)
+	}
+	if active && ro.RankTimeout > 0 {
+		world.SetBarrierTimeout(ro.RankTimeout)
+		world.SetRecvTimeout(ro.RankTimeout)
+	}
+	_, errs := world.RunE(func(c *Comm) error {
 		rank := c.Rank()
 		prof := &profiles[rank]
 
@@ -191,13 +247,8 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 
 		commStart := c.Stats
 		var mine []Assignment
-		nChunks := (len(reads) + opt.MaxMemReads - 1) / opt.MaxMemReads
 		for chunk := 0; chunk < nChunks; chunk++ {
-			lo := chunk * opt.MaxMemReads
-			hi := lo + opt.MaxMemReads
-			if hi > len(reads) {
-				hi = len(reads)
-			}
+			lo, hi := chunkRange(chunk)
 			owner := chunk % ranks
 			if opt.MasterDistribute && ranks > 1 {
 				// Paper's first strategy: rank 0 reads the chunk and
@@ -212,7 +263,13 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 						c.Send(owner, chunk, packReads(reads[lo:hi]))
 					}
 				} else if owner == rank {
-					c.Recv(0, chunk)
+					if active {
+						// A dead master cannot ship the chunk; tolerable,
+						// because every rank holds the read set anyway.
+						c.TryRecv(0, chunk, 0) //nolint:errcheck
+					} else {
+						c.Recv(0, chunk)
+					}
 				}
 			}
 			if owner != rank {
@@ -223,18 +280,40 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 			prof.Chunks++
 			// The kept chunk's reads are distributed over the OpenMP
 			// threads.
-			for i := lo; i < hi; i++ {
-				comp, matches, units := assignRead(reads[i].Seq, table, opt.MinKmerMatches)
-				readCosts[i] = units * opt.LoopOpWeight
-				if comp >= 0 {
-					mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
+			if active {
+				c.Probe() // fault point: a rank can die between chunks
+				asg, chCosts, _ := assignChunk(chunk)
+				store.put(chunk, asg, chCosts)
+				mine = append(mine, asg...)
+			} else {
+				for i := lo; i < hi; i++ {
+					comp, matches, units := assignRead(reads[i].Seq, table, opt.MinKmerMatches)
+					readCosts[i] = units * opt.LoopOpWeight
+					if comp >= 0 {
+						mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
+					}
 				}
 			}
 		}
-		c.Barrier() // all per-read costs visible to every rank
+		lookupCost := func(i int) float64 { return readCosts[i] }
+		if active {
+			c.TryBarrier() //nolint:errcheck — dead ranks are recovered below
+			if err := recoverChunks(c, "readstotranscripts", ro, rep, store.missing,
+				func(ch int) ([]byte, float64) {
+					asg, chCosts, units := assignChunk(ch)
+					store.put(ch, asg, chCosts)
+					return encodeAssignments(asg), units
+				}); err != nil {
+				return err
+			}
+			myCosts := store.itemCosts(len(reads), chunkRange)
+			lookupCost = func(i int) float64 { return myCosts[i] }
+		} else {
+			c.Barrier() // all per-read costs visible to every rank
+		}
 		loop, stream := replicatedChunkStream(
 			len(reads), opt.MaxMemReads, ranks, rank, opt.Replicas, opt.ThreadsPerRank,
-			func(i int) float64 { return readCosts[i] },
+			lookupCost,
 			func(i int) float64 { return opt.IOScanFactor * float64(len(reads[i].Seq)) })
 		prof.LoopUnits = loop
 		if opt.MasterDistribute && ranks > 1 {
@@ -247,7 +326,21 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		prof.Assigned = len(mine)
 
 		// Gather per-rank output files at root; root concatenates
-		// ("a simple cat command", §III-C).
+		// ("a simple cat command", §III-C). Under the fault layer the
+		// root rebuilds the output from the checkpoint store, so a lost
+		// contribution (dead rank, dropped payload) cannot lose reads.
+		if active {
+			counts, _ := c.TryAllgatherInt(len(encodeAssignments(mine)))
+			parts, _ := c.TryGatherv(0, encodeAssignments(mine))
+			prof.Comm = cluster.StatsDelta(commStart, c.Stats)
+			if rank == 0 {
+				countDrops(rep, counts, parts)
+				all := assignmentsFromStore(store, nChunks)
+				prof.ConcatUnits = float64(len(all))
+				perRank[0] = all
+			}
+			return nil
+		}
 		parts := c.Gatherv(0, encodeAssignments(mine))
 		prof.Comm = cluster.StatsDelta(commStart, c.Stats)
 		if rank == 0 {
@@ -259,9 +352,34 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 			prof.ConcatUnits = float64(len(all))
 			perRank[0] = all
 		}
+		return nil
 	})
 
-	return &R2TResult{Assignments: perRank[0], Profiles: profiles}, nil
+	res := &R2TResult{Assignments: perRank[0], Profiles: profiles}
+	if active {
+		// Rank 0 may have died after recovery completed; any complete
+		// store yields the identical output.
+		if res.Assignments == nil {
+			if len(store.missing()) > 0 {
+				return nil, stageError("readstotranscripts", errs)
+			}
+			res.Assignments = assignmentsFromStore(store, nChunks)
+		}
+		res.Recovery = rep.snapshot("readstotranscripts", world.DeadRanks())
+	}
+	return res, nil
+}
+
+// assignmentsFromStore concatenates the checkpointed chunks in chunk
+// order and sorts by read index — byte-identical to the fault-free
+// root's concatenation of the gathered per-rank outputs.
+func assignmentsFromStore(store *chunkStore[Assignment], nChunks int) []Assignment {
+	var all []Assignment
+	for ch := 0; ch < nChunks; ch++ {
+		all = append(all, store.chunk(ch)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Read < all[j].Read })
+	return all
 }
 
 // packReads concatenates read payloads for the master-distribute

@@ -97,6 +97,24 @@ func (c Config) CommTime(d mpi.Stats) float64 {
 	return steps*c.Net.LatencySec + bytes/c.Net.BandwidthBps
 }
 
+// RetryOverhead charges virtual time for one stage's recovery episode:
+// every round pays a log₂(P)-step agreement latency (the dead-set
+// barrier) plus its exponential backoff wait, and the chunks recomputed
+// by the survivors replay at the per-thread work rate. Communication of
+// the recovered payloads is already metered in the rank Stats, so it is
+// not double-charged here.
+func (c Config) RetryOverhead(rounds int, recomputedUnits float64, backoff float64) float64 {
+	if rounds <= 0 {
+		return c.WorkTime(recomputedUnits)
+	}
+	agree := float64(rounds) * math.Ceil(math.Log2(float64(maxInt(c.Nodes, 2)))) * c.Net.LatencySec
+	var wait float64
+	for r := 0; r < rounds; r++ {
+		wait += backoff * float64(uint64(1)<<uint(r))
+	}
+	return agree + wait + c.WorkTime(recomputedUnits)
+}
+
 // StatsDelta subtracts an earlier snapshot from a later one, for
 // phase-scoped communication accounting.
 func StatsDelta(before, after mpi.Stats) mpi.Stats {

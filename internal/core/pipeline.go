@@ -18,6 +18,7 @@ import (
 	"gotrinity/internal/collectl"
 	"gotrinity/internal/inchworm"
 	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/mpi"
 	"gotrinity/internal/pyfasta"
 	"gotrinity/internal/seq"
 )
@@ -39,6 +40,30 @@ type Config struct {
 	// SampleInterval enables the Collectl-style background sampler at
 	// the given period, filling Result.Samples/Marks (0 = disabled).
 	SampleInterval time.Duration
+
+	// --- Fault injection and recovery (the Chrysalis fault layer; see
+	// internal/mpi/fault.go and internal/chrysalis/recovery.go).
+
+	// FaultSpec injects a deterministic failure schedule into the
+	// hybrid Chrysalis stages, in mpi.ParseFaultSpec syntax (e.g.
+	// "kill:rank=1,call=5; slow:rank=2,call=0,delay=10ms").
+	FaultSpec string
+	// FaultSeed, when non-zero and FaultSpec is empty, derives a
+	// seeded plan killing one rank at a pseudo-random call index —
+	// the acceptance scenario of the fault-tolerance tests.
+	FaultSeed int64
+	// Recover enables chunk checkpointing and recovery even without
+	// injected faults (a fault plan implies it).
+	Recover bool
+	// MaxRetries bounds the recovery rounds per pooling phase
+	// (default 3).
+	MaxRetries int
+	// RetryBackoff is the wait before each recovery round, doubling
+	// per round.
+	RetryBackoff time.Duration
+	// RankTimeout evicts ranks that stall a collective longer than
+	// this (the straggler policy; 0 = never evict).
+	RankTimeout time.Duration
 
 	Bowtie    bowtie.Options
 	Butterfly butterfly.Options
@@ -77,6 +102,17 @@ type Result struct {
 	InchwormStats inchworm.Stats
 	BowtieStats   bowtie.Stats
 	SplitStats    pyfasta.Stats
+
+	Faults *FaultReport // non-nil when the fault layer was active
+}
+
+// FaultReport summarises what the fault layer injected and recovered
+// during one run.
+type FaultReport struct {
+	Planned  []mpi.Fault               // faults scheduled for the run
+	Injected []mpi.Fault               // faults that actually fired, in firing order
+	GFF      *chrysalis.RecoveryReport // GraphFromFasta recovery summary
+	R2T      *chrysalis.RecoveryReport // ReadsToTranscripts recovery summary
 }
 
 // TranscriptRecords returns the final transcripts as FASTA records.
@@ -88,6 +124,25 @@ func (r *Result) TranscriptRecords() []seq.Record {
 func Run(reads []seq.Record, cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	// Build the fault plan and recovery policy for the hybrid stages.
+	var plan *mpi.FaultPlan
+	if cfg.FaultSpec != "" {
+		var err error
+		if plan, err = mpi.ParseFaultSpec(cfg.FaultSpec); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	} else if cfg.FaultSeed != 0 {
+		// Call indices 0–7 are reached by every rank even on the tiny
+		// test datasets (fewer chunks per rank mean fewer fault points),
+		// so a kill drawn from that window is guaranteed to fire.
+		plan = mpi.RandomKillPlan(cfg.FaultSeed, cfg.Ranks, 1, 8)
+	}
+	recovery := chrysalis.RecoveryOptions{
+		Enabled:     cfg.Recover || plan != nil || cfg.RankTimeout > 0,
+		MaxRounds:   cfg.MaxRetries,
+		Backoff:     cfg.RetryBackoff,
+		RankTimeout: cfg.RankTimeout,
 	}
 	res := &Result{}
 	meter := collectl.NewMeter()
@@ -187,6 +242,8 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 			Seed:              cfg.Seed,
 			ScaffoldPairs:     res.Scaffolds,
 			Replicas:          cfg.Replicas,
+			Faults:            plan,
+			Recovery:          recovery,
 		})
 		return err
 	})
@@ -203,11 +260,20 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 				MaxMemReads:    cfg.MaxMemReads,
 				ThreadsPerRank: cfg.ThreadsPerRank,
 				Replicas:       cfg.Replicas,
+				Faults:         plan,
+				Recovery:       recovery,
 			})
 		return err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: readstotranscripts: %w", err)
+	}
+	if recovery.Enabled {
+		res.Faults = &FaultReport{GFF: res.GFF.Recovery, R2T: res.R2T.Recovery}
+		if plan != nil {
+			res.Faults.Planned = plan.Faults()
+			res.Faults.Injected = plan.Fired()
+		}
 	}
 
 	// --- FastaToDebruijn + QuantifyGraph.

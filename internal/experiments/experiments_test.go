@@ -187,6 +187,9 @@ func TestFig4Validation(t *testing.T) {
 }
 
 func TestFig56Validation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure regeneration is ~10x slower under -race and would blow the suite timeout; see race_on_test.go")
+	}
 	l := testLab()
 	rows, err := Fig56(l, 2)
 	if err != nil {
@@ -221,6 +224,9 @@ func TestFig56Validation(t *testing.T) {
 }
 
 func TestHeadlineSummary(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure regeneration is ~10x slower under -race and would blow the suite timeout; see race_on_test.go")
+	}
 	l := testLab()
 	h, err := Summary(l)
 	if err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets the heaviest figure-regeneration tests skip under
+// the race detector, whose ~10x slowdown would blow the suite timeout;
+// the concurrent substrates they drive are race-tested directly in
+// internal/mpi and internal/chrysalis.
+const raceEnabled = true

@@ -95,7 +95,11 @@ func New(text []byte) (*Index, error) {
 	}
 	ix.c[alphabetSize] = run
 
-	// Occurrence checkpoints.
+	// Occurrence checkpoints. rank(code, i) is queried for i up to and
+	// including len(t), so every slot after the last in-text checkpoint
+	// must hold the final counts — in particular when len(t) is an exact
+	// multiple of occSampleRate, where slot len(t)/occSampleRate is not
+	// written by the scan below.
 	nCheck := len(t)/occSampleRate + 1
 	ix.occ = make([][alphabetSize]int32, nCheck+1)
 	var acc [alphabetSize]int32
@@ -105,7 +109,9 @@ func New(text []byte) (*Index, error) {
 		}
 		acc[b]++
 	}
-	ix.occ[nCheck] = acc
+	for j := (len(t)-1)/occSampleRate + 1; j <= nCheck; j++ {
+		ix.occ[j] = acc
+	}
 
 	// SA samples for locate.
 	ix.saMarked = make([]bool, len(t))

@@ -181,3 +181,27 @@ func BenchmarkFMBuild(b *testing.B) {
 		}
 	}
 }
+
+// Regression: when the encoded text length (text + sentinel) is an
+// exact multiple of the checkpoint spacing, the final rank checkpoint
+// used by queries at i = len(t) must still hold the full counts; a
+// missing slot there made every search on such texts come back empty.
+func TestCheckpointBoundaryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{occSampleRate - 1, occSampleRate, 2*occSampleRate - 1, 2 * occSampleRate, 4*occSampleRate - 1} {
+		text := randDNA(rng, n)
+		ix, err := New(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			start := rng.Intn(len(text) - 3)
+			pattern := text[start : start+3]
+			want := naiveOccurrences(text, pattern)
+			got := ix.Locate(pattern)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d pattern %q: got %d hits, want %d", n, pattern, len(got), len(want))
+			}
+		}
+	}
+}

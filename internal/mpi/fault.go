@@ -1,0 +1,353 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault injection for the simulated cluster.
+//
+// A FaultPlan is a deterministic schedule of failures keyed to a rank's
+// operation counters: every public MPI call a rank makes (including
+// Probe fault points placed inside compute loops) advances its call
+// index, every point-to-point send advances a per-destination message
+// index, and every collective advances a collective index. A fault
+// fires when its victim reaches the scheduled index, and each fault
+// fires at most once per plan — so a recovery layer that retries an
+// operation makes progress instead of re-triggering the same failure
+// forever. Two runs with the same plan, world size and program observe
+// the identical failure, which is what makes the fault-scenario tests
+// reproducible.
+//
+// The failure semantics mirror ULFM-style fault-tolerant MPI: a killed
+// (or evicted) rank stops participating; barriers and collectives
+// complete among the remaining live ranks and report the dead set
+// through a typed *FaultError; code that does not opt into the Try*
+// variants aborts the observing rank (MPI_ERRORS_ARE_FATAL), and
+// World.Run surfaces the abort as that rank's error.
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// FaultKill aborts the victim rank at its AtCall-th MPI operation.
+	FaultKill FaultKind = iota
+	// FaultSlow makes the victim sleep Delay before every MPI operation
+	// from its AtCall-th on — a straggler rank.
+	FaultSlow
+	// FaultDropMsg silently discards the AtCall-th point-to-point
+	// message from Rank to Dst.
+	FaultDropMsg
+	// FaultDelayMsg delivers the AtCall-th point-to-point message from
+	// Rank to Dst only after Delay.
+	FaultDelayMsg
+	// FaultDropContribution loses the victim's payload in its
+	// AtCall-th collective: the rank participates (no hang) but peers
+	// receive an empty contribution.
+	FaultDropContribution
+	// FaultTimeout makes the victim's AtCall-th collective return a
+	// timeout error after participating.
+	FaultTimeout
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKill:
+		return "kill"
+	case FaultSlow:
+		return "slow"
+	case FaultDropMsg:
+		return "dropmsg"
+	case FaultDelayMsg:
+		return "delaymsg"
+	case FaultDropContribution:
+		return "dropcontrib"
+	case FaultTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind   FaultKind
+	Rank   int           // victim rank (the source rank for message faults)
+	Dst    int           // destination rank, message faults only
+	AtCall int           // 0-based index into the victim's matching counter
+	Delay  time.Duration // FaultSlow / FaultDelayMsg only
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultDropMsg, FaultDelayMsg:
+		return fmt.Sprintf("%s:src=%d,dst=%d,msg=%d,delay=%s", f.Kind, f.Rank, f.Dst, f.AtCall, f.Delay)
+	case FaultDropContribution, FaultTimeout:
+		return fmt.Sprintf("%s:rank=%d,coll=%d", f.Kind, f.Rank, f.AtCall)
+	default:
+		return fmt.Sprintf("%s:rank=%d,call=%d,delay=%s", f.Kind, f.Rank, f.AtCall, f.Delay)
+	}
+}
+
+// FaultPlan is a deterministic, one-shot schedule of faults. It is safe
+// for concurrent use by every rank of a world and may be shared across
+// consecutive worlds (retry attempts): once a fault has fired it never
+// fires again.
+type FaultPlan struct {
+	mu     sync.Mutex
+	faults []Fault
+	spent  []bool
+	fired  []Fault
+}
+
+// NewFaultPlan builds a plan from an explicit fault list.
+func NewFaultPlan(faults ...Fault) *FaultPlan {
+	return &FaultPlan{faults: faults, spent: make([]bool, len(faults))}
+}
+
+// Add appends one more fault to the plan.
+func (p *FaultPlan) Add(f Fault) {
+	p.mu.Lock()
+	p.faults = append(p.faults, f)
+	p.spent = append(p.spent, false)
+	p.mu.Unlock()
+}
+
+// Faults returns a copy of the scheduled faults.
+func (p *FaultPlan) Faults() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.faults...)
+}
+
+// Fired returns the faults that have actually fired, in firing order.
+func (p *FaultPlan) Fired() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.fired...)
+}
+
+// takeCall consumes every unfired kill/slow fault scheduled for the
+// given rank and call index.
+func (p *FaultPlan) takeCall(rank, call int) []Fault {
+	return p.take(func(f Fault) bool {
+		return (f.Kind == FaultKill || f.Kind == FaultSlow) && f.Rank == rank && f.AtCall == call
+	})
+}
+
+// takeMsg consumes the message fault scheduled for the ordinal-th send
+// from src to dst, if any.
+func (p *FaultPlan) takeMsg(src, dst, ordinal int) (Fault, bool) {
+	fs := p.take(func(f Fault) bool {
+		return (f.Kind == FaultDropMsg || f.Kind == FaultDelayMsg) &&
+			f.Rank == src && f.Dst == dst && f.AtCall == ordinal
+	})
+	if len(fs) == 0 {
+		return Fault{}, false
+	}
+	return fs[0], true
+}
+
+// takeColl consumes every collective fault scheduled for the given
+// rank and collective index.
+func (p *FaultPlan) takeColl(rank, coll int) []Fault {
+	return p.take(func(f Fault) bool {
+		return (f.Kind == FaultDropContribution || f.Kind == FaultTimeout) &&
+			f.Rank == rank && f.AtCall == coll
+	})
+}
+
+func (p *FaultPlan) take(match func(Fault) bool) []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Fault
+	for i, f := range p.faults {
+		if p.spent[i] || !match(f) {
+			continue
+		}
+		p.spent[i] = true
+		p.fired = append(p.fired, f)
+		out = append(out, f)
+	}
+	return out
+}
+
+// RandomKillPlan derives a deterministic plan from a seed: it kills
+// `kills` distinct ranks, each at a pseudo-random call index in
+// [0, maxCall). The same (seed, ranks, kills, maxCall) always produces
+// the same plan.
+func RandomKillPlan(seed int64, ranks, kills, maxCall int) *FaultPlan {
+	if ranks <= 0 || kills <= 0 || maxCall <= 0 {
+		return NewFaultPlan()
+	}
+	if kills > ranks {
+		kills = ranks
+	}
+	s := uint64(seed)
+	next := func() uint64 { // splitmix64
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	victims := map[int]bool{}
+	p := NewFaultPlan()
+	for len(victims) < kills {
+		r := int(next() % uint64(ranks))
+		if victims[r] {
+			continue
+		}
+		victims[r] = true
+		p.Add(Fault{Kind: FaultKill, Rank: r, AtCall: int(next() % uint64(maxCall))})
+	}
+	return p
+}
+
+// ParseFaultSpec parses a semicolon-separated fault list, e.g.
+//
+//	kill:rank=1,call=5; slow:rank=2,call=0,delay=10ms;
+//	dropmsg:src=0,dst=1,msg=2; delaymsg:src=0,dst=1,msg=2,delay=5ms;
+//	dropcontrib:rank=1,coll=3; timeout:rank=1,coll=2
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	p := NewFaultPlan()
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, argstr, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("mpi: fault %q missing ':'", entry)
+		}
+		args := map[string]string{}
+		for _, kv := range strings.Split(argstr, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("mpi: fault arg %q missing '='", kv)
+			}
+			args[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+		geti := func(key string) (int, error) {
+			v, ok := args[key]
+			if !ok {
+				return 0, fmt.Errorf("mpi: fault %q missing %q", entry, key)
+			}
+			return strconv.Atoi(v)
+		}
+		getd := func(key string) (time.Duration, error) {
+			v, ok := args[key]
+			if !ok {
+				return 0, nil
+			}
+			return time.ParseDuration(v)
+		}
+		var f Fault
+		var err error
+		switch strings.ToLower(strings.TrimSpace(kind)) {
+		case "kill":
+			f.Kind = FaultKill
+			if f.Rank, err = geti("rank"); err == nil {
+				f.AtCall, err = geti("call")
+			}
+		case "slow":
+			f.Kind = FaultSlow
+			if f.Rank, err = geti("rank"); err == nil {
+				if f.AtCall, err = geti("call"); err == nil {
+					f.Delay, err = getd("delay")
+				}
+			}
+		case "dropmsg", "delaymsg":
+			f.Kind = FaultDropMsg
+			if kind == "delaymsg" {
+				f.Kind = FaultDelayMsg
+			}
+			if f.Rank, err = geti("src"); err == nil {
+				if f.Dst, err = geti("dst"); err == nil {
+					if f.AtCall, err = geti("msg"); err == nil {
+						f.Delay, err = getd("delay")
+					}
+				}
+			}
+		case "dropcontrib", "timeout":
+			f.Kind = FaultDropContribution
+			if kind == "timeout" {
+				f.Kind = FaultTimeout
+			}
+			if f.Rank, err = geti("rank"); err == nil {
+				f.AtCall, err = geti("coll")
+			}
+		default:
+			return nil, fmt.Errorf("mpi: unknown fault kind %q", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mpi: fault %q: %w", entry, err)
+		}
+		p.Add(f)
+	}
+	return p, nil
+}
+
+// FaultError is the typed error every fault surfaces as: an injected
+// kill or timeout observed by the victim itself, or a peer failure
+// observed through a barrier or collective.
+type FaultError struct {
+	Op      string // operation that observed the failure
+	Rank    int    // observing rank
+	Dead    []int  // dead ranks at the time the operation completed
+	Killed  bool   // this rank was killed by the plan
+	Evicted bool   // this rank was evicted by the straggler policy
+	Timeout bool   // the operation timed out
+}
+
+func (e *FaultError) Error() string {
+	var parts []string
+	switch {
+	case e.Killed:
+		parts = append(parts, "rank killed by fault plan")
+	case e.Evicted:
+		parts = append(parts, "rank evicted as straggler")
+	case e.Timeout:
+		parts = append(parts, "timed out")
+	}
+	if len(e.Dead) > 0 {
+		parts = append(parts, fmt.Sprintf("dead ranks %v", e.Dead))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "fault")
+	}
+	return fmt.Sprintf("mpi: %s on rank %d: %s", e.Op, e.Rank, strings.Join(parts, "; "))
+}
+
+// AsFault unwraps err into a *FaultError if it is one.
+func AsFault(err error) (*FaultError, bool) {
+	fe, ok := err.(*FaultError)
+	return fe, ok
+}
+
+// rankAbort is the panic payload that terminates a rank; Run recovers
+// it into the rank's error slot.
+type rankAbort struct{ err error }
+
+// unionDead merges sorted-or-not dead-rank lists into one ascending,
+// deduplicated list.
+func unionDead(lists ...[]int) []int {
+	set := map[int]bool{}
+	for _, l := range lists {
+		for _, r := range l {
+			set[r] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,433 @@
+package mpi
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// withTimeout guards a potentially-hanging scenario: the fault layer's
+// contract is "recover or fail with a typed error — never hang".
+func withTimeout(t *testing.T, d time.Duration, body func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("scenario hung")
+	}
+}
+
+func TestKillAbortsVictimAndReportsDeadToSurvivors(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(4)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: 2, AtCall: 0}))
+		barrierErrs := make([]error, 4)
+		_, errs := w.RunE(func(c *Comm) error {
+			barrierErrs[c.Rank()] = c.TryBarrier()
+			return nil
+		})
+		fe, ok := AsFault(errs[2])
+		if !ok || !fe.Killed {
+			t.Fatalf("victim error = %v, want killed FaultError", errs[2])
+		}
+		for _, r := range []int{0, 1, 3} {
+			if errs[r] != nil {
+				t.Errorf("survivor %d error = %v", r, errs[r])
+			}
+			fe, ok := AsFault(barrierErrs[r])
+			if !ok || !reflect.DeepEqual(fe.Dead, []int{2}) {
+				t.Errorf("survivor %d barrier error = %v, want dead [2]", r, barrierErrs[r])
+			}
+		}
+	})
+}
+
+func TestKillAtLaterCallIndex(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(2)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: 1, AtCall: 2}))
+		probes := make([]int, 2)
+		_, errs := w.RunE(func(c *Comm) error {
+			for i := 0; i < 5; i++ {
+				c.Probe()
+				probes[c.Rank()]++
+			}
+			return nil
+		})
+		if errs[1] == nil {
+			t.Fatal("rank 1 not killed")
+		}
+		if probes[1] != 2 {
+			t.Errorf("victim survived %d probes, want 2", probes[1])
+		}
+		if probes[0] != 5 || errs[0] != nil {
+			t.Errorf("rank 0: probes=%d err=%v", probes[0], errs[0])
+		}
+	})
+}
+
+func TestLegacyCollectiveAbortsOnPeerDeath(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(3)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: 0, AtCall: 0}))
+		_, errs := w.RunE(func(c *Comm) error {
+			c.Allgatherv([]byte{byte(c.Rank())}) // non-Try variant: MPI_ERRORS_ARE_FATAL
+			return nil
+		})
+		for r, err := range errs {
+			if err == nil {
+				t.Errorf("rank %d completed despite peer death", r)
+			}
+		}
+	})
+}
+
+func TestTryAllgathervReturnsPartialResultWithDeadSet(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(4)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: 1, AtCall: 0}))
+		type out struct {
+			parts [][]byte
+			err   error
+		}
+		outs := make([]out, 4)
+		w.RunE(func(c *Comm) error {
+			parts, err := c.TryAllgatherv([]byte{byte('a' + c.Rank())})
+			outs[c.Rank()] = out{parts, err}
+			return nil
+		})
+		for _, r := range []int{0, 2, 3} {
+			o := outs[r]
+			fe, ok := AsFault(o.err)
+			if !ok || !reflect.DeepEqual(fe.Dead, []int{1}) {
+				t.Fatalf("rank %d err = %v, want dead [1]", r, o.err)
+			}
+			if len(o.parts) != 4 || len(o.parts[1]) != 0 {
+				t.Errorf("rank %d parts = %q, want empty slot 1", r, o.parts)
+			}
+			for _, src := range []int{0, 2, 3} {
+				if string(o.parts[src]) != string(rune('a'+src)) {
+					t.Errorf("rank %d parts[%d] = %q", r, src, o.parts[src])
+				}
+			}
+		}
+	})
+}
+
+func TestAgreeDeadIsConsistentAcrossSurvivors(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(8)
+		w.SetFaults(NewFaultPlan(
+			Fault{Kind: FaultKill, Rank: 3, AtCall: 0},
+			Fault{Kind: FaultKill, Rank: 6, AtCall: 0},
+		))
+		views := make([][]int, 8)
+		w.RunE(func(c *Comm) error {
+			dead, err := c.AgreeDead()
+			if err != nil {
+				return err
+			}
+			views[c.Rank()] = dead
+			return nil
+		})
+		want := []int{3, 6}
+		for r, v := range views {
+			if r == 3 || r == 6 {
+				continue
+			}
+			if !reflect.DeepEqual(v, want) {
+				t.Errorf("rank %d agreed dead = %v, want %v", r, v, want)
+			}
+		}
+	})
+}
+
+func TestTryRecvFromDeadSource(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(2)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: 0, AtCall: 0}))
+		var recvErr error
+		w.RunE(func(c *Comm) error {
+			if c.Rank() == 1 {
+				_, recvErr = c.TryRecv(0, 7, 0)
+			} else {
+				c.Probe() // dies here, before sending
+				c.Send(1, 7, []byte("never"))
+			}
+			return nil
+		})
+		fe, ok := AsFault(recvErr)
+		if !ok || !reflect.DeepEqual(fe.Dead, []int{0}) {
+			t.Fatalf("recv err = %v, want dead-source FaultError", recvErr)
+		}
+	})
+}
+
+func TestTryRecvTimeout(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(2)
+		w.SetFaults(NewFaultPlan()) // activate failure machinery, no faults
+		var recvErr error
+		w.RunE(func(c *Comm) error {
+			if c.Rank() == 1 {
+				_, recvErr = c.TryRecv(0, 7, 20*time.Millisecond)
+			}
+			return nil // rank 0 exits without sending
+		})
+		fe, ok := AsFault(recvErr)
+		if !ok || !fe.Timeout {
+			t.Fatalf("recv err = %v, want timeout FaultError", recvErr)
+		}
+	})
+}
+
+func TestMessagesBeforeDeathRemainReceivable(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(2)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: 0, AtCall: 1}))
+		var got []byte
+		var err error
+		w.RunE(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 7, []byte("last words")) // call 0: delivered
+				c.Probe()                          // call 1: killed
+			} else {
+				time.Sleep(10 * time.Millisecond) // let the sender die first
+				got, err = c.TryRecv(0, 7, 0)
+			}
+			return nil
+		})
+		if err != nil || string(got) != "last words" {
+			t.Fatalf("got %q, %v; want message sent before death", got, err)
+		}
+	})
+}
+
+func TestDropMsgLosesExactlyTheScheduledMessage(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(2)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultDropMsg, Rank: 0, Dst: 1, AtCall: 1}))
+		var got [][]byte
+		w.RunE(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 0, []byte("one"))
+				c.Send(1, 1, []byte("two")) // dropped on the wire
+				c.Send(1, 2, []byte("three"))
+			} else {
+				for tag := 0; tag < 3; tag++ {
+					m, _ := c.TryRecv(0, tag, 50*time.Millisecond)
+					got = append(got, m)
+				}
+			}
+			return nil
+		})
+		if string(got[0]) != "one" || got[1] != nil || string(got[2]) != "three" {
+			t.Fatalf("got %q, want middle message dropped", got)
+		}
+	})
+}
+
+func TestDelayMsgArrivesLate(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(2)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultDelayMsg, Rank: 0, Dst: 1, AtCall: 0, Delay: 30 * time.Millisecond}))
+		var early, late []byte
+		w.RunE(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 7, []byte("delayed"))
+			} else {
+				early, _ = c.TryRecv(0, 7, 5*time.Millisecond)
+				late, _ = c.TryRecv(0, 7, time.Second)
+			}
+			return nil
+		})
+		if early != nil {
+			t.Errorf("message arrived before its delay: %q", early)
+		}
+		if string(late) != "delayed" {
+			t.Errorf("late recv = %q, want delayed message", late)
+		}
+	})
+}
+
+func TestDropContributionKeepsCollectiveAlive(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(3)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultDropContribution, Rank: 1, AtCall: 0}))
+		parts := make([][][]byte, 3)
+		_, errs := w.RunE(func(c *Comm) error {
+			var err error
+			parts[c.Rank()], err = c.TryAllgatherv([]byte{byte('a' + c.Rank())})
+			return err
+		})
+		for r := 0; r < 3; r++ {
+			if errs[r] != nil {
+				t.Fatalf("rank %d err = %v; drop-contribution must not kill anyone", r, errs[r])
+			}
+			if len(parts[r][1]) != 0 {
+				t.Errorf("rank %d saw dropped contribution %q", r, parts[r][1])
+			}
+			if string(parts[r][0]) != "a" || string(parts[r][2]) != "c" {
+				t.Errorf("rank %d parts = %q", r, parts[r])
+			}
+		}
+	})
+}
+
+func TestCollectiveTimeoutFaultIsLocal(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(3)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultTimeout, Rank: 2, AtCall: 0}))
+		errsByRank := make([]error, 3)
+		_, errs := w.RunE(func(c *Comm) error {
+			_, errsByRank[c.Rank()] = c.TryAllgatherv([]byte("x"))
+			return nil
+		})
+		for r := 0; r < 3; r++ {
+			if errs[r] != nil {
+				t.Fatalf("rank %d body err = %v", r, errs[r])
+			}
+		}
+		fe, ok := AsFault(errsByRank[2])
+		if !ok || !fe.Timeout {
+			t.Errorf("victim err = %v, want timeout", errsByRank[2])
+		}
+		if errsByRank[0] != nil || errsByRank[1] != nil {
+			t.Errorf("peers saw errors: %v, %v", errsByRank[0], errsByRank[1])
+		}
+	})
+}
+
+func TestStragglerEvictionByBarrierTimeout(t *testing.T) {
+	withTimeout(t, 10*time.Second, func() {
+		w := NewWorld(3)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultSlow, Rank: 2, AtCall: 0, Delay: 300 * time.Millisecond}))
+		w.SetBarrierTimeout(30 * time.Millisecond)
+		barrierErrs := make([]error, 3)
+		_, errs := w.RunE(func(c *Comm) error {
+			c.Probe() // rank 2 starts sleeping 300ms per op here
+			barrierErrs[c.Rank()] = c.TryBarrier()
+			return nil
+		})
+		fe, ok := AsFault(errs[2])
+		if !ok || !fe.Evicted {
+			t.Fatalf("straggler err = %v, want evicted", errs[2])
+		}
+		for _, r := range []int{0, 1} {
+			if errs[r] != nil {
+				t.Errorf("survivor %d err = %v", r, errs[r])
+			}
+			fe, ok := AsFault(barrierErrs[r])
+			if !ok || !reflect.DeepEqual(fe.Dead, []int{2}) {
+				t.Errorf("survivor %d barrier err = %v, want dead [2]", r, barrierErrs[r])
+			}
+		}
+	})
+}
+
+func TestFaultsAreOneShot(t *testing.T) {
+	p := NewFaultPlan(Fault{Kind: FaultKill, Rank: 0, AtCall: 3})
+	if fs := p.takeCall(0, 3); len(fs) != 1 {
+		t.Fatalf("first take = %v", fs)
+	}
+	if fs := p.takeCall(0, 3); len(fs) != 0 {
+		t.Fatalf("fault fired twice: %v", fs)
+	}
+	if fired := p.Fired(); len(fired) != 1 || fired[0].Rank != 0 {
+		t.Errorf("Fired() = %v", fired)
+	}
+}
+
+func TestRandomKillPlanDeterministic(t *testing.T) {
+	a := RandomKillPlan(42, 8, 2, 10).Faults()
+	b := RandomKillPlan(42, 8, 2, 10).Faults()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans: %v vs %v", a, b)
+	}
+	if len(a) != 2 {
+		t.Fatalf("plan = %v, want 2 kills", a)
+	}
+	victims := map[int]bool{}
+	for _, f := range a {
+		if f.Kind != FaultKill || f.Rank < 0 || f.Rank >= 8 || f.AtCall < 0 || f.AtCall >= 10 {
+			t.Errorf("fault out of range: %v", f)
+		}
+		victims[f.Rank] = true
+	}
+	if len(victims) != 2 {
+		t.Errorf("victims not distinct: %v", a)
+	}
+	c := RandomKillPlan(43, 8, 2, 10).Faults()
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical plans")
+	}
+}
+
+func TestParseFaultSpecRoundTrip(t *testing.T) {
+	spec := "kill:rank=1,call=5; slow:rank=2,call=0,delay=10ms; " +
+		"dropmsg:src=0,dst=1,msg=2; delaymsg:src=0,dst=1,msg=2,delay=5ms; " +
+		"dropcontrib:rank=1,coll=3; timeout:rank=1,coll=2"
+	p, err := ParseFaultSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: FaultKill, Rank: 1, AtCall: 5},
+		{Kind: FaultSlow, Rank: 2, AtCall: 0, Delay: 10 * time.Millisecond},
+		{Kind: FaultDropMsg, Rank: 0, Dst: 1, AtCall: 2},
+		{Kind: FaultDelayMsg, Rank: 0, Dst: 1, AtCall: 2, Delay: 5 * time.Millisecond},
+		{Kind: FaultDropContribution, Rank: 1, AtCall: 3},
+		{Kind: FaultTimeout, Rank: 1, AtCall: 2},
+	}
+	if got := p.Faults(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %v,\nwant %v", got, want)
+	}
+	for _, bad := range []string{"explode:rank=1", "kill:rank=1", "kill:call", "kill:rank=x,call=1"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestDeadRanksAscending(t *testing.T) {
+	withTimeout(t, 5*time.Second, func() {
+		w := NewWorld(4)
+		w.SetFaults(NewFaultPlan(
+			Fault{Kind: FaultKill, Rank: 3, AtCall: 0},
+			Fault{Kind: FaultKill, Rank: 1, AtCall: 0},
+		))
+		w.RunE(func(c *Comm) error {
+			c.TryBarrier()
+			return nil
+		})
+		dead := w.DeadRanks()
+		if !sort.IntsAreSorted(dead) || !reflect.DeepEqual(dead, []int{1, 3}) {
+			t.Errorf("DeadRanks = %v, want [1 3]", dead)
+		}
+	})
+}
+
+func TestFaultFreeRunHasNoErrors(t *testing.T) {
+	w := NewWorld(4)
+	w.SetFaults(NewFaultPlan()) // empty plan: machinery active, nothing fires
+	_, errs := w.RunE(func(c *Comm) error {
+		c.Barrier()
+		c.Allgatherv([]byte{byte(c.Rank())})
+		c.Probe()
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d err = %v", r, err)
+		}
+	}
+	if dead := w.DeadRanks(); dead != nil {
+		t.Errorf("DeadRanks = %v, want none", dead)
+	}
+}

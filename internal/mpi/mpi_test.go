@@ -212,7 +212,7 @@ func TestBarrierOrdering(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	w := NewWorld(2)
-	stats := w.Run(func(c *Comm) {
+	stats, _ := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]byte, 100))
 		} else {

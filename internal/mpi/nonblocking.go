@@ -17,8 +17,10 @@ type Request struct {
 
 // Isend starts a nonblocking send. The payload is copied immediately,
 // so the caller may reuse the buffer. The returned request completes
-// when the message has been delivered to the destination mailbox.
+// when the message has been delivered to the destination mailbox (or
+// discarded, if the destination is dead).
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.opCheck("Isend")
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: isend to invalid rank %d", dst))
 	}
@@ -28,20 +30,22 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	c.Stats.BytesSent += int64(len(data))
 	c.Stats.Messages++
 	go func() {
-		c.world.boxes[c.rank][dst] <- message{tag: tag, data: buf}
+		c.world.deliver(c.rank, dst, message{tag: tag, data: buf})
 		r.done <- nil
 	}()
 	return r
 }
 
 // Irecv starts a nonblocking receive for a message with the given tag
-// from src. Wait returns its payload.
+// from src. Wait returns its payload, or nil if src died before the
+// message arrived.
 //
 // Note: Irecv consumes from the same mailbox as Recv; do not mix a
 // blocking Recv with an outstanding Irecv from the same source, as
 // message stealing between them is unspecified (matching MPI's
 // guidance on overlapping receives).
 func (c *Comm) Irecv(src, tag int) *Request {
+	c.opCheck("Irecv")
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: irecv from invalid rank %d", src))
 	}
@@ -50,8 +54,36 @@ func (c *Comm) Irecv(src, tag int) *Request {
 		// Tag matching against the pending queue is owned by the comm's
 		// goroutine; nonblocking receives bypass the queue and match
 		// directly from the mailbox stream.
+		box := c.world.boxes[src][c.rank]
 		for {
-			m := <-c.world.boxes[src][c.rank]
+			if c.world.faulty() {
+				deaths := c.world.deathChan()
+				select {
+				case m := <-box:
+					if m.tag == tag {
+						r.done <- m.data
+						return
+					}
+					c.world.requeue(src, c.rank, m)
+					continue
+				default:
+				}
+				if c.world.isDead(src) {
+					r.done <- nil // source died; the message will never come
+					return
+				}
+				select {
+				case m := <-box:
+					if m.tag == tag {
+						r.done <- m.data
+						return
+					}
+					c.world.requeue(src, c.rank, m)
+				case <-deaths:
+				}
+				continue
+			}
+			m := <-box
 			if m.tag == tag {
 				r.done <- m.data
 				return
@@ -91,20 +123,38 @@ func Waitall(reqs []*Request) [][]byte {
 // Scatterv distributes root's per-rank payloads: rank i receives
 // parts[i]. Non-root ranks pass nil parts.
 func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
+	out, err := c.TryScatterv(root, parts)
+	if err != nil {
+		c.abort(err)
+	}
+	return out
+}
+
+// TryScatterv is Scatterv returning observed failures as a
+// *FaultError; the received payload is still returned alongside it.
+func (c *Comm) TryScatterv(root int, parts [][]byte) ([]byte, error) {
+	drop, timeoutErr := c.collHooks("Scatterv")
 	if c.rank == root {
 		if len(parts) != c.world.size {
 			panic(fmt.Sprintf("mpi: scatterv needs %d parts, got %d", c.world.size, len(parts)))
 		}
 		c.world.slotMu.Lock()
 		for r := 0; r < c.world.size; r++ {
-			c.world.slots[r] = parts[r]
+			if drop {
+				c.world.slots[r] = nil
+			} else {
+				c.world.slots[r] = parts[r]
+			}
 			if r != root {
 				c.Stats.BytesSent += int64(len(parts[r]))
 			}
 		}
 		c.world.slotMu.Unlock()
 	}
-	c.Barrier()
+	dead1, ev := c.syncPoint()
+	if ev {
+		return nil, c.collResult("Scatterv", dead1, true, timeoutErr)
+	}
 	c.world.slotMu.Lock()
 	src := c.world.slots[c.rank]
 	c.world.slotMu.Unlock()
@@ -113,9 +163,9 @@ func (c *Comm) Scatterv(root int, parts [][]byte) []byte {
 	if c.rank != root {
 		c.Stats.BytesRecv += int64(len(src))
 	}
-	c.Barrier()
+	dead2, ev := c.syncPoint()
 	c.Stats.CollectiveOps++
-	return out
+	return out, c.collResult("Scatterv", unionDead(dead1, dead2), ev, timeoutErr)
 }
 
 // ReduceInt64 combines v across ranks with op; only root receives the

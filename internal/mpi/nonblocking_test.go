@@ -61,7 +61,7 @@ func TestIsendCopiesBuffer(t *testing.T) {
 
 func TestIrecvStats(t *testing.T) {
 	w := NewWorld(2)
-	stats := w.Run(func(c *Comm) {
+	stats, _ := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Isend(1, 0, make([]byte, 64)).Wait()
 		} else {
