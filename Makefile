@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench verify clean
+.PHONY: build test race fuzz bench bench-chrysalis verify clean
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,26 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Chrysalis overhead snapshot: the fault-layer and trace-recorder
+# benchmarks, recorded as BENCH_chrysalis.json so overhead regressions
+# show up in review diffs. The awk pass converts `go test -bench`
+# lines ("BenchmarkName-8  N  v unit  v unit ...") into one JSON
+# object per benchmark.
+BENCH_JSON ?= BENCH_chrysalis.json
+bench-chrysalis:
+	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 3x . \
+	| awk 'BEGIN { printf("{\n") } \
+	       /^Benchmark/ { if (n++) printf(",\n"); \
+	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
+	         for (i = 3; i < NF; i += 2) printf(", \"%s\": %s", $$(i+1), $$i); \
+	         printf("}") } \
+	       END { printf("\n}\n") }' > $(BENCH_JSON)
+	@cat $(BENCH_JSON)
+
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 
 clean:
 	rm -rf bin

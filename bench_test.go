@@ -285,6 +285,50 @@ func BenchmarkChrysalisWithFaultLayer(b *testing.B) {
 	}
 }
 
+// BenchmarkChrysalisTraceRecorder measures what the trace recorder
+// costs the Chrysalis hot spots. The nil-recorder runs are the
+// baseline — every trace hook starts with a nil check, so a run
+// without a recorder must pay nothing measurable — and the
+// active-recorder runs show the full collection cost (span/event
+// appends under one mutex plus the MPI observer callbacks).
+func BenchmarkChrysalisTraceRecorder(b *testing.B) {
+	const k, ranks = 21, 4
+	d := GenerateDataset(TinyProfile(1))
+	table, err := jellyfish.Count(d.Reads, jellyfish.Options{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	contigs, _, err := inchworm.Run(table.Entries(1), inchworm.Options{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(rec *TraceRecorder) {
+		res, err := chrysalis.GraphFromFasta(contigs, table, ranks, chrysalis.GFFOptions{
+			K: k, ThreadsPerRank: 2, Trace: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chrysalis.ReadsToTranscripts(d.Reads, contigs, res.Components, ranks,
+			chrysalis.R2TOptions{K: k, ThreadsPerRank: 2, Trace: rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var off, on time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runOnce(nil)
+		off += time.Since(t0)
+		t0 = time.Now()
+		runOnce(NewTraceRecorder(ranks))
+		on += time.Since(t0)
+	}
+	b.StopTimer()
+	overheadPct := 100 * (on - off).Seconds() / off.Seconds()
+	b.ReportMetric(overheadPct, "recorder_overhead_%")
+}
+
 // BenchmarkPipelineEndToEnd measures the real (laptop-scale) pipeline
 // wall time, serial vs hybrid ranks.
 func BenchmarkPipelineEndToEnd(b *testing.B) {

@@ -14,7 +14,9 @@ import (
 	"log"
 	"os"
 
+	"gotrinity/internal/cluster"
 	"gotrinity/internal/experiments"
+	"gotrinity/internal/trace"
 )
 
 func main() {
@@ -29,12 +31,30 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full laptop scale)")
 	runs := flag.Int("runs", 0, "validation runs per version (figs 4-6; 0 = figure default)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the figures' pipeline runs")
 	flag.Parse()
 
 	l := experiments.NewLab(*scale)
 	if !*quiet {
 		l.Log = os.Stderr
 	}
+	if *traceOut != "" {
+		l.Trace = trace.New(cluster.BlueWonder(16))
+	}
+	defer func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := l.Trace.WriteChrome(f, trace.ChromeOptions{IncludeReal: true}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote trace %s", *traceOut)
+	}()
 	w := os.Stdout
 
 	run := func(n int) error {

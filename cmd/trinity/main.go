@@ -17,8 +17,10 @@ import (
 	"strings"
 
 	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/cluster"
 	"gotrinity/internal/core"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 )
 
 func main() {
@@ -33,6 +35,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
 	minPairs := flag.Int("min-pair-support", 0, "drop transcripts spanned by fewer mate pairs (0 = keep all)")
 	showTrace := flag.Bool("trace", false, "print the per-stage Collectl-style trace")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-style text metrics of the run")
+	timelineOut := flag.String("timeline-out", "", "write the Fig. 2/11-style stage timeline regenerated from the trace")
 	faultSpec := flag.String("fault-spec", "", "inject faults into the hybrid Chrysalis, e.g. \"kill:rank=1,call=5; slow:rank=2,call=0,delay=10ms\"")
 	faultSeed := flag.Int64("fault-seed", 0, "seeded fault plan killing one rank at a pseudo-random point (ignored when --fault-spec is set)")
 	recover := flag.Bool("recover", false, "enable chunk checkpointing/recovery even without injected faults")
@@ -51,6 +56,14 @@ func main() {
 	}
 	log.Printf("loaded %d reads from %s", len(reads), *readsPath)
 
+	// The recorder models one virtual Blue Wonder node per rank.
+	var rec *trace.Recorder
+	if *traceOut != "" || *metricsOut != "" || *timelineOut != "" {
+		rec = trace.New(cluster.BlueWonder(*nprocs))
+		rec.Meta(fmt.Sprintf("reads: %d from %s", len(reads), *readsPath))
+		rec.Meta(fmt.Sprintf("nprocs: %d threads: %d k: %d seed: %d", *nprocs, *threads, *k, *seed))
+	}
+
 	res, err := core.Run(reads, core.Config{
 		K:              *k,
 		Ranks:          *nprocs,
@@ -63,6 +76,7 @@ func main() {
 		MaxRetries:     *maxRetries,
 		RetryBackoff:   *retryBackoff,
 		RankTimeout:    *rankTimeout,
+		Trace:          rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +96,41 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		writeExport(*traceOut, "trace", func(w io.Writer) error {
+			return rec.WriteChrome(w, trace.ChromeOptions{IncludeReal: true})
+		})
+	}
+	if *metricsOut != "" {
+		writeExport(*metricsOut, "metrics", func(w io.Writer) error {
+			return rec.WriteMetrics(w, trace.MetricsOptions{IncludeReal: true})
+		})
+	}
+	if *timelineOut != "" {
+		writeExport(*timelineOut, "timeline", rec.WriteTimeline)
+	}
+}
+
+// writeExport writes one trace export to path ("-" = stdout).
+func writeExport(path, what string, write func(io.Writer) error) {
+	if path == "-" {
+		if err := write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s %s", what, path)
 }
 
 // logRecovery prints what the fault layer injected and recovered.

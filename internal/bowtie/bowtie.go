@@ -192,6 +192,12 @@ type Stats struct {
 	Aligned       int64 // reads with a reported alignment
 	SeedProbes    int64 // index lookups
 	BasesCompared int64 // verification comparisons (work units)
+
+	// MakespanSec and ThreadImbalance summarise the OpenMP section
+	// (wall time of the busiest worker and busiest/least-busy ratio);
+	// real-time measurements, so run-dependent.
+	MakespanSec     float64
+	ThreadImbalance float64
 }
 
 // Aligner runs reads against one index.
@@ -301,12 +307,13 @@ func (a *Aligner) alignOneStrand(read []byte, reverse bool, st *Stats) (Alignmen
 
 // AlignAll aligns every read using the configured thread count and
 // returns the alignments (in read order, unaligned reads omitted) plus
-// aggregate stats.
+// aggregate stats, including the OpenMP section's makespan and thread
+// imbalance.
 func (a *Aligner) AlignAll(reads []seq.Record) ([]Alignment, Stats) {
 	threads := a.ix.opt.Threads
 	perThread := make([]Stats, threads)
 	results := make([]*Alignment, len(reads))
-	omp.ParallelFor(len(reads), threads, omp.Schedule{Kind: omp.Dynamic, Chunk: 64},
+	prof := omp.ParallelForProfiled(len(reads), threads, omp.Schedule{Kind: omp.Dynamic, Chunk: 64},
 		func(i, tid int) {
 			if al, ok := a.AlignRead(&reads[i], &perThread[tid]); ok {
 				alCopy := al
@@ -314,7 +321,7 @@ func (a *Aligner) AlignAll(reads []seq.Record) ([]Alignment, Stats) {
 			}
 		})
 	var out []Alignment
-	var agg Stats
+	agg := Stats{MakespanSec: prof.Makespan().Seconds(), ThreadImbalance: prof.Imbalance()}
 	for _, r := range results {
 		if r != nil {
 			out = append(out, *r)

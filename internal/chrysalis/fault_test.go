@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -244,7 +245,7 @@ func TestRecoverChunksExhaustsRoundsTyped(t *testing.T) {
 		w.RunE(func(c *mpi.Comm) error {
 			rep := &recReport{}
 			// A chunk that never completes: compute checkpoints nothing.
-			rankErrs[c.Rank()] = recoverChunks(c, "stuck", RecoveryOptions{MaxRounds: 2}, rep,
+			rankErrs[c.Rank()] = recoverChunks(c, "stuck", RecoveryOptions{MaxRounds: 2}, rep, nil,
 				func() []int { return []int{7} },
 				func(ch int) ([]byte, float64) { return nil, 0 })
 			return nil
@@ -256,6 +257,91 @@ func TestRecoverChunksExhaustsRoundsTyped(t *testing.T) {
 			}
 			if ue.Rounds != 2 || !reflect.DeepEqual(ue.MissingChunks, []int{7}) {
 				t.Errorf("rank %d report = %+v", r, ue)
+			}
+		}
+	})
+}
+
+// TestRecoverChunksExactMultipleCoverage pins the reassignment rule at
+// its boundary: when the missing-chunk count is an exact multiple of
+// the survivor count, missing[i] goes to alive[i mod len(alive)], every
+// chunk is recomputed exactly once, and no survivor is skipped.
+func TestRecoverChunksExactMultipleCoverage(t *testing.T) {
+	guard(t, 30*time.Second, func() {
+		const ranks, chunks = 4, 8 // 8 % 4 == 0
+		w := mpi.NewWorld(ranks)
+		w.SetFaults(mpi.NewFaultPlan())
+		store := newChunkStore[int](chunks)
+		var mu sync.Mutex
+		computedBy := map[int][]int{}
+		rankErrs := make([]error, ranks)
+		w.RunE(func(c *mpi.Comm) error {
+			rep := &recReport{}
+			rankErrs[c.Rank()] = recoverChunks(c, "boundary", RecoveryOptions{MaxRounds: 3}, rep, nil,
+				store.missing,
+				func(ch int) ([]byte, float64) {
+					mu.Lock()
+					computedBy[ch] = append(computedBy[ch], c.Rank())
+					mu.Unlock()
+					store.put(ch, []int{ch}, []float64{1})
+					return []byte{byte(ch)}, 1
+				})
+			return nil
+		})
+		for r, err := range rankErrs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		for ch := 0; ch < chunks; ch++ {
+			if got := computedBy[ch]; len(got) != 1 || got[0] != ch%ranks {
+				t.Errorf("chunk %d computed by %v, want exactly [%d]", ch, got, ch%ranks)
+			}
+		}
+	})
+}
+
+// TestRecoverChunksExactMultipleAfterDeath repeats the boundary with a
+// rank killed during the agreement: the missing count is then an exact
+// multiple of the shrunken survivor set, and the modular reassignment
+// must still cover every chunk exactly once.
+func TestRecoverChunksExactMultipleAfterDeath(t *testing.T) {
+	guard(t, 30*time.Second, func() {
+		const ranks, chunks = 4, 6 // survivors = 3 after one death; 6 % 3 == 0
+		w := mpi.NewWorld(ranks)
+		w.SetFaults(mpi.NewFaultPlan(mpi.Fault{Kind: mpi.FaultKill, Rank: 1, AtCall: 0}))
+		store := newChunkStore[int](chunks)
+		var mu sync.Mutex
+		computedBy := map[int][]int{}
+		_, worldErrs := w.RunE(func(c *mpi.Comm) error {
+			rep := &recReport{}
+			return recoverChunks(c, "boundary", RecoveryOptions{MaxRounds: 4}, rep, nil,
+				store.missing,
+				func(ch int) ([]byte, float64) {
+					mu.Lock()
+					computedBy[ch] = append(computedBy[ch], c.Rank())
+					mu.Unlock()
+					store.put(ch, []int{ch}, []float64{1})
+					return []byte{byte(ch)}, 1
+				})
+		})
+		for r, err := range worldErrs {
+			if r == 1 {
+				var fe *mpi.FaultError
+				if !errors.As(err, &fe) || !fe.Killed {
+					t.Errorf("killed rank 1 err = %v, want a killed *mpi.FaultError", err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("survivor rank %d: %v", r, err)
+			}
+		}
+		alive := []int{0, 2, 3}
+		for ch := 0; ch < chunks; ch++ {
+			want := alive[ch%len(alive)]
+			if got := computedBy[ch]; len(got) != 1 || got[0] != want {
+				t.Errorf("chunk %d computed by %v, want exactly [%d]", ch, got, want)
 			}
 		}
 	})

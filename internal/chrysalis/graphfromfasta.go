@@ -9,6 +9,7 @@ import (
 	"gotrinity/internal/kmer"
 	"gotrinity/internal/mpi"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 )
 
 // GFFOptions configures GraphFromFasta.
@@ -59,6 +60,12 @@ type GFFOptions struct {
 	// Recovery configures chunk checkpointing, dead-rank chunk
 	// reassignment and the straggler policy (see recovery.go).
 	Recovery RecoveryOptions
+
+	// Trace, when non-nil, receives per-rank phase spans in virtual
+	// cluster time, per-chunk work observations, MPI traffic (as the
+	// world's observer) and fault/recovery events. Purely additive:
+	// results and metered profiles are identical with or without it.
+	Trace *trace.Recorder
 }
 
 func (o *GFFOptions) normalize() error {
@@ -93,15 +100,17 @@ type Component struct {
 // GFFRankProfile meters what one rank did, in raw work units and
 // communication stats; the cluster cost model converts it to seconds.
 type GFFRankProfile struct {
-	SetupUnits  float64   // non-parallel: contig k-mer index build
-	Loop1Units  float64   // makespan over this rank's logical threads
-	Comm1       mpi.Stats // weld pooling traffic (including recovery rounds)
-	MidUnits    float64   // non-parallel: pooled weld index build
-	Loop2Units  float64   // makespan over this rank's logical threads
-	Comm2       mpi.Stats // pair pooling traffic (including recovery rounds)
-	OutputUnits float64   // non-parallel: union-find + component output
-	Welds       int       // welds this rank harvested
-	Pairs       int       // weld incidences this rank found
+	SetupUnits     float64   // non-parallel: contig k-mer index build
+	Loop1Units     float64   // makespan over this rank's logical threads
+	Loop1Imbalance float64   // thread load imbalance (max/min) in loop 1
+	Comm1          mpi.Stats // weld pooling traffic (including recovery rounds)
+	MidUnits       float64   // non-parallel: pooled weld index build
+	Loop2Units     float64   // makespan over this rank's logical threads
+	Loop2Imbalance float64   // thread load imbalance (max/min) in loop 2
+	Comm2          mpi.Stats // pair pooling traffic (including recovery rounds)
+	OutputUnits    float64   // non-parallel: union-find + component output
+	Welds          int       // welds this rank harvested
+	Pairs          int       // weld incidences this rank found
 }
 
 // GFFResult is the full GraphFromFasta output.
@@ -213,6 +222,9 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		world.SetBarrierTimeout(ro.RankTimeout)
 		world.SetRecvTimeout(ro.RankTimeout)
 	}
+	if opt.Trace != nil {
+		world.SetObserver(opt.Trace)
+	}
 	_, errs := world.RunE(func(c *Comm) error {
 		rank := c.Rank()
 		prof := &profiles[rank]
@@ -256,7 +268,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			if rank == 0 {
 				countDrops(rep, counts, parts)
 			}
-			if err := recoverChunks(c, "graphfromfasta/welds", ro, rep, store1.missing,
+			if err := recoverChunks(c, "graphfromfasta/welds", ro, rep, opt.Trace, store1.missing,
 				func(ch int) ([]byte, float64) {
 					ws, chCosts, units := weldChunk(ch)
 					store1.put(ch, ws, chCosts)
@@ -266,7 +278,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			}
 			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
 			myCosts := store1.itemCosts(len(seqs), dist.ChunkRange)
-			prof.Loop1Units = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			prof.Loop1Units, prof.Loop1Imbalance = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
 			widxOnce.Do(func() {
 				chunkParts := make([][]byte, dist.Chunks())
 				for ch := range chunkParts {
@@ -277,7 +289,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			})
 		} else {
 			c.Barrier() // all per-contig costs visible to every rank
-			prof.Loop1Units = replicatedMakespan(dist, costs1, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			prof.Loop1Units, prof.Loop1Imbalance = replicatedMakespan(dist, costs1, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
 			c.AllgatherInt(len(packed))
 			parts := c.Allgatherv(packed)
 			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
@@ -320,7 +332,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		if active {
 			c.TryAllgatherInt(len(myPairs))
 			c.TryAllgathervInt64(myPairs)
-			if err := recoverChunks(c, "graphfromfasta/pairs", ro, rep, store2.missing,
+			if err := recoverChunks(c, "graphfromfasta/pairs", ro, rep, opt.Trace, store2.missing,
 				func(ch int) ([]byte, float64) {
 					encs, chCosts, units := pairChunk(ch)
 					store2.put(ch, encs, chCosts)
@@ -330,14 +342,14 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			}
 			prof.Comm2 = cluster.StatsDelta(before, c.Stats)
 			myCosts := store2.itemCosts(len(seqs), dist.ChunkRange)
-			prof.Loop2Units = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			prof.Loop2Units, prof.Loop2Imbalance = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
 			allPairs = make([][]int64, dist.Chunks())
 			for ch := range allPairs {
 				allPairs[ch] = store2.chunk(ch)
 			}
 		} else {
 			c.Barrier()
-			prof.Loop2Units = replicatedMakespan(dist, costs2, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
+			prof.Loop2Units, prof.Loop2Imbalance = replicatedMakespan(dist, costs2, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
 			c.AllgatherInt(len(myPairs))
 			allPairs = c.AllgathervInt64(myPairs)
 			prof.Comm2 = cluster.StatsDelta(before, c.Stats)
@@ -395,7 +407,56 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	if active {
 		res.Recovery = rep.snapshot("graphfromfasta", world.DeadRanks())
 	}
+	traceGFF(opt, dist, profiles, costs1, costs2, store1, store2, len(seqs))
 	return res, nil
+}
+
+// traceGFF converts the metered per-rank profiles into virtual-time
+// phase spans and per-chunk work observations. Emitted after the world
+// completes, from the (deterministic) profiles, so the trace is
+// byte-stable regardless of goroutine interleaving.
+func traceGFF(opt GFFOptions, dist Distribution, profiles []GFFRankProfile,
+	costs1, costs2 []float64, store1 *chunkStore[string], store2 *chunkStore[int64], nItems int) {
+	rec := opt.Trace
+	if rec == nil {
+		return
+	}
+	base := rec.Base()
+	for rank := range profiles {
+		p := &profiles[rank]
+		cur := base
+		for _, ph := range []struct {
+			name string
+			dur  float64
+			arg  string
+		}{
+			{"setup", rec.WorkSeconds(p.SetupUnits), ""},
+			{"loop1", rec.WorkSeconds(p.Loop1Units), fmt.Sprintf("welds=%d imbalance=%.3f", p.Welds, p.Loop1Imbalance)},
+			{"comm1", rec.CommSeconds(p.Comm1), fmt.Sprintf("bytes=%d ops=%d", p.Comm1.BytesSent+p.Comm1.BytesRecv, p.Comm1.CollectiveOps)},
+			{"mid", rec.WorkSeconds(p.MidUnits), ""},
+			{"loop2", rec.WorkSeconds(p.Loop2Units), fmt.Sprintf("pairs=%d imbalance=%.3f", p.Pairs, p.Loop2Imbalance)},
+			{"comm2", rec.CommSeconds(p.Comm2), fmt.Sprintf("bytes=%d ops=%d", p.Comm2.BytesSent+p.Comm2.BytesRecv, p.Comm2.CollectiveOps)},
+			{"output", rec.WorkSeconds(p.OutputUnits), ""},
+		} {
+			rec.Span("graphfromfasta", ph.name, rank, cur, ph.dur, ph.arg)
+			cur += ph.dur
+		}
+	}
+	if store1 != nil {
+		costs1 = store1.itemCosts(nItems, dist.ChunkRange)
+		costs2 = store2.itemCosts(nItems, dist.ChunkRange)
+	}
+	for ch := 0; ch < dist.Chunks(); ch++ {
+		lo, hi := dist.ChunkRange(ch)
+		var u1, u2 float64
+		for i := lo; i < hi; i++ {
+			u1 += costs1[i]
+			u2 += costs2[i]
+		}
+		rec.Observe("gff_weld_chunk_units", u1)
+		rec.Observe("gff_pair_chunk_units", u2)
+	}
+	rec.AdvanceBase()
 }
 
 // Comm aliases mpi.Comm for readability inside this package.

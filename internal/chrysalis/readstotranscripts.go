@@ -9,6 +9,7 @@ import (
 	"gotrinity/internal/kmer"
 	"gotrinity/internal/mpi"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 )
 
 // R2TOptions configures ReadsToTranscripts.
@@ -46,6 +47,12 @@ type R2TOptions struct {
 	// Recovery configures chunk checkpointing, dead-rank chunk
 	// reassignment and the straggler policy (see recovery.go).
 	Recovery RecoveryOptions
+
+	// Trace, when non-nil, receives per-rank setup/chunk/stream/gather
+	// spans in virtual cluster time, per-chunk work observations, MPI
+	// traffic (as the world's observer) and fault/recovery events.
+	// Purely additive: results and profiles are unchanged by it.
+	Trace *trace.Recorder
 }
 
 func (o *R2TOptions) normalize() error {
@@ -82,13 +89,14 @@ type Assignment struct {
 
 // R2TRankProfile meters one rank's ReadsToTranscripts execution.
 type R2TRankProfile struct {
-	SetupUnits  float64   // OpenMP k-mer→bundle assignment (replicated per rank)
-	LoopUnits   float64   // MPI main loop makespan over logical threads
-	StreamUnits float64   // redundant streaming of discarded chunks
-	ConcatUnits float64   // final output concatenation (root only)
-	Comm        mpi.Stats // gather of per-rank outputs
-	Chunks      int       // chunks this rank kept
-	Assigned    int       // reads this rank assigned
+	SetupUnits    float64   // OpenMP k-mer→bundle assignment (replicated per rank)
+	LoopUnits     float64   // MPI main loop makespan over logical threads
+	LoopImbalance float64   // thread load imbalance (max/min) in the main loop
+	StreamUnits   float64   // redundant streaming of discarded chunks
+	ConcatUnits   float64   // final output concatenation (root only)
+	Comm          mpi.Stats // gather of per-rank outputs
+	Chunks        int       // chunks this rank kept
+	Assigned      int       // reads this rank assigned
 }
 
 // R2TResult is the full ReadsToTranscripts output.
@@ -234,6 +242,9 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		world.SetBarrierTimeout(ro.RankTimeout)
 		world.SetRecvTimeout(ro.RankTimeout)
 	}
+	if opt.Trace != nil {
+		world.SetObserver(opt.Trace)
+	}
 	_, errs := world.RunE(func(c *Comm) error {
 		rank := c.Rank()
 		prof := &profiles[rank]
@@ -298,7 +309,7 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		lookupCost := func(i int) float64 { return readCosts[i] }
 		if active {
 			c.TryBarrier() //nolint:errcheck — dead ranks are recovered below
-			if err := recoverChunks(c, "readstotranscripts", ro, rep, store.missing,
+			if err := recoverChunks(c, "readstotranscripts", ro, rep, opt.Trace, store.missing,
 				func(ch int) ([]byte, float64) {
 					asg, chCosts, units := assignChunk(ch)
 					store.put(ch, asg, chCosts)
@@ -311,11 +322,12 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		} else {
 			c.Barrier() // all per-read costs visible to every rank
 		}
-		loop, stream := replicatedChunkStream(
+		loop, stream, imbalance := replicatedChunkStream(
 			len(reads), opt.MaxMemReads, ranks, rank, opt.Replicas, opt.ThreadsPerRank,
 			lookupCost,
 			func(i int) float64 { return opt.IOScanFactor * float64(len(reads[i].Seq)) })
 		prof.LoopUnits = loop
+		prof.LoopImbalance = imbalance
 		if opt.MasterDistribute && ranks > 1 {
 			// Master-distribute pays no redundant streaming on workers,
 			// but rank 0 streams everything (already metered above) and
@@ -367,7 +379,64 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		}
 		res.Recovery = rep.snapshot("readstotranscripts", world.DeadRanks())
 	}
+	traceR2T(opt, ranks, nChunks, chunkRange, profiles, readCosts, store)
 	return res, nil
+}
+
+// traceR2T converts the metered per-rank profiles into virtual-time
+// spans: per-rank setup, one span per kept chunk (its reads spread over
+// the rank's logical threads), the redundant-streaming tail, the output
+// gather, and the root's concatenation. Emitted after the world
+// completes, from deterministic data only.
+func traceR2T(opt R2TOptions, ranks, nChunks int, chunkRange func(ch int) (lo, hi int),
+	profiles []R2TRankProfile, readCosts []float64, store *chunkStore[Assignment]) {
+	rec := opt.Trace
+	if rec == nil {
+		return
+	}
+	costs := readCosts
+	if store != nil {
+		costs = store.itemCosts(len(readCosts), chunkRange)
+	}
+	base := rec.Base()
+	cursor := make([]float64, ranks)
+	for rank := range profiles {
+		cursor[rank] = base + rec.WorkSeconds(profiles[rank].SetupUnits)
+		rec.Span("readstotranscripts", "setup", rank, base, cursor[rank]-base, "")
+	}
+	for ch := 0; ch < nChunks; ch++ {
+		lo, hi := chunkRange(ch)
+		var units float64
+		for i := lo; i < hi; i++ {
+			units += costs[i]
+		}
+		rec.Observe("r2t_chunk_units", units)
+		owner := ch % ranks
+		// The chunk's reads divide across the rank's logical threads.
+		dur := rec.WorkSeconds(units / float64(opt.ThreadsPerRank))
+		rec.Span("readstotranscripts", fmt.Sprintf("chunk %d", ch), owner,
+			cursor[owner], dur, fmt.Sprintf("reads=%d units=%.0f", hi-lo, units))
+		cursor[owner] += dur
+	}
+	for rank := range profiles {
+		p := &profiles[rank]
+		for _, ph := range []struct {
+			name string
+			dur  float64
+			arg  string
+		}{
+			{"stream", rec.WorkSeconds(p.StreamUnits), ""},
+			{"gather", rec.CommSeconds(p.Comm), fmt.Sprintf("bytes=%d ops=%d", p.Comm.BytesSent+p.Comm.BytesRecv, p.Comm.CollectiveOps)},
+			{"concat", rec.WorkSeconds(p.ConcatUnits), fmt.Sprintf("assigned=%d imbalance=%.3f", p.Assigned, p.LoopImbalance)},
+		} {
+			if ph.dur == 0 && ph.name == "concat" {
+				continue // non-root ranks do not concatenate
+			}
+			rec.Span("readstotranscripts", ph.name, rank, cursor[rank], ph.dur, ph.arg)
+			cursor[rank] += ph.dur
+		}
+	}
+	rec.AdvanceBase()
 }
 
 // assignmentsFromStore concatenates the checkpointed chunks in chunk

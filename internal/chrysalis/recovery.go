@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gotrinity/internal/mpi"
+	"gotrinity/internal/trace"
 )
 
 // Fault recovery for the hybrid Chrysalis.
@@ -247,9 +248,11 @@ func packInt64s(xs []int64) []byte {
 // goes to alive[i mod len(alive)]), recompute and checkpoint their
 // shares, and exchange the recovered payloads so the retry traffic is
 // metered. compute must checkpoint the chunk and return the payload
-// bytes its exchange would carry, plus the work units spent.
+// bytes its exchange would carry, plus the work units spent. rec (may
+// be nil) receives one "agree_dead" event per round and one
+// "chunk_reassigned" event per recomputed chunk.
 func recoverChunks(c *mpi.Comm, stage string, opt RecoveryOptions, rep *recReport,
-	missing func() []int, compute func(chunk int) ([]byte, float64)) error {
+	rec *trace.Recorder, missing func() []int, compute func(chunk int) ([]byte, float64)) error {
 	for round := 0; ; round++ {
 		miss := missing()
 		if len(miss) == 0 {
@@ -283,6 +286,8 @@ func recoverChunks(c *mpi.Comm, stage string, opt RecoveryOptions, rep *recRepor
 		}
 		if c.Rank() == alive[0] {
 			rep.addRound() // every survivor runs the round; record it once
+			rec.Event("recovery", "agree_dead", c.Rank(),
+				fmt.Sprintf("stage=%s round=%d dead=%v missing=%d", stage, round+1, dead, len(miss)))
 		}
 		var payload []byte
 		for i, ch := range miss {
@@ -291,6 +296,8 @@ func recoverChunks(c *mpi.Comm, stage string, opt RecoveryOptions, rep *recRepor
 			}
 			part, units := compute(ch)
 			rep.addReassigned(ch, units)
+			rec.Event("recovery", "chunk_reassigned", c.Rank(),
+				fmt.Sprintf("stage=%s chunk=%d units=%.0f", stage, ch, units))
 			payload = append(payload, part...)
 			c.Probe()
 		}

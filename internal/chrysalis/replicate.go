@@ -16,11 +16,12 @@ import "gotrinity/internal/cluster"
 // matches paper scale. R=1 reproduces the raw scaled-data makespan.
 
 // replicatedMakespan replays the replicated chunk stream for one rank
-// and returns its per-thread makespan in (unreplicated) units. The
+// and returns its per-thread makespan in (unreplicated) units plus the
+// thread-level load imbalance (max/min, the paper's measure). The
 // distribution's Strategy decides chunk ownership; staticSched selects
 // the OpenMP static schedule instead of dynamic (for the ablation).
 func replicatedMakespan(d Distribution, costs []float64, rank, replicas, threads int,
-	staticSched bool) float64 {
+	staticSched bool) (makespan, imbalance float64) {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -46,15 +47,15 @@ func replicatedMakespan(d Distribution, costs []float64, rank, replicas, threads
 			g++
 		}
 	}
-	return sim.Makespan() / float64(replicas)
+	return sim.Makespan() / float64(replicas), sim.Imbalance()
 }
 
 // replicatedChunkStream replays an R2T-style modulo-owned chunk stream:
 // owned chunks contribute their per-item costs to the thread sim,
 // skipped chunks contribute streaming cost. Both totals are returned
-// normalized by the replica count.
+// normalized by the replica count, along with the thread imbalance.
 func replicatedChunkStream(nItems, chunkSize, ranks, rank, replicas, threads int,
-	itemCost func(i int) float64, scanCost func(i int) float64) (loop, stream float64) {
+	itemCost func(i int) float64, scanCost func(i int) float64) (loop, stream, imbalance float64) {
 	if replicas < 1 {
 		replicas = 1
 	}
@@ -81,5 +82,5 @@ func replicatedChunkStream(nItems, chunkSize, ranks, rank, replicas, threads int
 			g++
 		}
 	}
-	return sim.Makespan() / float64(replicas), scan / float64(replicas)
+	return sim.Makespan() / float64(replicas), scan / float64(replicas), sim.Imbalance()
 }

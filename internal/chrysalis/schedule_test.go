@@ -87,6 +87,50 @@ func TestDistributionPartitionProperty(t *testing.T) {
 	}
 }
 
+// Boundary case: the chunk count is an exact multiple of the rank
+// count and N is an exact multiple of the chunk size. Off-by-one bugs
+// in either direction show up here — a duplicated final chunk, a
+// phantom empty chunk, or a rank left without its full share.
+func TestExactMultipleBoundary(t *testing.T) {
+	cases := []struct{ n, ranks, chunk int }{
+		{80, 4, 10},  // chunks=8, 8%4==0
+		{60, 3, 10},  // chunks=6, 6%3==0
+		{128, 8, 16}, // chunks=8, 8%8==0: exactly one chunk per rank
+		{4, 4, 1},    // chunks=ranks=n: one item per chunk per rank
+	}
+	for _, tc := range cases {
+		d, err := NewDistribution(tc.n, tc.ranks, 1, tc.chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantChunks := tc.n / tc.chunk
+		if d.Chunks() != wantChunks {
+			t.Errorf("n=%d chunk=%d: Chunks() = %d, want %d", tc.n, tc.chunk, d.Chunks(), wantChunks)
+		}
+		// The final chunk is full-size, not clamped, and the chunk after
+		// it is empty, not out of range.
+		lo, hi := d.ChunkRange(wantChunks - 1)
+		if hi-lo != tc.chunk || hi != tc.n {
+			t.Errorf("n=%d chunk=%d: final chunk = [%d,%d)", tc.n, tc.chunk, lo, hi)
+		}
+		lo, hi = d.ChunkRange(wantChunks)
+		if lo != hi {
+			t.Errorf("n=%d chunk=%d: phantom chunk [%d,%d) past the end", tc.n, tc.chunk, lo, hi)
+		}
+		// Every rank owns exactly chunks/ranks chunks and n/ranks items.
+		for r := 0; r < tc.ranks; r++ {
+			if got := len(d.RankChunks(r)); got != wantChunks/tc.ranks {
+				t.Errorf("n=%d ranks=%d: rank %d owns %d chunks, want %d",
+					tc.n, tc.ranks, r, got, wantChunks/tc.ranks)
+			}
+			if got := d.RankItems(r); got != tc.n/tc.ranks {
+				t.Errorf("n=%d ranks=%d: rank %d owns %d items, want %d",
+					tc.n, tc.ranks, r, got, tc.n/tc.ranks)
+			}
+		}
+	}
+}
+
 func TestRankItemsSumsToN(t *testing.T) {
 	d, _ := NewDistribution(997, 7, 16, 13)
 	total := 0

@@ -65,6 +65,13 @@ func BlueWonder(nodes int) Config {
 	}
 }
 
+// Describe renders the virtual machine in one line, for trace metadata.
+func (c Config) Describe() string {
+	return fmt.Sprintf("%d node(s) x %d cores %.0fGB, net %.1fus/%.1fGBps, rate %g units/s/thread, scale %g",
+		c.Nodes, c.Node.Cores, c.Node.MemGB,
+		c.Net.LatencySec*1e6, c.Net.BandwidthBps/1e9, c.RatePerThread, c.WorkScale)
+}
+
 // Calibrate sets RatePerThread so that a serial-node run retiring
 // totalScaledUnits (measured on the scaled dataset, using `threads`
 // threads on one node) corresponds to paperSeconds of paper-scale wall
@@ -185,6 +192,30 @@ func (s *ThreadSim) Makespan() float64 {
 		}
 	}
 	return m
+}
+
+// Imbalance returns the max/min per-thread load, mirroring
+// RankTimes.Imbalance at the thread level; +Inf when a thread is idle.
+func (s *ThreadSim) Imbalance() float64 {
+	if len(s.load) == 0 {
+		return 1
+	}
+	min, max := s.load[0], s.load[0]
+	for _, l := range s.load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min == 0 {
+		if max == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return max / min
 }
 
 // TotalWork returns the summed per-thread load.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -179,5 +180,29 @@ func TestBlueWonderSpec(t *testing.T) {
 	cfg := BlueWonder(192)
 	if cfg.Nodes != 192 || cfg.Node.Cores != 16 || cfg.Node.MemGB != 128 {
 		t.Errorf("BlueWonder spec wrong: %+v", cfg)
+	}
+}
+
+func TestThreadSimImbalance(t *testing.T) {
+	s := NewThreadSim(2)
+	if im := s.Imbalance(); im != 1 {
+		t.Errorf("idle sim imbalance = %g, want 1", im)
+	}
+	s.Assign(10)
+	if !math.IsInf(s.Imbalance(), 1) {
+		t.Error("one idle thread must give +Inf imbalance")
+	}
+	s.Assign(5)
+	if im := s.Imbalance(); im != 2 {
+		t.Errorf("imbalance = %g, want 2", im)
+	}
+}
+
+func TestConfigDescribe(t *testing.T) {
+	d := BlueWonder(4).Describe()
+	for _, want := range []string{"4 node(s)", "16 cores", "128GB", "5.0us"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe() = %q, missing %q", d, want)
+		}
 	}
 }

@@ -93,18 +93,19 @@ func (s *Sampler) MarkStage(label string) {
 }
 
 // Stop ends sampling and returns the collected series. One final
-// sample is taken so short stages are never empty.
+// sample is taken so short stages are never empty. Stop is idempotent:
+// further calls return the already-collected series instead of
+// discarding it.
 func (s *Sampler) Stop() ([]Sample, []Mark) {
 	s.mu.Lock()
 	stop, done := s.stop, s.done
-	s.stop = nil
+	s.stop, s.done = nil, nil
 	s.mu.Unlock()
-	if stop == nil {
-		return nil, nil
+	if stop != nil {
+		close(stop)
+		<-done
+		s.record()
 	}
-	close(stop)
-	<-done
-	s.record()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Sample(nil), s.samples...), append([]Mark(nil), s.marks...)

@@ -39,14 +39,29 @@ func TestSamplerCollectsSeries(t *testing.T) {
 func TestSamplerStopIdempotent(t *testing.T) {
 	s := NewSampler(time.Millisecond)
 	s.Start()
+	s.MarkStage("phase")
 	time.Sleep(3 * time.Millisecond)
-	a, _ := s.Stop()
-	b, _ := s.Stop()
+	a, am := s.Stop()
+	b, bm := s.Stop()
 	if len(a) == 0 {
 		t.Error("first stop returned nothing")
 	}
-	if b != nil {
-		t.Error("second stop must return nil")
+	// Stop must be idempotent: a second call returns the collected
+	// series again instead of discarding it.
+	if len(b) != len(a) || len(bm) != len(am) {
+		t.Errorf("second stop lost data: %d/%d samples, %d/%d marks", len(b), len(a), len(bm), len(am))
+	}
+	for i := range a {
+		if b[i] != a[i] {
+			t.Fatalf("sample %d differs after second stop: %+v vs %+v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestSamplerStopBeforeStart(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	if samples, marks := s.Stop(); len(samples) != 0 || len(marks) != 0 {
+		t.Errorf("stop before start returned data: %v %v", samples, marks)
 	}
 }
 

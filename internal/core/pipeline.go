@@ -21,6 +21,7 @@ import (
 	"gotrinity/internal/mpi"
 	"gotrinity/internal/pyfasta"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 )
 
 // Config assembles the per-stage options of one pipeline run.
@@ -67,6 +68,12 @@ type Config struct {
 
 	Bowtie    bowtie.Options
 	Butterfly butterfly.Options
+
+	// Trace, when non-nil, records the whole run: real pipeline stage
+	// spans, virtual per-rank spans from the hybrid Chrysalis stages,
+	// MPI traffic, fault/recovery events, OpenMP section summaries, and
+	// the sampler's heap series. See internal/trace.
+	Trace *trace.Recorder
 }
 
 func (c *Config) normalize() error {
@@ -151,11 +158,15 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 		sampler = collectl.NewSampler(cfg.SampleInterval)
 		sampler.Start()
 	}
+	runStart := time.Now()
 	stage := func(name string, fn func() error) error {
 		if sampler != nil {
 			sampler.MarkStage(name)
 		}
-		return meter.Run(name, fn)
+		t0 := time.Now()
+		err := meter.Run(name, fn)
+		cfg.Trace.RealSpan("pipeline", name, t0.Sub(runStart).Seconds(), time.Since(t0).Seconds(), "")
+		return err
 	}
 
 	// --- Jellyfish: k-mer counting over the reads.
@@ -221,9 +232,19 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 			res.BowtieStats.Aligned += st.Aligned
 			res.BowtieStats.SeedProbes += st.SeedProbes
 			res.BowtieStats.BasesCompared += st.BasesCompared
+			// Partitions run serially here: makespans add, the worst
+			// thread imbalance of any partition is reported.
+			res.BowtieStats.MakespanSec += st.MakespanSec
+			if st.ThreadImbalance > res.BowtieStats.ThreadImbalance {
+				res.BowtieStats.ThreadImbalance = st.ThreadImbalance
+			}
 		}
 		res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
 		res.Scaffolds = ScaffoldPairs(res.Alignments)
+		cfg.Trace.RealEvent("omp", "bowtie_alignall", trace.RealRank,
+			fmt.Sprintf("makespan=%.6fs imbalance=%.3f aligned=%d/%d",
+				res.BowtieStats.MakespanSec, res.BowtieStats.ThreadImbalance,
+				res.BowtieStats.Aligned, res.BowtieStats.Reads))
 		return nil
 	})
 	if err != nil {
@@ -244,6 +265,7 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 			Replicas:          cfg.Replicas,
 			Faults:            plan,
 			Recovery:          recovery,
+			Trace:             cfg.Trace,
 		})
 		return err
 	})
@@ -262,6 +284,7 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 				Replicas:       cfg.Replicas,
 				Faults:         plan,
 				Recovery:       recovery,
+				Trace:          cfg.Trace,
 			})
 		return err
 	})
@@ -312,6 +335,7 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 
 	if sampler != nil {
 		res.Samples, res.Marks = sampler.Stop()
+		cfg.Trace.AddHeapSeries(res.Samples, res.Marks)
 	}
 	res.Trace = meter.Trace()
 	return res, nil

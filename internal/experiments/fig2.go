@@ -44,6 +44,7 @@ func pipelineProfile(l *Lab, nodes int) (*PipelineProfile, error) {
 	cfg.ThreadsPerRank = threadsPerNode
 	cfg.Replicas = timingReplicas
 	cfg.MaxWelds = 100 // match the calibration run, not the validation cap
+	cfg.Trace = l.Trace
 	res, err := core.Run(p.dataset.Reads, cfg)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"gotrinity/internal/jellyfish"
 	"gotrinity/internal/rnaseq"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 )
 
 // Paper baselines (seconds on one 16-thread node, sugarbeet dataset).
@@ -46,6 +47,9 @@ type Lab struct {
 	K int
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+	// Trace, when non-nil, records the figures' full pipeline runs
+	// (Fig. 2/11) for export; see internal/trace.
+	Trace *trace.Recorder
 
 	sugar *prepared
 }

@@ -48,6 +48,22 @@ type message struct {
 	data []byte
 }
 
+// Observer receives telemetry callbacks from a World: one per
+// point-to-point send, one per completed collective, one per rank
+// death. Implementations must be safe for concurrent use by all rank
+// goroutines and must not call back into the World — RankDeath in
+// particular fires with internal locks held.
+type Observer interface {
+	// Message is called after rank src sends bytes payload bytes to dst.
+	Message(src, dst, tag, bytes int)
+	// Collective is called as a collective completes on one rank, with
+	// the payload bytes that rank sent/received inside it.
+	Collective(rank int, op string, bytesSent, bytesRecv int64, participants int)
+	// RankDeath is called once per death; evicted distinguishes the
+	// straggler policy from an injected kill.
+	RankDeath(rank int, evicted bool)
+}
+
 // World owns the shared state of one simulated MPI job: the mailbox
 // matrix, the reusable barrier, the collective exchange slots, and the
 // fault-injection state.
@@ -63,6 +79,7 @@ type World struct {
 	plan           *FaultPlan    // nil = no fault injection
 	barrierTimeout time.Duration // straggler eviction bound (0 = wait forever)
 	recvTimeout    time.Duration // blocking-receive bound (0 = wait forever)
+	obs            Observer      // nil = no telemetry
 
 	deathMu sync.Mutex
 	deathCh chan struct{} // closed and replaced at every rank death
@@ -82,7 +99,7 @@ func NewWorld(size int) *World {
 		}
 	}
 	w.barrier.init(size)
-	w.barrier.onKill = func(rank int) {
+	w.barrier.onKill = func(rank int, evicted bool) {
 		// Runs with barrier.mu held; slotMu/deathMu are only ever taken
 		// after barrier.mu on this path, never the other way around.
 		w.slotMu.Lock()
@@ -92,6 +109,9 @@ func NewWorld(size int) *World {
 		close(w.deathCh) // wake receivers blocked on the dead rank
 		w.deathCh = make(chan struct{})
 		w.deathMu.Unlock()
+		if w.obs != nil {
+			w.obs.RankDeath(rank, evicted)
+		}
 	}
 	return w
 }
@@ -101,6 +121,9 @@ func (w *World) Size() int { return w.size }
 
 // SetFaults attaches a fault plan; must be called before Run.
 func (w *World) SetFaults(p *FaultPlan) { w.plan = p }
+
+// SetObserver attaches a telemetry observer; must be called before Run.
+func (w *World) SetObserver(o Observer) { w.obs = o }
 
 // SetBarrierTimeout bounds every barrier wait: ranks that have not
 // arrived when the bound expires are evicted from the world (the
@@ -129,7 +152,7 @@ func (w *World) isDead(rank int) bool {
 // its exchange slot is cleared, and blocked receivers are woken.
 func (w *World) kill(rank int) {
 	w.barrier.mu.Lock()
-	w.barrier.killLocked(rank)
+	w.barrier.killLocked(rank, false)
 	w.barrier.mu.Unlock()
 }
 
@@ -259,6 +282,9 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	copy(buf, data)
 	c.Stats.BytesSent += int64(len(data))
 	c.Stats.Messages++
+	if obs := c.world.obs; obs != nil {
+		obs.Message(c.rank, dst, tag, len(data))
+	}
 	if p := c.world.plan; p != nil {
 		ord := c.sentTo[dst]
 		c.sentTo[dst]++
@@ -412,6 +438,15 @@ func (c *Comm) collHooks(op string) (dropContrib bool, timeoutErr error) {
 	return dropContrib, timeoutErr
 }
 
+// observeCollective reports one completed collective to the world's
+// observer, with the byte deltas this rank accumulated inside it.
+func (c *Comm) observeCollective(op string, before Stats) {
+	if obs := c.world.obs; obs != nil {
+		obs.Collective(c.rank, op,
+			c.Stats.BytesSent-before.BytesSent, c.Stats.BytesRecv-before.BytesRecv, c.world.size)
+	}
+}
+
 // collResult folds the failure observations of one collective into a
 // single error (nil when the collective was clean).
 func (c *Comm) collResult(op string, dead []int, evicted bool, timeoutErr error) error {
@@ -439,6 +474,7 @@ func (c *Comm) AgreeDead() ([]int, error) {
 	if evicted {
 		return dead, &FaultError{Op: "AgreeDead", Rank: c.rank, Evicted: true, Dead: dead}
 	}
+	c.observeCollective("AgreeDead", c.Stats)
 	if timeoutErr != nil {
 		return dead, timeoutErr
 	}
@@ -464,6 +500,9 @@ func (c *Comm) Barrier() {
 func (c *Comm) TryBarrier() error {
 	_, timeoutErr := c.collHooks("Barrier")
 	dead, evicted := c.syncPoint()
+	if !evicted {
+		c.observeCollective("Barrier", c.Stats)
+	}
 	return c.collResult("Barrier", dead, evicted, timeoutErr)
 }
 
@@ -481,6 +520,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 // payload is still returned when only peer deaths were observed; it is
 // empty if the root is dead.
 func (c *Comm) TryBcast(root int, data []byte) ([]byte, error) {
+	before := c.Stats
 	drop, timeoutErr := c.collHooks("Bcast")
 	if c.rank == root {
 		contrib := data
@@ -506,6 +546,7 @@ func (c *Comm) TryBcast(root int, data []byte) ([]byte, error) {
 	}
 	dead2, ev := c.syncPoint() // slots must survive until everyone has copied
 	c.Stats.CollectiveOps++
+	c.observeCollective("Bcast", before)
 	return out, c.collResult("Bcast", unionDead(dead1, dead2), ev, timeoutErr)
 }
 
@@ -524,6 +565,7 @@ func (c *Comm) Allgatherv(data []byte) [][]byte {
 // *FaultError. Contributions of dead ranks come back empty; the
 // partial result is still returned alongside the error.
 func (c *Comm) TryAllgatherv(data []byte) ([][]byte, error) {
+	before := c.Stats
 	drop, timeoutErr := c.collHooks("Allgatherv")
 	contrib := data
 	if drop {
@@ -550,6 +592,7 @@ func (c *Comm) TryAllgatherv(data []byte) ([][]byte, error) {
 	c.Stats.BytesSent += int64(len(data)) * int64(c.world.size-1)
 	dead2, ev := c.syncPoint()
 	c.Stats.CollectiveOps++
+	c.observeCollective("Allgatherv", before)
 	return out, c.collResult("Allgatherv", unionDead(dead1, dead2), ev, timeoutErr)
 }
 
@@ -566,6 +609,7 @@ func (c *Comm) Gatherv(root int, data []byte) [][]byte {
 // TryGatherv is Gatherv returning observed failures as a *FaultError;
 // the partial result is still returned alongside the error.
 func (c *Comm) TryGatherv(root int, data []byte) ([][]byte, error) {
+	before := c.Stats
 	drop, timeoutErr := c.collHooks("Gatherv")
 	contrib := data
 	if drop {
@@ -597,6 +641,7 @@ func (c *Comm) TryGatherv(root int, data []byte) ([][]byte, error) {
 	}
 	dead2, ev := c.syncPoint()
 	c.Stats.CollectiveOps++
+	c.observeCollective("Gatherv", before)
 	return out, c.collResult("Gatherv", unionDead(dead1, dead2), ev, timeoutErr)
 }
 
@@ -719,7 +764,7 @@ type sharedBarrier struct {
 	// next barrier first), so the field cannot be overwritten under a
 	// waiter that is still returning.
 	lastDead []int
-	onKill   func(rank int) // invoked with mu held, once per death
+	onKill   func(rank int, evicted bool) // invoked with mu held, once per death
 }
 
 func (b *sharedBarrier) init(size int) {
@@ -742,7 +787,7 @@ func (b *sharedBarrier) deadLocked() []int {
 
 // killLocked marks rank dead (idempotent) and releases the current
 // phase if every remaining live rank has already arrived.
-func (b *sharedBarrier) killLocked(rank int) {
+func (b *sharedBarrier) killLocked(rank int, evicted bool) {
 	if b.dead[rank] {
 		return
 	}
@@ -753,7 +798,7 @@ func (b *sharedBarrier) killLocked(rank int) {
 		b.arrived--
 	}
 	if b.onKill != nil {
-		b.onKill(rank)
+		b.onKill(rank, evicted)
 	}
 	if b.alive > 0 && b.arrived > 0 && b.arrived >= b.alive {
 		b.releaseLocked()
@@ -812,7 +857,7 @@ func (b *sharedBarrier) await(self int, timeout time.Duration) (dead []int, evic
 			// ranks that HAD arrived would be evicted as collateral.
 			for r := 0; r < b.size && b.phase == phase; r++ {
 				if !b.dead[r] && !b.inBar[r] {
-					b.killLocked(r)
+					b.killLocked(r, true)
 				}
 			}
 		}

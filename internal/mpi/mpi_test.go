@@ -3,6 +3,7 @@ package mpi
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -250,5 +251,87 @@ func BenchmarkAllgatherv16(b *testing.B) {
 		w.Run(func(c *Comm) {
 			c.Allgatherv(payload)
 		})
+	}
+}
+
+// countingObserver records observer callbacks under a lock, as the
+// trace recorder does.
+type countingObserver struct {
+	mu        sync.Mutex
+	messages  int
+	msgBytes  int
+	colls     map[string]int
+	deaths    []int
+	evictions []int
+}
+
+func (o *countingObserver) Message(src, dst, tag, bytes int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.messages++
+	o.msgBytes += bytes
+}
+
+func (o *countingObserver) Collective(rank int, op string, sent, recv int64, participants int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.colls == nil {
+		o.colls = map[string]int{}
+	}
+	o.colls[op]++
+}
+
+func (o *countingObserver) RankDeath(rank int, evicted bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if evicted {
+		o.evictions = append(o.evictions, rank)
+	} else {
+		o.deaths = append(o.deaths, rank)
+	}
+}
+
+func TestObserverSeesTraffic(t *testing.T) {
+	w := NewWorld(4)
+	obs := &countingObserver{}
+	w.SetObserver(obs)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		}
+		if c.Rank() == 1 {
+			c.Recv(0, 7)
+		}
+		c.Barrier()
+		c.Allgatherv([]byte{byte(c.Rank())})
+		c.Bcast(0, []byte("x"))
+	})
+	if obs.messages != 1 || obs.msgBytes != 5 {
+		t.Errorf("messages=%d bytes=%d, want 1/5", obs.messages, obs.msgBytes)
+	}
+	for op, want := range map[string]int{"Barrier": 4, "Allgatherv": 4, "Bcast": 4} {
+		if obs.colls[op] != want {
+			t.Errorf("%s observed %d times, want %d", op, obs.colls[op], want)
+		}
+	}
+}
+
+func TestObserverSeesDeath(t *testing.T) {
+	plan := &FaultPlan{}
+	plan.Add(Fault{Kind: FaultKill, Rank: 1, AtCall: 1})
+	w := NewWorld(3)
+	w.SetFaults(plan)
+	obs := &countingObserver{}
+	w.SetObserver(obs)
+	w.Run(func(c *Comm) {
+		c.TryBarrier()
+		c.TryBarrier()
+		c.TryBarrier()
+	})
+	if len(obs.deaths) != 1 || obs.deaths[0] != 1 {
+		t.Errorf("deaths = %v, want [1]", obs.deaths)
+	}
+	if len(obs.evictions) != 0 {
+		t.Errorf("unexpected evictions %v", obs.evictions)
 	}
 }

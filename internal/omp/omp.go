@@ -8,9 +8,11 @@ package omp
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ScheduleKind selects the loop-iteration schedule.
@@ -164,6 +166,75 @@ func guidedFor(n, threads, minChunk int, body func(i, tid int)) {
 		}(t)
 	}
 	wg.Wait()
+}
+
+// Profile summarises how a parallel-for's iterations landed on the
+// team's threads — the raw material for the trace layer's per-thread
+// makespan/imbalance events.
+type Profile struct {
+	Threads int             // team size actually used
+	Items   []int           // iterations executed per thread
+	Busy    []time.Duration // wall time spent in body per thread
+}
+
+// Makespan returns the longest per-thread busy time — the section's
+// elapsed time under the implicit barrier.
+func (p Profile) Makespan() time.Duration {
+	var m time.Duration
+	for _, b := range p.Busy {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Imbalance returns max/min per-thread busy time, the same measure
+// cluster.RankTimes uses across ranks; +Inf when a thread was idle.
+func (p Profile) Imbalance() float64 {
+	if len(p.Busy) == 0 {
+		return 1
+	}
+	min, max := p.Busy[0], p.Busy[0]
+	for _, b := range p.Busy[1:] {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if min <= 0 {
+		return math.Inf(1)
+	}
+	return float64(max) / float64(min)
+}
+
+// ParallelForProfiled runs like ParallelFor but measures per-thread
+// iteration counts and busy time. The bookkeeping is two monotonic
+// clock reads per iteration; use plain ParallelFor on ultra-hot loops.
+func ParallelForProfiled(n, threads int, sched Schedule, body func(i, tid int)) Profile {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if n <= 0 {
+		return Profile{}
+	}
+	p := Profile{
+		Threads: threads,
+		Items:   make([]int, threads),
+		Busy:    make([]time.Duration, threads),
+	}
+	ParallelFor(n, threads, sched, func(i, tid int) {
+		start := time.Now()
+		body(i, tid)
+		p.Busy[tid] += time.Since(start)
+		p.Items[tid]++
+	})
+	return p
 }
 
 // ParallelReduce folds body's per-thread partial results with combine.

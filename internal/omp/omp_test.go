@@ -1,6 +1,7 @@
 package omp
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -122,6 +123,67 @@ func TestStaticPartitionIsContiguousAndBalanced(t *testing.T) {
 	}
 	if max-min > 1 {
 		t.Errorf("static imbalance: min=%d max=%d", min, max)
+	}
+}
+
+// TestParallelForExactMultiples targets the boundary class of PR 1's
+// len%128==0 checkpoint bug: last-chunk dispatch when n is an exact
+// multiple of the chunk size, when the remainder is smaller than the
+// team, and when the team outnumbers the iterations.
+func TestParallelForExactMultiples(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		threads int
+		sched   Schedule
+	}{
+		{"dynamic/n%chunk==0", 128, 4, Schedule{Kind: Dynamic, Chunk: 16}},
+		{"dynamic/n==chunk", 64, 4, Schedule{Kind: Dynamic, Chunk: 64}},
+		{"dynamic/n==chunk*threads", 256, 4, Schedule{Kind: Dynamic, Chunk: 64}},
+		{"dynamic/remaining<threads", 5, 4, Schedule{Kind: Dynamic, Chunk: 2}},
+		{"dynamic/threads>n", 3, 8, Schedule{Kind: Dynamic, Chunk: 2}},
+		{"dynamic/chunk>n", 10, 4, Schedule{Kind: Dynamic, Chunk: 100}},
+		{"guided/n%minchunk==0", 120, 4, Schedule{Kind: Guided, Chunk: 10}},
+		{"guided/n==threads*minchunk", 40, 4, Schedule{Kind: Guided, Chunk: 10}},
+		{"guided/remaining<threads", 7, 6, Schedule{Kind: Guided}},
+		{"guided/threads>n", 2, 16, Schedule{Kind: Guided, Chunk: 4}},
+		{"static/n%threads==0", 128, 8, Schedule{Kind: Static}},
+		{"static/n==threads", 8, 8, Schedule{Kind: Static}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coverageCheck(t, tc.n, tc.threads, tc.sched)
+		})
+	}
+}
+
+func TestParallelForProfiled(t *testing.T) {
+	n, threads := 96, 4
+	p := ParallelForProfiled(n, threads, Schedule{Kind: Dynamic, Chunk: 8}, func(i, tid int) {})
+	if p.Threads != threads || len(p.Items) != threads || len(p.Busy) != threads {
+		t.Fatalf("profile shape: %+v", p)
+	}
+	total := 0
+	for _, c := range p.Items {
+		total += c
+	}
+	if total != n {
+		t.Errorf("profiled items %d, want %d", total, n)
+	}
+	if p.Makespan() < 0 {
+		t.Errorf("negative makespan %v", p.Makespan())
+	}
+	if im := p.Imbalance(); im < 1 && !math.IsInf(im, 1) {
+		t.Errorf("imbalance %g < 1", im)
+	}
+}
+
+func TestParallelForProfiledEmpty(t *testing.T) {
+	p := ParallelForProfiled(0, 4, Schedule{Kind: Static}, func(i, tid int) {
+		t.Error("body called for n=0")
+	})
+	if p.Threads != 0 || p.Makespan() != 0 || p.Imbalance() != 1 {
+		t.Errorf("empty profile: %+v", p)
 	}
 }
 

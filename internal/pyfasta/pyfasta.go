@@ -27,6 +27,16 @@ const (
 	EvenBases
 )
 
+func (m Mode) String() string {
+	switch m {
+	case EvenCount:
+		return "evencount"
+	case EvenBases:
+		return "evenbases"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
 // Stats meters the splitting work: the splitter is single threaded, so
 // its cost scales with total bytes regardless of the part count.
 type Stats struct {

@@ -164,3 +164,55 @@ func TestSplitFile(t *testing.T) {
 		t.Errorf("reread %d records, want 9", total)
 	}
 }
+
+// TestSplitExactMultiples is the boundary-bug sweep for the splitter
+// (the PR 1 len%128==0 class): part counts that divide the record count
+// exactly, n == records, and n == 1 must neither lose the last record
+// nor leave a part that should be full empty.
+func TestSplitExactMultiples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name    string
+		records int
+		n       int
+	}{
+		{"records%n==0", 128, 8},
+		{"records==n", 16, 16},
+		{"records==2n", 32, 16},
+		{"n==1", 64, 1},
+		{"records%n==0 odd", 63, 9},
+	}
+	for _, mode := range []Mode{EvenCount, EvenBases} {
+		for _, tc := range cases {
+			t.Run(mode.String()+"/"+tc.name, func(t *testing.T) {
+				recs := randomRecords(rng, tc.records)
+				parts, st, err := Split(recs, tc.n, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Records != tc.records {
+					t.Errorf("stats counted %d of %d records", st.Records, tc.records)
+				}
+				seen := map[string]int{}
+				total := 0
+				for p, part := range parts {
+					if tc.records%tc.n == 0 && len(part) == 0 {
+						t.Errorf("part %d empty with %d records over %d parts", p, tc.records, tc.n)
+					}
+					for _, r := range part {
+						seen[r.ID]++
+						total++
+					}
+				}
+				if total != tc.records {
+					t.Errorf("split kept %d of %d records", total, tc.records)
+				}
+				for id, c := range seen {
+					if c != 1 {
+						t.Errorf("record %q placed %d times", id, c)
+					}
+				}
+			})
+		}
+	}
+}

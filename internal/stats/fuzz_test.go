@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzHistogram shakes NewHistogram with arbitrary float64 samples
+// (including NaN, ±Inf, subnormals and extreme magnitudes decoded
+// straight from the fuzz bytes) and arbitrary bucket counts. The
+// invariants are the ones the metrics exporter relies on: every finite
+// sample is binned exactly once, non-finite samples are skipped, and
+// the bucket edges are finite and strictly increasing.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, 4)
+	f.Add([]byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 1, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0}, 2) // NaN + 1.0
+	f.Add([]byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0}, 3)                               // +Inf
+	f.Add([]byte{0x40, 0x09, 0x21, 0xfb, 0x54, 0x44, 0x2d, 0x18,
+		0x40, 0x09, 0x21, 0xfb, 0x54, 0x44, 0x2d, 0x18}, 5) // pi twice (all-equal)
+
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n > 1<<16 {
+			n = 1 << 16 // keep allocations sane; larger n adds nothing
+		}
+		var xs []float64
+		for len(raw) >= 8 {
+			xs = append(xs, math.Float64frombits(binary.BigEndian.Uint64(raw)))
+			raw = raw[8:]
+		}
+		h := NewHistogram(xs, n)
+
+		finite := 0
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				finite++
+			}
+		}
+		if n <= 0 || finite == 0 {
+			if h.N() != 0 {
+				t.Fatalf("degenerate input binned %d samples (n=%d, finite=%d)", h.N(), n, finite)
+			}
+			return
+		}
+		if len(h.Counts) != n {
+			t.Fatalf("bucket count %d, want %d", len(h.Counts), n)
+		}
+		if h.N() != finite {
+			t.Fatalf("binned %d samples, want %d finite of %d", h.N(), finite, len(xs))
+		}
+		for _, c := range h.Counts {
+			if c < 0 {
+				t.Fatalf("negative bucket count: %v", h.Counts)
+			}
+		}
+		edges := h.Edges()
+		if len(edges) != n+1 {
+			t.Fatalf("%d edges for %d buckets", len(edges), n)
+		}
+		for i, e := range edges {
+			if math.IsNaN(e) {
+				t.Fatalf("NaN edge %d: %v", i, edges)
+			}
+			// Extreme ranges (Min near -MaxFloat64, Max near +MaxFloat64)
+			// legitimately overflow intermediate widths to +Inf; what must
+			// hold is monotonicity wherever the edges are finite.
+			if i > 0 && !math.IsInf(edges[i], 0) && !math.IsInf(edges[i-1], 0) && edges[i] <= edges[i-1] {
+				t.Fatalf("edges not increasing at %d: %v (min=%g max=%g)", i, edges, h.Min, h.Max)
+			}
+		}
+	})
+}

@@ -174,13 +174,29 @@ type Histogram struct {
 }
 
 // NewHistogram bins xs into n buckets spanning the data range.
+// Degenerate inputs are made safe for downstream consumers (the
+// metrics exporter renders bucket boundaries as Prometheus `le`
+// labels, which must be finite and strictly increasing):
+//
+//   - NaN and ±Inf samples are skipped — they carry no binnable value;
+//   - all-equal samples (zero-width range) get a unit-wide range
+//     [v, v+1] so every bucket edge stays distinct;
+//   - n <= 0 or no finite samples yield an empty histogram.
 func NewHistogram(xs []float64, n int) Histogram {
-	h := Histogram{Counts: make([]int, n)}
-	if len(xs) == 0 || n <= 0 {
-		return h
+	if n <= 0 {
+		return Histogram{}
 	}
-	h.Min, h.Max = xs[0], xs[0]
+	h := Histogram{Counts: make([]int, n)}
+	finite := false
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		if !finite {
+			h.Min, h.Max = x, x
+			finite = true
+			continue
+		}
 		if x < h.Min {
 			h.Min = x
 		}
@@ -188,11 +204,35 @@ func NewHistogram(xs []float64, n int) Histogram {
 			h.Max = x
 		}
 	}
+	if !finite {
+		return h
+	}
+	if h.Max == h.Min {
+		// Widen the zero-width range by max(1, ~1e-9 relative) so the
+		// padding survives float64 rounding at any magnitude; near
+		// +MaxFloat64 the upward pad would overflow, so widen downward.
+		pad := 1.0
+		if rel := math.Abs(h.Min) * 1e-9; rel > pad {
+			pad = rel
+		}
+		widen(&h, pad)
+	}
+	// A nonzero range can still be too narrow for n distinct edges
+	// (samples a few ulps apart): guarantee each bucket spans at least
+	// 4 ulps at the data's magnitude, so Min + width*i stays strictly
+	// increasing despite rounding.
+	scale := math.Max(math.Abs(h.Min), math.Abs(h.Max))
+	if minWidth := 4 * (math.Nextafter(scale, math.Inf(1)) - scale); h.Max-h.Min < minWidth*float64(n) {
+		widen(&h, minWidth*float64(n))
+	}
 	width := (h.Max - h.Min) / float64(n)
 	for _, x := range xs {
-		var b int
-		if width > 0 {
-			b = int((x - h.Min) / width)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		b := int((x - h.Min) / width)
+		if b < 0 {
+			b = 0
 		}
 		if b >= n {
 			b = n - 1
@@ -200,4 +240,43 @@ func NewHistogram(xs []float64, n int) Histogram {
 		h.Counts[b]++
 	}
 	return h
+}
+
+// widen grows [h.Min, h.Max] to span at least pad, preferring to raise
+// Max; near +MaxFloat64, where that would overflow, it lowers Min.
+func widen(h *Histogram, pad float64) {
+	if up := h.Min + pad; up > h.Min && !math.IsInf(up, 0) {
+		h.Max = up
+	} else {
+		h.Min = h.Max - pad
+	}
+}
+
+// N returns the total number of binned samples.
+func (h Histogram) N() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Edges returns the len(Counts)+1 bucket boundaries, finite and
+// strictly increasing; bucket i covers [Edges[i], Edges[i+1]). An
+// empty histogram returns nil.
+func (h Histogram) Edges() []float64 {
+	n := len(h.Counts)
+	if n == 0 {
+		return nil
+	}
+	edges := make([]float64, n+1)
+	width := (h.Max - h.Min) / float64(n)
+	// The outer edges are pinned exactly: no accumulation error at Max,
+	// and no Inf*0 = NaN at Min when the range overflows float64.
+	edges[0] = h.Min
+	edges[n] = h.Max
+	for i := 1; i < n; i++ {
+		edges[i] = h.Min + width*float64(i)
+	}
+	return edges
 }

@@ -146,3 +146,51 @@ func TestHistogram(t *testing.T) {
 		t.Error("constant data lost")
 	}
 }
+
+// TestHistogramDegenerate covers the inputs the metrics exporter can
+// feed: all-equal samples, NaN/Inf pollution, and n <= 0. Bucket edges
+// must always come back finite and strictly increasing.
+func TestHistogramDegenerate(t *testing.T) {
+	assertEdges := func(h Histogram, label string) {
+		t.Helper()
+		edges := h.Edges()
+		if len(h.Counts) > 0 && len(edges) != len(h.Counts)+1 {
+			t.Fatalf("%s: %d edges for %d buckets", label, len(edges), len(h.Counts))
+		}
+		for i := 1; i < len(edges); i++ {
+			if math.IsNaN(edges[i]) || math.IsInf(edges[i], 0) || edges[i] <= edges[i-1] {
+				t.Fatalf("%s: bad edges %v", label, edges)
+			}
+		}
+	}
+
+	constant := NewHistogram([]float64{2.5, 2.5, 2.5, 2.5}, 4)
+	if constant.N() != 4 || constant.Counts[0] != 4 {
+		t.Errorf("all-equal samples: counts %v", constant.Counts)
+	}
+	if constant.Max <= constant.Min {
+		t.Errorf("all-equal samples: zero-width range [%g, %g]", constant.Min, constant.Max)
+	}
+	assertEdges(constant, "all-equal")
+
+	polluted := NewHistogram([]float64{math.NaN(), 1, math.Inf(1), 2, math.Inf(-1), 3}, 3)
+	if polluted.N() != 3 {
+		t.Errorf("NaN/Inf samples binned: counts %v", polluted.Counts)
+	}
+	if polluted.Min != 1 || polluted.Max != 3 {
+		t.Errorf("range polluted by non-finite samples: [%g, %g]", polluted.Min, polluted.Max)
+	}
+	assertEdges(polluted, "polluted")
+
+	onlyBad := NewHistogram([]float64{math.NaN(), math.Inf(1)}, 2)
+	if onlyBad.N() != 0 {
+		t.Errorf("non-finite-only samples binned: counts %v", onlyBad.Counts)
+	}
+
+	if h := NewHistogram([]float64{1, 2}, 0); len(h.Counts) != 0 || h.Edges() != nil {
+		t.Errorf("n=0 histogram not empty: %+v", h)
+	}
+	if h := NewHistogram([]float64{1, 2}, -3); len(h.Counts) != 0 {
+		t.Errorf("negative bucket count not empty: %+v", h)
+	}
+}

@@ -1,0 +1,143 @@
+package trinity
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gotrinity/internal/trace"
+)
+
+// Golden determinism battery for the trace layer: the virtual-time
+// exports (Chrome trace and metrics) are deterministic functions of
+// the dataset, seed and rank count, so repeated runs must produce
+// byte-identical files. Real wall-clock data is excluded from these
+// exports by design — that is what makes the guarantee possible.
+
+// traceExports runs the pipeline with a fresh recorder and returns the
+// virtual Chrome trace and metrics exports.
+func traceExports(t *testing.T, reads []Read, cfg Config) (chrome, metrics []byte) {
+	t.Helper()
+	rec := NewTraceRecorder(cfg.Ranks)
+	cfg.Trace = rec
+	if _, err := Assemble(reads, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var cb, mb bytes.Buffer
+	if err := rec.WriteChrome(&cb, trace.ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteMetrics(&mb, trace.MetricsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), mb.Bytes()
+}
+
+// TestGoldenTraceDeterministic: for a fixed seed and every rank count,
+// repeated runs export byte-identical virtual traces and metrics.
+func TestGoldenTraceDeterministic(t *testing.T) {
+	d := GenerateDataset(TinyProfile(7))
+	for _, ranks := range []int{1, 2, 4} {
+		chrome1, metrics1 := traceExports(t, d.Reads, goldenConfig(ranks))
+		chrome2, metrics2 := traceExports(t, d.Reads, goldenConfig(ranks))
+		if !bytes.Equal(chrome1, chrome2) {
+			t.Errorf("ranks=%d: Chrome trace differs between runs (%d vs %d bytes)",
+				ranks, len(chrome1), len(chrome2))
+		}
+		if !bytes.Equal(metrics1, metrics2) {
+			t.Errorf("ranks=%d: metrics differ between runs:\n%s\n---\n%s",
+				ranks, metrics1, metrics2)
+		}
+	}
+}
+
+// TestGoldenTraceContent: the trace of a 4-rank run is valid Chrome
+// trace-event JSON containing per-rank spans for both hybrid Chrysalis
+// stages, and the metrics carry the MPI traffic counters.
+func TestGoldenTraceContent(t *testing.T) {
+	d := GenerateDataset(TinyProfile(7))
+	chrome, metrics := traceExports(t, d.Reads, goldenConfig(4))
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	ranksSeen := map[string]map[int]bool{"graphfromfasta": {}, "readstotranscripts": {}}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ranksSeen[ev.Cat] != nil {
+			ranksSeen[ev.Cat][ev.Pid] = true
+		}
+	}
+	for cat, ranks := range ranksSeen {
+		if len(ranks) != 4 {
+			t.Errorf("%s spans cover %d ranks, want 4", cat, len(ranks))
+		}
+	}
+	for _, want := range []string{
+		"mpi_collectives_total",
+		"mpi_collective_bytes",
+		"trace_virtual_seconds_total{cat=\"graphfromfasta\"}",
+		"trace_virtual_seconds_total{cat=\"readstotranscripts\"}",
+		"r2t_chunk_units_bucket",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestGoldenTraceFaultedRun is the acceptance criterion: a run with an
+// injected rank kill must record at least one fault event and at least
+// one recovery event, and the faulted run's virtual trace must still
+// be reproducible run to run.
+func TestGoldenTraceFaultedRun(t *testing.T) {
+	d := GenerateDataset(TinyProfile(7))
+	run := func() (*TraceRecorder, []byte) {
+		cfg := goldenConfig(4)
+		cfg.FaultSpec = "kill:rank=1,call=2"
+		rec := NewTraceRecorder(cfg.Ranks)
+		cfg.Trace = rec
+		if _, err := Assemble(d.Reads, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var cb bytes.Buffer
+		if err := rec.WriteChrome(&cb, trace.ChromeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return rec, cb.Bytes()
+	}
+	rec, chrome1 := run()
+
+	var faults, recoveries int
+	for _, ev := range rec.Events() {
+		switch ev.Cat {
+		case "fault":
+			faults++
+		case "recovery":
+			recoveries++
+		}
+	}
+	if faults == 0 {
+		t.Error("no fault event recorded for a run with an injected kill")
+	}
+	if recoveries == 0 {
+		t.Error("no recovery event recorded for a recovered run")
+	}
+	counts := rec.Counts()
+	if counts["faults_total:kind=rank_death"] == 0 {
+		t.Errorf("fault counters empty: %v", counts)
+	}
+
+	if _, chrome2 := run(); !bytes.Equal(chrome1, chrome2) {
+		t.Error("faulted run's virtual trace differs between runs")
+	}
+}

@@ -24,12 +24,14 @@ import (
 
 	"gotrinity/internal/butterfly"
 	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/cluster"
 	"gotrinity/internal/core"
 	"gotrinity/internal/diffexpr"
 	"gotrinity/internal/experiments"
 	"gotrinity/internal/express"
 	"gotrinity/internal/rnaseq"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 	"gotrinity/internal/validate"
 )
 
@@ -60,6 +62,21 @@ type Profile = rnaseq.Profile
 // Assemble runs the full Trinity pipeline over the reads.
 func Assemble(reads []Read, cfg Config) (*Result, error) {
 	return core.Run(reads, cfg)
+}
+
+// TraceRecorder is the unified tracing and metrics collector; set one
+// on Config.Trace to record a run and export it as a Chrome trace,
+// Prometheus-style metrics, or a Fig. 2/11 stage timeline (see
+// internal/trace).
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder creates a recorder whose virtual-time conversions
+// model `nodes` Blue Wonder nodes (one MPI rank per node).
+func NewTraceRecorder(nodes int) *TraceRecorder {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return trace.New(cluster.BlueWonder(nodes))
 }
 
 // FileArtifacts lists the intermediate files a file-based run writes.
