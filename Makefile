@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-chrysalis verify clean
+.PHONY: build test race fuzz bench bench-chrysalis bench-kernels verify clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzChrysalisDegenerateInput -fuzztime 10s ./internal/chrysalis/
 	$(GO) test -run '^$$' -fuzz FuzzReadSAM -fuzztime 10s ./internal/bowtie/
 	$(GO) test -run '^$$' -fuzz FuzzAlignDegenerateReads -fuzztime 10s ./internal/bowtie/
+	$(GO) test -run '^$$' -fuzz FuzzFlatSet -fuzztime 10s ./internal/kmer/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -46,10 +47,28 @@ bench-chrysalis:
 	       END { printf("\n}\n") }' > $(BENCH_JSON)
 	@cat $(BENCH_JSON)
 
+# Hot-path kernel snapshot: each flat/frozen kernel benchmarked
+# against the map-based reference it replaced, recorded as
+# BENCH_kernels.json so the speedups (and any regressions) show up in
+# review diffs. Same awk JSON conversion as bench-chrysalis.
+KERNEL_BENCH = HarvestWelds|ScanContigForWelds|BuildContigKmerIndex|AssignRead|CountTableGet
+BENCH_KERNELS_JSON ?= BENCH_kernels.json
+bench-kernels:
+	{ $(GO) test -run '^$$' -bench 'Benchmark(HarvestWelds|ScanContigForWelds|BuildContigKmerIndex|AssignRead)' -benchmem -benchtime 1s ./internal/chrysalis/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCountTableGet' -benchmem -benchtime 1s ./internal/jellyfish/ ; } \
+	| awk 'BEGIN { printf("{\n") } \
+	       /^Benchmark/ { if (n++) printf(",\n"); \
+	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
+	         for (i = 3; i < NF; i += 2) printf(", \"%s\": %s", $$(i+1), $$i); \
+	         printf("}") } \
+	       END { printf("\n}\n") }' > $(BENCH_KERNELS_JSON)
+	@cat $(BENCH_KERNELS_JSON)
+
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
 
 clean:
 	rm -rf bin

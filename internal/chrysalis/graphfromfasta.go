@@ -151,6 +151,11 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	for i := range contigs {
 		seqs[i] = contigs[i].Seq
 	}
+	// Freeze the read k-mer table once, before the world starts: every
+	// rank goroutine then probes the immutable flat table lock-free.
+	// On a real cluster each rank holds its own copy anyway; the freeze
+	// is not metered, matching the unmetered jellyfish load it replaces.
+	frozenReads := readKmers.Freeze()
 	dist, err := NewDistribution(len(contigs), ranks, opt.ThreadsPerRank, opt.ChunkSize)
 	if err != nil {
 		return nil, err
@@ -189,11 +194,13 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	// weldChunk and pairChunk compute one chunk's partial result — the
 	// checkpoint unit of the recovery layer.
 	weldChunk := func(ch int) (welds []string, chCosts []float64, units float64) {
+		sc := weldScratchPool.Get().(*weldScratch)
+		defer weldScratchPool.Put(sc)
 		lo, hi := dist.ChunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
 			rot := harvestRotation(opt.Seed, i, len(seqs[i]))
-			ws, u := harvestWelds(seqs[i], i, ix, readKmers, opt, rot)
+			ws, u := harvestWelds(seqs[i], i, ix, frozenReads, opt, rot, sc)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			welds = append(welds, ws...)
@@ -201,10 +208,12 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		return welds, chCosts, units
 	}
 	pairChunk := func(ch int) (encs []int64, chCosts []float64, units float64) {
+		sc := weldScratchPool.Get().(*weldScratch)
+		defer weldScratchPool.Put(sc)
 		lo, hi := dist.ChunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
-			pairs, u := scanContigForWelds(seqs[i], i, widx)
+			pairs, u := scanContigForWelds(seqs[i], i, widx, sc)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			for _, p := range pairs {
@@ -246,12 +255,14 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 				myWelds = append(myWelds, ws...)
 			}
 		} else {
+			sc := weldScratchPool.Get().(*weldScratch)
 			dist.ForEachRankItem(rank, func(i int) {
 				rot := harvestRotation(opt.Seed, i, len(seqs[i]))
-				welds, units := harvestWelds(seqs[i], i, ix, readKmers, opt, rot)
+				welds, units := harvestWelds(seqs[i], i, ix, frozenReads, opt, rot, sc)
 				costs1[i] = units * opt.LoopOpWeight
 				myWelds = append(myWelds, welds...)
 			})
+			weldScratchPool.Put(sc)
 		}
 		prof.Welds = len(myWelds)
 
@@ -315,13 +326,15 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 				myPairs = append(myPairs, encs...)
 			}
 		} else {
+			sc := weldScratchPool.Get().(*weldScratch)
 			dist.ForEachRankItem(rank, func(i int) {
-				pairs, units := scanContigForWelds(seqs[i], i, widx)
+				pairs, units := scanContigForWelds(seqs[i], i, widx, sc)
 				costs2[i] = units * opt.LoopOpWeight
 				for _, p := range pairs {
 					myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
 				}
 			})
+			weldScratchPool.Put(sc)
 		}
 		prof.Pairs = len(myPairs)
 

@@ -110,7 +110,7 @@ func TestGraphFromFastaRankInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ranks := range []int{2, 3, 5, 8} {
+	for _, ranks := range []int{2, 3, 4, 5, 8, 16} {
 		res, err := GraphFromFasta(sc.contigs, sc.kmers, ranks, GFFOptions{K: sc.k, ThreadsPerRank: 4})
 		if err != nil {
 			t.Fatal(err)

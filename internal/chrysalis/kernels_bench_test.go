@@ -1,0 +1,101 @@
+package chrysalis
+
+import "testing"
+
+// Kernel benchmarks for the zero-allocation rewrite, each paired with
+// its map-based reference so the speedup is measured in one run.
+// `make bench-kernels` snapshots these (plus jellyfish's
+// BenchmarkCountTableGet) into BENCH_kernels.json; the acceptance bar
+// is ≥2x on weld harvest and ≥5x on the lock-free CountTable.Get.
+
+func benchScenario(b *testing.B) *kernelScenario {
+	b.Helper()
+	return buildKernelScenario(b, 42, 60)
+}
+
+func BenchmarkHarvestWelds(b *testing.B) {
+	sc := benchScenario(b)
+	opt := GFFOptions{K: sc.k, MinWeldSupport: 2, MaxWeldsPerContig: 100}
+	b.Run("map-ref", func(b *testing.B) {
+		ix := buildRefContigKmerIndex(sc.contigs, sc.k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ci := i % len(sc.contigs)
+			refHarvestWelds(sc.contigs[ci], ci, ix, sc.table, opt, i)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		ix := buildContigKmerIndex(sc.contigs, sc.k)
+		scr := new(weldScratch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ci := i % len(sc.contigs)
+			harvestWelds(sc.contigs[ci], ci, ix, sc.frozen, opt, i, scr)
+		}
+	})
+}
+
+func BenchmarkScanContigForWelds(b *testing.B) {
+	sc := benchScenario(b)
+	welds := pooledWelds(b, sc)
+	if len(welds) == 0 {
+		b.Fatal("bench scenario produced no welds")
+	}
+	b.Run("map-ref", func(b *testing.B) {
+		ix := buildRefWeldIndex(welds, sc.k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ci := i % len(sc.contigs)
+			refScanContigForWelds(sc.contigs[ci], ci, ix)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		ix := buildWeldIndex(welds, sc.k)
+		scr := new(weldScratch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ci := i % len(sc.contigs)
+			scanContigForWelds(sc.contigs[ci], ci, ix, scr)
+		}
+	})
+}
+
+func BenchmarkBuildContigKmerIndex(b *testing.B) {
+	sc := benchScenario(b)
+	b.Run("map-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildRefContigKmerIndex(sc.contigs, sc.k)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildContigKmerIndex(sc.contigs, sc.k)
+		}
+	})
+}
+
+func BenchmarkAssignRead(b *testing.B) {
+	sc := benchScenario(b)
+	comps := make([]Component, 4)
+	for i := range comps {
+		comps[i].ID = i
+	}
+	for ci := range sc.records {
+		comps[ci%4].Contigs = append(comps[ci%4].Contigs, ci)
+	}
+	b.Run("map-ref", func(b *testing.B) {
+		t := buildRefBundleKmerTable(sc.records, comps, sc.k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			refAssignRead(sc.reads[i%len(sc.reads)].Seq, t, 1)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		t := buildBundleKmerTable(sc.records, comps, sc.k)
+		scr := new(assignScratch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			assignRead(sc.reads[i%len(sc.reads)].Seq, t, 1, scr)
+		}
+	})
+}

@@ -106,40 +106,92 @@ type R2TResult struct {
 	Recovery    *RecoveryReport // non-nil when the fault layer was active
 }
 
-// bundleKmerTable maps k-mers to the component owning them. Ties go to
-// the smaller component id so the table is deterministic.
+// bundleKmerTable maps k-mers to the component owning them, as a
+// frozen flat table: a kmer.FlatSet assigns each distinct k-mer a
+// dense id and owner[id] holds the winning component. Ties go to the
+// smaller component id so the table is deterministic (min-merge is
+// order-independent). The main loop's per-read probes then run
+// lock-free against the immutable arrays.
 type bundleKmerTable struct {
 	k     int
-	owner map[kmer.Kmer]int32
+	set   *kmer.FlatSet
+	owner []int32
+	ncomp int32 // 1 + max component id, for scratch sizing
 	ops   int64
 }
 
 func buildBundleKmerTable(contigs []seq.Record, comps []Component, k int) *bundleKmerTable {
-	t := &bundleKmerTable{k: k, owner: make(map[kmer.Kmer]int32)}
+	var seqs [][]byte
+	var compOf []int32
+	var ncomp int32
 	for _, comp := range comps {
+		if int32(comp.ID) >= ncomp {
+			ncomp = int32(comp.ID) + 1
+		}
 		for _, ci := range comp.Contigs {
-			it := kmer.NewIterator(contigs[ci].Seq, k)
-			for {
-				m, _, ok := it.Next()
-				if !ok {
-					break
-				}
-				t.ops++
-				if old, exists := t.owner[m]; !exists || int32(comp.ID) < old {
-					t.owner[m] = int32(comp.ID)
-				}
-			}
+			seqs = append(seqs, contigs[ci].Seq)
+			compOf = append(compOf, int32(comp.ID))
 		}
 	}
+	// The k-mer extraction fans out over real goroutines (each contig
+	// fills its own precomputed range of the flat key array); the
+	// min-merge insertion stays serial and deterministic.
+	keys, _, off := flattenKmers(seqs, k)
+	t := &bundleKmerTable{
+		k:     k,
+		set:   kmer.NewFlatSet(len(keys)),
+		ncomp: ncomp,
+		ops:   int64(len(keys)),
+	}
+	owner := make([]int32, 0, len(keys)/2)
+	si := 0
+	for j, m := range keys {
+		for int32(j) >= off[si+1] {
+			si++
+		}
+		id := t.set.Add(m)
+		if int(id) == len(owner) {
+			owner = append(owner, compOf[si])
+		} else if compOf[si] < owner[id] {
+			owner[id] = compOf[si]
+		}
+	}
+	t.owner = owner
 	return t
 }
+
+// lookup returns the owning component of m. Wait-free after the build.
+func (t *bundleKmerTable) lookup(m kmer.Kmer) (int32, bool) {
+	id, ok := t.set.Lookup(m)
+	if !ok {
+		return 0, false
+	}
+	return t.owner[id], true
+}
+
+// assignScratch holds the reusable buffers of assignRead: a dense
+// per-component match counter reset sparsely via the touched list, and
+// a reverse-complement buffer. One scratch serves one goroutine at a
+// time.
+type assignScratch struct {
+	counts  []int32 // per component id; zero except for touched entries
+	touched []int32 // component ids with non-zero counts, encounter order
+	rcbuf   []byte
+}
+
+var assignScratchPool = sync.Pool{New: func() any { return new(assignScratch) }}
 
 // assignRead links one read to the bundle with which it "shares the
 // largest number of k-mers" (§II-A), trying both strands. It returns
 // the winning component, the match count, and the work units spent.
-func assignRead(read []byte, t *bundleKmerTable, minMatches int) (int32, int32, float64) {
+// The winner is the maximum match count with ties to the smaller
+// component id — order-independent, so replacing the map tally with
+// the dense scratch counter cannot change any assignment.
+func assignRead(read []byte, t *bundleKmerTable, minMatches int, sc *assignScratch) (int32, int32, float64) {
 	var units float64
-	counts := map[int32]int32{}
+	if len(sc.counts) < int(t.ncomp) {
+		sc.counts = make([]int32, t.ncomp)
+	}
 	tally := func(s []byte) {
 		it := kmer.NewIterator(s, t.k)
 		for {
@@ -148,20 +200,30 @@ func assignRead(read []byte, t *bundleKmerTable, minMatches int) (int32, int32, 
 				return
 			}
 			units++
-			if comp, ok := t.owner[m]; ok {
-				counts[comp]++
+			if comp, ok := t.lookup(m); ok {
+				if sc.counts[comp] == 0 {
+					sc.touched = append(sc.touched, comp)
+				}
+				sc.counts[comp]++
 			}
 		}
 	}
 	tally(read)
-	tally(seq.ReverseComplement(read))
+	sc.rcbuf = append(sc.rcbuf[:0], read...)
+	seq.ReverseComplementInPlace(sc.rcbuf)
+	tally(sc.rcbuf)
 	best := int32(-1)
 	var bestN int32
-	for comp, n := range counts {
+	for _, comp := range sc.touched {
+		n := sc.counts[comp]
 		if n > bestN || (n == bestN && best >= 0 && comp < best) {
 			best, bestN = comp, n
 		}
 	}
+	for _, comp := range sc.touched {
+		sc.counts[comp] = 0
+	}
+	sc.touched = sc.touched[:0]
 	if bestN < int32(minMatches) {
 		return -1, 0, units
 	}
@@ -221,10 +283,12 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 	// (the redundant-streaming scheme), so any rank can recompute any
 	// chunk.
 	assignChunk := func(ch int) (asg []Assignment, chCosts []float64, units float64) {
+		sc := assignScratchPool.Get().(*assignScratch)
+		defer assignScratchPool.Put(sc)
 		lo, hi := chunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
-			comp, matches, u := assignRead(reads[i].Seq, table, opt.MinKmerMatches)
+			comp, matches, u := assignRead(reads[i].Seq, table, opt.MinKmerMatches, sc)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			if comp >= 0 {
@@ -297,13 +361,15 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 				store.put(chunk, asg, chCosts)
 				mine = append(mine, asg...)
 			} else {
+				sc := assignScratchPool.Get().(*assignScratch)
 				for i := lo; i < hi; i++ {
-					comp, matches, units := assignRead(reads[i].Seq, table, opt.MinKmerMatches)
+					comp, matches, units := assignRead(reads[i].Seq, table, opt.MinKmerMatches, sc)
 					readCosts[i] = units * opt.LoopOpWeight
 					if comp >= 0 {
 						mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
 					}
 				}
+				assignScratchPool.Put(sc)
 			}
 		}
 		lookupCost := func(i int) float64 { return readCosts[i] }

@@ -1,8 +1,10 @@
 package chrysalis
 
 import (
+	"encoding/binary"
+	"runtime"
 	"sort"
-	"strings"
+	"sync"
 
 	"gotrinity/internal/jellyfish"
 	"gotrinity/internal/kmer"
@@ -18,6 +20,16 @@ import (
 // forward and reverse-complement contigs of one transcript are
 // distinct contigs that Chrysalis must weld together, and most of
 // loop 1's comparison work comes from exactly these pairs.
+//
+// The lookup structures here are the pipeline's hottest data: both
+// loops probe them once per contig position. They are therefore built
+// as frozen flat tables — a kmer.FlatSet assigning each distinct
+// k-mer a dense id, payloads in flat arrays addressed by that id, CSR
+// (prefix-sum offsets + one occurrence array) for the one-to-many
+// indexes — and read lock-free by every rank goroutine. The occurrence
+// order within each k-mer's CSR row reproduces the append order of the
+// map-based implementation (contig-ascending, position-ascending), so
+// probe-until-first-match unit meters are byte-identical to it.
 
 // occurrence records one position of a k-mer within the contig set.
 type occurrence struct {
@@ -26,40 +38,257 @@ type occurrence struct {
 }
 
 // contigKmerIndex maps each k-mer to every contig position containing
-// it. Building it is part of GraphFromFasta's non-parallel setup.
+// it, in CSR layout: occs[starts[id]:starts[id+1]] lists the positions
+// of the k-mer with dense id `id`, in contig-then-position scan order.
+// Building it is part of GraphFromFasta's non-parallel setup; the
+// k-mer extraction passes fan out over real goroutines (each contig
+// owns a precomputed range of the flat key array, so the layout is
+// deterministic regardless of scheduling), while the hash insertion
+// and CSR fill stay single-threaded to keep slot assignment and row
+// order deterministic.
 type contigKmerIndex struct {
 	k       int
 	contigs [][]byte
-	occs    map[kmer.Kmer][]occurrence
+	set     *kmer.FlatSet
+	starts  []int32
+	occs    []occurrence
 	// buildOps counts the work performed, in k-mer insertions.
 	buildOps int64
 }
 
-func buildContigKmerIndex(contigs [][]byte, k int) *contigKmerIndex {
-	ix := &contigKmerIndex{
-		k:       k,
-		contigs: contigs,
-		occs:    make(map[kmer.Kmer][]occurrence),
+// flattenKmers extracts every valid k-mer of every sequence into flat
+// (key, position) arrays, parallelised over the sequences: a serial
+// counting pass sizes a per-sequence range, then workers fill their
+// sequences' ranges concurrently. off[i]:off[i+1] is sequence i's
+// range.
+func flattenKmers(seqs [][]byte, k int) (keys []kmer.Kmer, poss []int32, off []int32) {
+	off = make([]int32, len(seqs)+1)
+	for i, s := range seqs {
+		off[i+1] = off[i] + int32(kmer.CountOf(s, k))
 	}
-	for ci, s := range contigs {
-		it := kmer.NewIterator(s, k)
+	total := int(off[len(seqs)])
+	keys = make([]kmer.Kmer, total)
+	poss = make([]int32, total)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seqs) {
+		workers = len(seqs)
+	}
+	if workers <= 1 {
+		fillKmerRange(seqs, keys, poss, off, 0, len(seqs), k)
+		return keys, poss, off
+	}
+	var wg sync.WaitGroup
+	per := (len(seqs) + workers - 1) / workers
+	for lo := 0; lo < len(seqs); lo += per {
+		hi := lo + per
+		if hi > len(seqs) {
+			hi = len(seqs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fillKmerRange(seqs, keys, poss, off, lo, hi, k)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return keys, poss, off
+}
+
+func fillKmerRange(seqs [][]byte, keys []kmer.Kmer, poss []int32, off []int32, lo, hi, k int) {
+	for i := lo; i < hi; i++ {
+		j := off[i]
+		it := kmer.NewIterator(seqs[i], k)
 		for {
 			m, pos, ok := it.Next()
 			if !ok {
 				break
 			}
-			ix.buildOps++
-			ix.occs[m] = append(ix.occs[m], occurrence{int32(ci), int32(pos)})
+			keys[j] = m
+			poss[j] = int32(pos)
+			j++
 		}
 	}
+}
+
+func buildContigKmerIndex(contigs [][]byte, k int) *contigKmerIndex {
+	keys, poss, off := flattenKmers(contigs, k)
+	ix := &contigKmerIndex{
+		k:        k,
+		contigs:  contigs,
+		set:      kmer.NewFlatSet(len(keys)),
+		buildOps: int64(len(keys)),
+	}
+	// Count pass: discover distinct k-mers (dense ids in first-seen
+	// order) and their occurrence counts.
+	counts := make([]int32, 0, len(keys))
+	for _, m := range keys {
+		id := ix.set.Add(m)
+		if int(id) == len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[id]++
+	}
+	// Prefix-sum pass: CSR row offsets.
+	ix.starts = make([]int32, len(counts)+1)
+	for id, c := range counts {
+		ix.starts[id+1] = ix.starts[id] + c
+	}
+	// Fill pass: walk the flat keys in global scan order so each row
+	// lists its occurrences contig-ascending, position-ascending —
+	// exactly the append order of a per-key slice map.
+	ix.occs = make([]occurrence, len(keys))
+	next := make([]int32, len(counts))
+	copy(next, ix.starts[:len(counts)])
+	ci := 0
+	for j, m := range keys {
+		for int32(j) >= off[ci+1] {
+			ci++
+		}
+		id, _ := ix.set.Lookup(m)
+		ix.occs[next[id]] = occurrence{int32(ci), poss[j]}
+		next[id]++
+	}
 	return ix
+}
+
+// lookup returns the CSR occurrence row of m (nil if absent).
+// Wait-free after the build.
+func (ix *contigKmerIndex) lookup(m kmer.Kmer) []occurrence {
+	id, ok := ix.set.Lookup(m)
+	if !ok {
+		return nil
+	}
+	return ix.occs[ix.starts[id]:ix.starts[id+1]]
+}
+
+// weldScratch holds the reusable buffers of the loop-1 and loop-2
+// per-contig kernels, so their steady-state inner loops allocate
+// nothing. One scratch serves one goroutine at a time; callers hold
+// one per rank or draw from weldScratchPool per chunk. The slices only
+// ever grow, so a warm scratch makes every later call allocation-free
+// (aside from emitted weld strings, which are results, not scratch).
+type weldScratch struct {
+	kmers []kmer.Kmer // per-position seed encodings of the current contig
+	valid []bool      // kmers[i] holds a valid (ambiguity-free) k-mer
+	rcbuf []byte      // reverse-complement window buffer
+
+	// Loop-1 dedup of emitted welds: a tiny open-addressing table from
+	// window hash to weld index, verified against the stored weld bytes
+	// on every hit, so it is exact despite hashing.
+	dedupKeys []uint64
+	dedupIdx  []int32
+	dedupN    int
+
+	// Loop-2 per-weld emission stamps: stamp[id] == epoch marks weld id
+	// as already emitted for the current contig; bumping epoch resets
+	// all stamps in O(1).
+	stamp []uint32
+	epoch uint32
+	pairs [][2]int32 // reusable output backing for scanContigForWelds
+}
+
+var weldScratchPool = sync.Pool{New: func() any { return new(weldScratch) }}
+
+// prepareContig precomputes the seed k-mer at every position of contig
+// with one rolling pass — replacing the O(k) re-encode per rotated
+// position that dominated harvestWelds — and resets the weld dedup
+// table. n is the number of windows (len(contig)-k+1).
+func (sc *weldScratch) prepareContig(contig []byte, k, n, dedupCap int) {
+	if cap(sc.kmers) < n {
+		sc.kmers = make([]kmer.Kmer, n)
+		sc.valid = make([]bool, n)
+	}
+	sc.kmers = sc.kmers[:n]
+	sc.valid = sc.valid[:n]
+	for i := range sc.valid {
+		sc.valid[i] = false
+	}
+	it := kmer.NewIterator(contig, k)
+	for {
+		m, pos, ok := it.Next()
+		if !ok {
+			break
+		}
+		sc.kmers[pos] = m
+		sc.valid[pos] = true
+	}
+	slots := minDedupSlots
+	for slots < 4*dedupCap {
+		slots <<= 1
+	}
+	if len(sc.dedupKeys) != slots {
+		sc.dedupKeys = make([]uint64, slots)
+		sc.dedupIdx = make([]int32, slots)
+	} else {
+		for i := range sc.dedupKeys {
+			sc.dedupKeys[i] = 0
+		}
+	}
+	sc.dedupN = 0
+}
+
+const minDedupSlots = 16
+
+// hashWindow is FNV-1a over the window bytes; collisions are resolved
+// by byte comparison against the stored welds, so the hash only has to
+// spread, not to identify.
+func hashWindow(w []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range w {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// A zero hash would collide with the empty-slot sentinel.
+	return h | 1
+}
+
+// dedupSeen reports whether window w was already emitted for this
+// contig (exact: hash hit is verified against the stored weld bytes).
+func (sc *weldScratch) dedupSeen(w []byte, welds []string) bool {
+	if sc.dedupN == 0 {
+		return false
+	}
+	mask := uint64(len(sc.dedupKeys) - 1)
+	h := hashWindow(w)
+	for i := h & mask; ; i = (i + 1) & mask {
+		k := sc.dedupKeys[i]
+		if k == 0 {
+			return false
+		}
+		if k == h && welds[sc.dedupIdx[i]] == string(w) {
+			return true
+		}
+	}
+}
+
+// dedupAdd records window w as emitted at index idx within welds.
+func (sc *weldScratch) dedupAdd(w []byte, idx int32) {
+	mask := uint64(len(sc.dedupKeys) - 1)
+	h := hashWindow(w)
+	i := h & mask
+	for sc.dedupKeys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	sc.dedupKeys[i] = h
+	sc.dedupIdx[i] = idx
+	sc.dedupN++
+}
+
+// reverseComplementInto writes RC(w) into the scratch RC buffer and
+// returns it, reusing the buffer's capacity across calls.
+func (sc *weldScratch) reverseComplementInto(w []byte) []byte {
+	sc.rcbuf = append(sc.rcbuf[:0], w...)
+	seq.ReverseComplementInPlace(sc.rcbuf)
+	return sc.rcbuf
 }
 
 // weldSupport decides whether a candidate window is read-supported:
 // every k-mer of the window (either strand) must appear in the read
 // k-mer table with at least minSupport occurrences, so that a junction
-// between two contigs is only welded "if read support exists".
-func weldSupport(window []byte, k int, reads *jellyfish.CountTable, minSupport int) (bool, int64) {
+// between two contigs is only welded "if read support exists". The
+// probes hit the frozen flat table lock-free — this is the single
+// hottest call site in GraphFromFasta.
+func weldSupport(window []byte, k int, reads *jellyfish.Frozen, minSupport int) (bool, int64) {
 	var probes int64
 	it := kmer.NewIterator(window, k)
 	for {
@@ -84,9 +313,10 @@ func weldSupport(window []byte, k int, reads *jellyfish.CountTable, minSupport i
 // welds land under the cap varies between runs, reproducing Trinity's
 // slightly indeterministic output (§IV) in a controlled way. It
 // returns the welds and the work units (index probes, window
-// comparisons, support probes) performed.
-func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.CountTable,
-	opt GFFOptions, rot int) ([]string, float64) {
+// comparisons, support probes) performed. sc supplies the reusable
+// buffers; the steady-state inner loop performs no allocations.
+func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.Frozen,
+	opt GFFOptions, rot int, sc *weldScratch) ([]string, float64) {
 	k := opt.K
 	flank := k / 2
 	window := 2 * k
@@ -95,28 +325,28 @@ func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.C
 	if n <= 0 {
 		return nil, 1
 	}
+	sc.prepareContig(contig, k, n, opt.MaxWeldsPerContig)
 	var welds []string
-	seen := map[string]bool{}
 	for step := 0; step < n; step++ {
 		p := (step + rot) % n
-		m, ok := kmer.Encode(contig[p:p+k], k)
 		units++
-		if !ok {
+		if !sc.valid[p] {
 			continue
 		}
+		m := sc.kmers[p]
 		lo := p - flank
 		hi := lo + window // length 2k even when k is odd
 		if lo < 0 || hi > len(contig) {
 			continue // window must fit inside the contig
 		}
 		w := contig[lo:hi]
-		if seen[string(w)] {
+		if sc.dedupSeen(w, welds) {
 			continue
 		}
 		// The welding subsequence must "match sub-regions of other
 		// contigs": same strand first, then the reverse complement.
 		matched := false
-		for _, o := range ix.occs[m] {
+		for _, o := range ix.lookup(m) {
 			if int(o.contig) == ci {
 				continue
 			}
@@ -131,9 +361,9 @@ func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.C
 		if !matched {
 			rcSeed := m.ReverseComplement(k)
 			units++
-			rcWin := seq.ReverseComplement(w)
+			rcWin := sc.reverseComplementInto(w)
 			// Within RC(w), the RC seed starts at offset k-flank.
-			for _, o := range ix.occs[rcSeed] {
+			for _, o := range ix.lookup(rcSeed) {
 				if int(o.contig) == ci {
 					continue
 				}
@@ -154,7 +384,7 @@ func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.C
 		if !supported {
 			continue
 		}
-		seen[string(w)] = true
+		sc.dedupAdd(w, int32(len(welds)))
 		welds = append(welds, string(w))
 		if len(welds) >= opt.MaxWeldsPerContig {
 			break
@@ -165,33 +395,67 @@ func harvestWelds(contig []byte, ci int, ix *contigKmerIndex, reads *jellyfish.C
 
 // packWelds serialises a rank's weld set for the Allgatherv exchange:
 // "the vector of the subsequences are packed into a single sequence
-// for MPI communication" (§III-B).
+// for MPI communication" (§III-B). The framing is length-prefixed
+// (uvarint length, then the weld bytes), so packing is a single
+// pre-sized append pass with no join/split full copies and no reserved
+// delimiter byte.
 func packWelds(welds []string) []byte {
-	return []byte(strings.Join(welds, "\n"))
+	n := 0
+	for _, w := range welds {
+		n += len(w) + uvarintLen(uint64(len(w)))
+	}
+	buf := make([]byte, 0, n)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, w := range welds {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(w)))]...)
+		buf = append(buf, w...)
+	}
+	return buf
 }
 
-// unpackWelds reverses packWelds.
+// unpackWelds reverses packWelds. A malformed tail (truncated frame)
+// ends the parse; frames decoded before it are returned.
 func unpackWelds(buf []byte) []string {
-	if len(buf) == 0 {
-		return nil
+	var out []string
+	for len(buf) > 0 {
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || l > uint64(len(buf)-n) {
+			return out
+		}
+		out = append(out, string(buf[n:n+int(l)]))
+		buf = buf[n+int(l):]
 	}
-	return strings.Split(string(buf), "\n")
+	return out
+}
+
+// uvarintLen returns the encoded size of v without encoding it.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // poolWelds merges per-rank weld sets into a deduplicated, sorted
 // global weld list so every rank derives an identical index regardless
 // of the rank count. Welds that are reverse complements of an already
-// pooled weld collapse onto one canonical orientation.
+// pooled weld collapse onto one canonical orientation; the RC
+// candidate is built in one reusable buffer and only materialised as a
+// string when it actually wins the comparison.
 func poolWelds(parts [][]byte) []string {
 	set := map[string]bool{}
+	var rcbuf []byte
 	for _, p := range parts {
 		for _, w := range unpackWelds(p) {
 			if w == "" {
 				continue
 			}
-			rc := string(seq.ReverseComplement([]byte(w)))
-			if rc < w {
-				w = rc
+			rcbuf = append(rcbuf[:0], w...)
+			seq.ReverseComplementInPlace(rcbuf)
+			if string(rcbuf) < w {
+				w = string(rcbuf)
 			}
 			set[w] = true
 		}
@@ -211,12 +475,16 @@ type weldRef struct {
 }
 
 // weldIndex locates welds in contigs during loop 2: welds are keyed by
-// their central seed k-mer (both orientations) so a contig scan does
-// one packed-integer lookup per position and verifies the full window
-// only on a hit.
+// their central seed k-mer (both orientations) in CSR layout —
+// refs[starts[id]:starts[id+1]] lists the weld references of the core
+// k-mer with dense id `id`, in weld-id order — so a contig scan does
+// one lock-free flat-table probe per position and verifies the full
+// window only on a hit.
 type weldIndex struct {
 	k       int
-	byCore  map[kmer.Kmer][]weldRef
+	set     *kmer.FlatSet
+	starts  []int32
+	refs    []weldRef
 	welds   []string
 	rcWelds []string // precomputed reverse complements
 }
@@ -225,51 +493,110 @@ func buildWeldIndex(welds []string, k int) *weldIndex {
 	flank := k / 2
 	ix := &weldIndex{
 		k:       k,
-		byCore:  make(map[kmer.Kmer][]weldRef),
+		set:     kmer.NewFlatSet(2 * len(welds)),
 		welds:   welds,
 		rcWelds: make([]string, len(welds)),
 	}
+	// Pass 1: materialise RCs, discover distinct cores, count refs.
+	cores := make([]kmer.Kmer, len(welds))
+	ok := make([]bool, len(welds))
+	var counts []int32
+	bump := func(m kmer.Kmer) {
+		id := ix.set.Add(m)
+		if int(id) == len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[id]++
+	}
 	for id, w := range welds {
-		ix.rcWelds[id] = string(seq.ReverseComplement([]byte(w)))
+		b := append([]byte(nil), w...)
+		seq.ReverseComplementInPlace(b)
+		ix.rcWelds[id] = string(b)
 		if len(w) < flank+k {
 			continue
 		}
-		core, ok := kmer.Encode([]byte(w[flank:flank+k]), k)
-		if !ok {
+		core, valid := kmer.Encode([]byte(w[flank:flank+k]), k)
+		if !valid {
 			continue
 		}
-		ix.byCore[core] = append(ix.byCore[core], weldRef{int32(id), false})
-		rcCore := core.ReverseComplement(k)
-		if rcCore != core {
-			ix.byCore[rcCore] = append(ix.byCore[rcCore], weldRef{int32(id), true})
+		cores[id], ok[id] = core, true
+		bump(core)
+		if rc := core.ReverseComplement(k); rc != core {
+			bump(rc)
+		}
+	}
+	// Pass 2: prefix-sum offsets, then fill in the same order as pass 1
+	// — the append order of the map-based implementation.
+	ix.starts = make([]int32, len(counts)+1)
+	for id, c := range counts {
+		ix.starts[id+1] = ix.starts[id] + c
+	}
+	ix.refs = make([]weldRef, ix.starts[len(counts)])
+	next := make([]int32, len(counts))
+	copy(next, ix.starts[:len(counts)])
+	place := func(m kmer.Kmer, ref weldRef) {
+		id, _ := ix.set.Lookup(m)
+		ix.refs[next[id]] = ref
+		next[id]++
+	}
+	for id := range welds {
+		if !ok[id] {
+			continue
+		}
+		core := cores[id]
+		place(core, weldRef{int32(id), false})
+		if rc := core.ReverseComplement(k); rc != core {
+			place(rc, weldRef{int32(id), true})
 		}
 	}
 	return ix
 }
 
+// lookup returns the CSR weld-reference row of core k-mer m (nil if
+// absent). Wait-free after the build.
+func (ix *weldIndex) lookup(m kmer.Kmer) []weldRef {
+	id, ok := ix.set.Lookup(m)
+	if !ok {
+		return nil
+	}
+	return ix.refs[ix.starts[id]:ix.starts[id+1]]
+}
+
 // scanContigForWelds runs loop 2's per-contig body: it reports every
 // (weld id, contig id) incidence on either strand, plus the work units
-// spent.
-func scanContigForWelds(contig []byte, ci int, ix *weldIndex) ([][2]int32, float64) {
+// spent. The returned slice is backed by sc and only valid until the
+// next call with the same scratch; the steady-state inner loop
+// performs no allocations.
+func scanContigForWelds(contig []byte, ci int, ix *weldIndex, sc *weldScratch) ([][2]int32, float64) {
 	k := ix.k
 	flank := k / 2
 	window := 2 * k
-	var out [][2]int32
+	out := sc.pairs[:0]
 	var units float64
+	if len(sc.stamp) < len(ix.welds) {
+		sc.stamp = make([]uint32, len(ix.welds))
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: clear stale stamps once, then restart
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
 	it := kmer.NewIterator(contig, k)
-	emitted := map[int32]bool{}
 	for {
 		m, pos, ok := it.Next()
 		if !ok {
 			break
 		}
 		units++
-		refs := ix.byCore[m]
+		refs := ix.lookup(m)
 		if len(refs) == 0 {
 			continue
 		}
 		for _, ref := range refs {
-			if emitted[ref.id] {
+			if sc.stamp[ref.id] == sc.epoch {
 				continue
 			}
 			var lo int
@@ -289,10 +616,11 @@ func scanContigForWelds(contig []byte, ci int, ix *weldIndex) ([][2]int32, float
 			}
 			units += float64(window)
 			if string(contig[lo:lo+window]) == want {
-				emitted[ref.id] = true
+				sc.stamp[ref.id] = sc.epoch
 				out = append(out, [2]int32{ref.id, int32(ci)})
 			}
 		}
 	}
+	sc.pairs = out
 	return out, units
 }

@@ -131,6 +131,98 @@ func (t *CountTable) Total() uint64 {
 	return n
 }
 
+// Frozen is an immutable, flat, open-addressing snapshot of a
+// CountTable. Get is a lock-free linear probe — no shard mutex, no map
+// header chasing — which is what the Chrysalis welding loops need:
+// weldSupport issues one or two Get probes per window position across
+// every candidate weld, so the sharded table's per-probe Lock/Unlock
+// dominated loop 1's wall clock. Freeze once after counting completes,
+// then share the Frozen table across any number of reader goroutines.
+type Frozen struct {
+	K       int
+	entries []frozenEntry
+	mask    uint64
+	shift   uint // 64 - log2(len(entries)): Fibonacci hash takes top bits
+	n       int
+}
+
+// frozenEntry interleaves the probe key with its count so a Get costs
+// exactly one cache line per probe step. key is (kmer<<1)|1 — the low
+// tag bit distinguishes the all-A k-mer (which packs to 0) from an
+// empty slot; k ≤ 31 leaves room for the shift.
+type frozenEntry struct {
+	key   uint64
+	count uint32
+}
+
+// Freeze snapshots the table into a Frozen flat table. The snapshot is
+// taken shard by shard under each shard's lock; concurrent Adds that
+// race the freeze land in either the snapshot or only the live table,
+// so callers should freeze only after counting has completed.
+func (t *CountTable) Freeze() *Frozen {
+	distinct := t.Distinct()
+	slots := 16
+	shift := uint(60)
+	for slots < 3*distinct/2+1 {
+		slots <<= 1
+		shift--
+	}
+	f := &Frozen{
+		K:       t.K,
+		entries: make([]frozenEntry, slots),
+		mask:    uint64(slots - 1),
+		shift:   shift,
+		n:       distinct,
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for m, c := range s.m {
+			j := (uint64(m) * fibMul) >> f.shift
+			for f.entries[j].key != 0 {
+				j = (j + 1) & f.mask
+			}
+			f.entries[j] = frozenEntry{uint64(m)<<1 | 1, c}
+		}
+		s.mu.Unlock()
+	}
+	return f
+}
+
+// fibMul is 2^64/phi — Fibonacci hashing. One multiply spreads the
+// k-mer's low-entropy bits into the top bits that index the table.
+const fibMul = 0x9e3779b97f4a7c15
+
+// Get returns the count of m. Wait-free; safe for concurrent readers.
+func (f *Frozen) Get(m kmer.Kmer) uint32 {
+	key := uint64(m)<<1 | 1
+	i := (uint64(m) * fibMul) >> f.shift
+	for {
+		e := f.entries[i]
+		if e.key == key {
+			return e.count
+		}
+		if e.key == 0 {
+			return 0
+		}
+		i = (i + 1) & f.mask
+	}
+}
+
+// Distinct returns the number of distinct k-mers in the snapshot.
+func (f *Frozen) Distinct() int { return f.n }
+
+// Total returns the total number of occurrences in the snapshot.
+func (f *Frozen) Total() uint64 {
+	var n uint64
+	for _, e := range f.entries {
+		if e.key != 0 {
+			n += uint64(e.count)
+		}
+	}
+	return n
+}
+
 // Entry is one (k-mer, count) pair in a dump.
 type Entry struct {
 	Kmer  kmer.Kmer

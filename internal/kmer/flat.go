@@ -1,0 +1,130 @@
+package kmer
+
+// FlatSet is an open-addressing, linear-probing set of k-mers that
+// assigns every distinct k-mer a dense id (0..Len()-1) in insertion
+// order. It is the shared substrate of the Chrysalis performance
+// kernels: the CSR occurrence indexes, the frozen read-count table and
+// the bundle ownership table all key their payload arrays by FlatSet
+// ids instead of boxing slices inside a Go map.
+//
+// The lifecycle is build-then-freeze: Add may only be called by a
+// single goroutine; once the build completes (publish via sync.Once,
+// channel, or WaitGroup), Lookup is wait-free and safe for any number
+// of concurrent readers because nothing mutates.
+//
+// A slot stores (kmer<<1)|1 so that the zero word means "empty" even
+// for the all-A k-mer; with k ≤ 31 the shifted key still fits 63 bits.
+type FlatSet struct {
+	slots []uint64 // (uint64(kmer)<<1)|1; 0 = empty
+	ids   []int32  // slot -> dense id, parallel to slots
+	mask  uint64
+	n     int32
+}
+
+// minFlatSlots keeps degenerate tables probe-friendly.
+const minFlatSlots = 16
+
+// NewFlatSet allocates a set pre-sized for capacityHint distinct
+// k-mers at ≤ 2/3 load. The set grows transparently if the hint was
+// low.
+func NewFlatSet(capacityHint int) *FlatSet {
+	size := minFlatSlots
+	for 2*size < 3*capacityHint {
+		size <<= 1
+	}
+	return &FlatSet{
+		slots: make([]uint64, size),
+		ids:   make([]int32, size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// mixKmer is a splitmix64 finaliser spreading k-mer bits across the
+// probe sequence (the 2-bit packing leaves heavy low-bit structure).
+func mixKmer(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add returns m's dense id, inserting it if absent. Build-phase only:
+// not safe for concurrent use.
+func (s *FlatSet) Add(m Kmer) int32 {
+	if 3*int(s.n+1) > 2*len(s.slots) {
+		s.grow()
+	}
+	key := uint64(m)<<1 | 1
+	i := mixKmer(uint64(m)) & s.mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = key
+			s.ids[i] = s.n
+			s.n++
+			return s.ids[i]
+		case key:
+			return s.ids[i]
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Lookup returns m's dense id, or ok=false if m was never added.
+// Wait-free once the build phase is over.
+func (s *FlatSet) Lookup(m Kmer) (int32, bool) {
+	key := uint64(m)<<1 | 1
+	i := mixKmer(uint64(m)) & s.mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			return 0, false
+		case key:
+			return s.ids[i], true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Contains reports whether m was added.
+func (s *FlatSet) Contains(m Kmer) bool {
+	_, ok := s.Lookup(m)
+	return ok
+}
+
+// Len returns the number of distinct k-mers added.
+func (s *FlatSet) Len() int { return int(s.n) }
+
+// ForEach calls fn for every (k-mer, id) pair, in slot order. Ids are
+// dense and insertion-ordered; slot order is an implementation detail
+// (deterministic for a deterministic build, but not sorted).
+func (s *FlatSet) ForEach(fn func(m Kmer, id int32)) {
+	for i, key := range s.slots {
+		if key != 0 {
+			fn(Kmer(key>>1), s.ids[i])
+		}
+	}
+}
+
+// grow doubles the table and re-places every key; dense ids are
+// preserved, so payload arrays addressed by id never move.
+func (s *FlatSet) grow() {
+	oldSlots, oldIds := s.slots, s.ids
+	size := 2 * len(oldSlots)
+	s.slots = make([]uint64, size)
+	s.ids = make([]int32, size)
+	s.mask = uint64(size - 1)
+	for i, key := range oldSlots {
+		if key == 0 {
+			continue
+		}
+		j := mixKmer(key>>1) & s.mask
+		for s.slots[j] != 0 {
+			j = (j + 1) & s.mask
+		}
+		s.slots[j] = key
+		s.ids[j] = oldIds[i]
+	}
+}

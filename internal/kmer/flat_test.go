@@ -1,0 +1,132 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlatSetDifferential pins the open-addressing set against a Go
+// map on a randomized insert/lookup mix: dense ids must come out in
+// first-seen order, duplicates must return their original id, and
+// lookups must agree on both hits and misses.
+func TestFlatSetDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		n := rng.Intn(2000)
+		hint := 0
+		if trial%2 == 0 {
+			hint = n // alternate between pre-sized and grow-from-minimum
+		}
+		s := NewFlatSet(hint)
+		ref := map[Kmer]int32{}
+		for i := 0; i < n; i++ {
+			// Small value range forces duplicates.
+			m := Kmer(rng.Uint64() % (1 << uint(2*min(k, 8)))) // keep within mask
+			wantID, seen := ref[m]
+			if !seen {
+				wantID = int32(len(ref))
+				ref[m] = wantID
+			}
+			if got := s.Add(m); got != wantID {
+				t.Fatalf("trial %d: Add(%v) id = %d, want %d", trial, m, got, wantID)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, s.Len(), len(ref))
+		}
+		for m, wantID := range ref {
+			id, ok := s.Lookup(m)
+			if !ok || id != wantID {
+				t.Fatalf("trial %d: Lookup(%v) = (%d,%v), want (%d,true)", trial, m, id, ok, wantID)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			m := Kmer(rng.Uint64() & mask(k))
+			_, wantOK := ref[m]
+			if _, ok := s.Lookup(m); ok != wantOK {
+				t.Fatalf("trial %d: Lookup(%v) ok = %v, want %v", trial, m, ok, wantOK)
+			}
+		}
+		got := map[Kmer]int32{}
+		s.ForEach(func(m Kmer, id int32) { got[m] = id })
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: ForEach visited %d keys, want %d", trial, len(got), len(ref))
+		}
+		for m, id := range got {
+			if ref[m] != id {
+				t.Fatalf("trial %d: ForEach(%v) id = %d, want %d", trial, m, id, ref[m])
+			}
+		}
+	}
+}
+
+// The all-A k-mer packs to the zero word — exactly the value an
+// occupancy scheme without key tagging would lose.
+func TestFlatSetZeroKmer(t *testing.T) {
+	s := NewFlatSet(0)
+	if _, ok := s.Lookup(0); ok {
+		t.Fatal("empty set claims to contain the zero k-mer")
+	}
+	if id := s.Add(0); id != 0 {
+		t.Fatalf("Add(0) id = %d", id)
+	}
+	if id, ok := s.Lookup(0); !ok || id != 0 {
+		t.Fatalf("Lookup(0) = (%d,%v)", id, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// TestFlatSetGrowthPreservesIds floods a minimum-size table far past
+// its initial capacity: ids must stay stable across every rehash.
+func TestFlatSetGrowthPreservesIds(t *testing.T) {
+	s := NewFlatSet(0)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if id := s.Add(Kmer(i)); id != int32(i) {
+			t.Fatalf("Add(%d) id = %d", i, id)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if id, ok := s.Lookup(Kmer(i)); !ok || id != int32(i) {
+			t.Fatalf("after growth: Lookup(%d) = (%d,%v)", i, id, ok)
+		}
+	}
+}
+
+// FuzzFlatSet drives the probe/freeze path with arbitrary operation
+// streams: every byte pair becomes an (op, key) step checked against a
+// map reference.
+func FuzzFlatSet(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1})
+	f.Add([]byte{255, 254, 0, 0, 0, 7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewFlatSet(0)
+		ref := map[Kmer]int32{}
+		for i := 0; i+1 < len(data); i += 2 {
+			m := Kmer(uint64(data[i+1]) | uint64(data[i]&0x3f)<<8)
+			if data[i]&0x40 == 0 {
+				wantID, seen := ref[m]
+				if !seen {
+					wantID = int32(len(ref))
+					ref[m] = wantID
+				}
+				if got := s.Add(m); got != wantID {
+					t.Fatalf("Add(%v) = %d, want %d", m, got, wantID)
+				}
+			} else {
+				wantID, wantOK := ref[m]
+				id, ok := s.Lookup(m)
+				if ok != wantOK || (ok && id != wantID) {
+					t.Fatalf("Lookup(%v) = (%d,%v), want (%d,%v)", m, id, ok, wantID, wantOK)
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(ref))
+		}
+	})
+}

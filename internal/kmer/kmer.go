@@ -7,6 +7,7 @@ package kmer
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gotrinity/internal/seq"
 )
@@ -73,15 +74,18 @@ func (m Kmer) Suffix(k int) Kmer { return Kmer(uint64(m) & mask(k-1)) }
 // Prefix returns the (k-1)-mer prefix.
 func (m Kmer) Prefix(k int) Kmer { return Kmer(uint64(m) >> 2) }
 
-// ReverseComplement returns the reverse complement of the k-mer.
+// ReverseComplement returns the reverse complement of the k-mer in
+// O(log w) word operations: complementing every base is one XOR (the
+// 2-bit codes are chosen so A↔T and C↔G are bitwise complements),
+// reversing the base order is a byte swap plus two in-byte 2-bit-group
+// swaps, and a final shift drops the 64-2k garbage bits that the
+// full-width reversal pushed to the bottom.
 func (m Kmer) ReverseComplement(k int) Kmer {
-	v := uint64(m)
-	var r uint64
-	for i := 0; i < k; i++ {
-		r = r<<2 | (v & 3) ^ 3
-		v >>= 2
-	}
-	return Kmer(r)
+	v := ^uint64(m)
+	v = bits.ReverseBytes64(v)
+	v = (v&0xf0f0f0f0f0f0f0f0)>>4 | (v&0x0f0f0f0f0f0f0f0f)<<4
+	v = (v&0xcccccccccccccccc)>>2 | (v&0x3333333333333333)<<2
+	return Kmer(v >> (64 - 2*uint(k)))
 }
 
 // Canonical returns the lexicographically smaller of the k-mer and its

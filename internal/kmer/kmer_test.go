@@ -89,6 +89,30 @@ func TestReverseComplementMatchesSeq(t *testing.T) {
 	}
 }
 
+// TestReverseComplementMatchesPerBaseLoop pins the O(log w)
+// bit-twiddling implementation against the per-base shift loop it
+// replaced, for every k and random values.
+func TestReverseComplementMatchesPerBaseLoop(t *testing.T) {
+	loopRC := func(m Kmer, k int) Kmer {
+		v := uint64(m)
+		var r uint64
+		for i := 0; i < k; i++ {
+			r = r<<2 | (v&3)^3
+			v >>= 2
+		}
+		return Kmer(r)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 1; k <= MaxK; k++ {
+		for trial := 0; trial < 100; trial++ {
+			m := Kmer(rng.Uint64() & mask(k))
+			if got, want := m.ReverseComplement(k), loopRC(m, k); got != want {
+				t.Fatalf("k=%d: rc(%v) = %v, want %v", k, m, got, want)
+			}
+		}
+	}
+}
+
 // Property: reverse complement is an involution for every k.
 func TestReverseComplementInvolution(t *testing.T) {
 	f := func(v uint64, kraw uint8) bool {
