@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-chrysalis bench-kernels verify clean
+.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline verify clean
 
 build:
 	$(GO) build ./...
@@ -64,11 +64,27 @@ bench-kernels:
 	       END { printf("\n}\n") }' > $(BENCH_KERNELS_JSON)
 	@cat $(BENCH_KERNELS_JSON)
 
+# Pipeline-tail snapshot: the serial-vs-parallel tail sweep recorded
+# as BENCH_pipeline.json (wall tail seconds plus the deterministic LPT
+# makespan model — see DESIGN.md #9) so tail-scaling regressions show
+# up in review diffs. Same awk JSON conversion as bench-chrysalis.
+BENCH_PIPELINE_JSON ?= BENCH_pipeline.json
+bench-pipeline:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 3x -timeout 30m . \
+	| awk 'BEGIN { printf("{\n") } \
+	       /^Benchmark/ { if (n++) printf(",\n"); \
+	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
+	         for (i = 3; i < NF; i += 2) printf(", \"%s\": %s", $$(i+1), $$i); \
+	         printf("}") } \
+	       END { printf("\n}\n") }' > $(BENCH_PIPELINE_JSON)
+	@cat $(BENCH_PIPELINE_JSON)
+
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 1x .
 
 clean:
 	rm -rf bin

@@ -11,15 +11,19 @@ package trinity
 // scale.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/cluster"
 	"gotrinity/internal/experiments"
 	"gotrinity/internal/inchworm"
 	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/omp"
 )
 
 var (
@@ -343,6 +347,106 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 				if _, err := Assemble(d.Reads, Config{K: 21, ThreadsPerRank: 2, Ranks: ranks}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineTail measures the parallel pipeline tail (concurrent
+// Bowtie partitions + component-parallel DeBruijn/Quantify/Butterfly)
+// against the serial reference tail (TailWorkers=1), sweeping the pool
+// size with GOMAXPROCS pinned to match. Two kinds of numbers come out:
+//
+//   - wall_*_tail_s: measured wall time of the three tail stages. On a
+//     multi-core host the parallel wall time drops with the pool; on
+//     the 1-CPU CI box both paths time-slice one core, so wall time is
+//     reported but not asserted on.
+//   - model_*_s and model_speedup_x: the deterministic tail makespan
+//     model. The tail meters its work in scheduling-independent units
+//     (Result.Tail: per-partition aligner work, per-component graph
+//     work); serial cost is the sum, parallel cost the LPT makespan
+//     over the pool, converted to seconds on one Blue Wonder node.
+//     This is the same virtual-cluster methodology every figure
+//     experiment uses, and it is asserted: >= 2x at 4+ workers.
+//
+// Every sweep point also re-checks the determinism contract: the
+// parallel tail's transcripts must be byte-identical to the serial
+// reference's.
+func BenchmarkPipelineTail(b *testing.B) {
+	p := TinyProfile(1)
+	p.Reads = 6000 // enough coverage that the tail dominates front-end noise
+	d := GenerateDataset(p)
+	node := cluster.BlueWonder(1)
+	cfg := Config{K: 21, ThreadsPerRank: 2, Ranks: 4, Seed: 7}
+	tailWall := func(res *Result) float64 {
+		t := 0.0
+		for _, s := range res.Trace.Stages {
+			switch s.Name {
+			case "bowtie", "fastatodebruijn", "butterfly":
+				t += s.Duration
+			}
+		}
+		return t
+	}
+	sum := func(units []float64) float64 {
+		t := 0.0
+		for _, u := range units {
+			t += u
+		}
+		return t
+	}
+	// Meter the tail's work units once: they are counters of the input
+	// (the determinism battery pins them worker- and GOMAXPROCS-
+	// invariant), so one metering run prices every sweep point.
+	mcfg := cfg
+	mcfg.TailWorkers = 2
+	metered, err := Assemble(d.Reads, mcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := metered.Tail
+	modelSerial := node.WorkTime(sum(units.PartitionUnits) + sum(units.ComponentUnits))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(w))
+			modelPar := node.WorkTime(omp.LPTMakespan(units.PartitionUnits, w) +
+				omp.LPTMakespan(units.ComponentUnits, w))
+			var serialWall, parWall float64
+			for i := 0; i < b.N; i++ {
+				scfg := cfg
+				scfg.TailWorkers = 1
+				serial, err := Assemble(d.Reads, scfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pcfg := cfg
+				pcfg.TailWorkers = w
+				par, err := Assemble(d.Reads, pcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(serial.Transcripts) != len(par.Transcripts) {
+					b.Fatalf("workers=%d: %d transcripts vs serial %d",
+						w, len(par.Transcripts), len(serial.Transcripts))
+				}
+				for t := range serial.Transcripts {
+					if serial.Transcripts[t].ID != par.Transcripts[t].ID ||
+						string(serial.Transcripts[t].Seq) != string(par.Transcripts[t].Seq) {
+						b.Fatalf("workers=%d: transcript %d differs from serial tail", w, t)
+					}
+				}
+				serialWall += tailWall(serial)
+				parWall += tailWall(par)
+			}
+			n := float64(b.N)
+			speedup := modelSerial / modelPar
+			b.ReportMetric(serialWall/n, "wall_serial_tail_s")
+			b.ReportMetric(parWall/n, "wall_parallel_tail_s")
+			b.ReportMetric(modelSerial, "model_serial_s")
+			b.ReportMetric(modelPar, "model_parallel_s")
+			b.ReportMetric(speedup, "model_speedup_x")
+			if w >= 4 && speedup < 2 {
+				b.Errorf("workers=%d: modelled tail speedup %.2fx below the 2x floor", w, speedup)
 			}
 		})
 	}

@@ -16,6 +16,7 @@ import (
 
 	"gotrinity/internal/butterfly"
 	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/omp"
 	"gotrinity/internal/seq"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	out := flag.String("out", "transcripts.fa", "output transcript FASTA")
 	k := flag.Int("k", 25, "k-mer length")
 	maxPaths := flag.Int("max-paths", 10, "transcripts per component")
+	workers := flag.Int("workers", omp.DefaultThreads(), "component-parallel workers (1 = serial)")
 	flag.Parse()
 
 	if *contigsPath == "" || *compsPath == "" {
@@ -44,22 +46,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	graphs, err := chrysalis.FastaToDeBruijn(contigs, comps, *k)
-	if err != nil {
-		log.Fatal(err)
-	}
+	var reads []seq.Record
+	var assigns []chrysalis.Assignment
 	if *readsPath != "" && *assignPath != "" {
-		reads, err := seq.ReadFastaFile(*readsPath)
-		if err != nil {
+		if reads, err = seq.ReadFastaFile(*readsPath); err != nil {
 			log.Fatal(err)
 		}
-		assigns, err := chrysalis.ReadAssignmentsFile(*assignPath)
-		if err != nil {
+		if assigns, err = chrysalis.ReadAssignmentsFile(*assignPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Build + quantify + reconstruct component-parallel (the pipeline
+	// tail); -workers 1 falls back to the serial composition.
+	var graphs []*chrysalis.ComponentGraph
+	var ts []butterfly.Transcript
+	bopt := butterfly.Options{MaxPathsPerComponent: *maxPaths}
+	if *workers == 1 {
+		if graphs, err = chrysalis.FastaToDeBruijn(contigs, comps, *k); err != nil {
 			log.Fatal(err)
 		}
 		chrysalis.QuantifyGraph(graphs, reads, assigns)
+		ts = butterfly.Reconstruct(graphs, bopt)
+	} else {
+		if graphs, _, _, err = chrysalis.FastaToDeBruijnParallel(contigs, comps, *k, reads, assigns, *workers); err != nil {
+			log.Fatal(err)
+		}
+		ts, _ = butterfly.ReconstructParallel(graphs, bopt, *workers)
 	}
-	ts := butterfly.Reconstruct(graphs, butterfly.Options{MaxPathsPerComponent: *maxPaths})
 	if err := seq.WriteFastaFile(*out, butterfly.Records(ts)); err != nil {
 		log.Fatal(err)
 	}

@@ -34,6 +34,7 @@ func main() {
 	k := flag.Int("k", 25, "k-mer length")
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
 	minPairs := flag.Int("min-pair-support", 0, "drop transcripts spanned by fewer mate pairs (0 = keep all)")
+	tailWorkers := flag.Int("tail-workers", 0, "pipeline-tail worker pool (0 = GOMAXPROCS, 1 = serial reference tail)")
 	showTrace := flag.Bool("trace", false, "print the per-stage Collectl-style trace")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-style text metrics of the run")
@@ -70,6 +71,7 @@ func main() {
 		ThreadsPerRank: *threads,
 		Seed:           *seed,
 		MinPairSupport: *minPairs,
+		TailWorkers:    *tailWorkers,
 		FaultSpec:      *faultSpec,
 		FaultSeed:      *faultSeed,
 		Recover:        *recover,

@@ -200,6 +200,30 @@ type Stats struct {
 	ThreadImbalance float64
 }
 
+// Accumulate folds one partition's stats into an aggregate. The
+// work-unit counters (reads, alignments, probes, base comparisons) are
+// exact sums either way; the real-time summaries depend on how the
+// partitions executed: concurrent partitions overlap in time, so the
+// aggregate makespan is the slowest partition's (max), while serial
+// partitions run back to back, so makespans add. Thread imbalance
+// reports the worst partition in both modes.
+func (s *Stats) Accumulate(part Stats, concurrent bool) {
+	s.Reads += part.Reads
+	s.Aligned += part.Aligned
+	s.SeedProbes += part.SeedProbes
+	s.BasesCompared += part.BasesCompared
+	if concurrent {
+		if part.MakespanSec > s.MakespanSec {
+			s.MakespanSec = part.MakespanSec
+		}
+	} else {
+		s.MakespanSec += part.MakespanSec
+	}
+	if part.ThreadImbalance > s.ThreadImbalance {
+		s.ThreadImbalance = part.ThreadImbalance
+	}
+}
+
 // Aligner runs reads against one index.
 type Aligner struct {
 	ix *Index

@@ -13,6 +13,7 @@ import (
 
 	"gotrinity/internal/chrysalis"
 	"gotrinity/internal/dbg"
+	"gotrinity/internal/omp"
 	"gotrinity/internal/seq"
 )
 
@@ -70,23 +71,57 @@ func Reconstruct(graphs []*chrysalis.ComponentGraph, opt Options) []Transcript {
 	opt.normalize()
 	var out []Transcript
 	for _, cg := range graphs {
-		if opt.CleanGraph {
-			cg.Graph.ClipTips(0, 0.2)
-			cg.Graph.PopBubbles(0, 0.2)
+		out = append(out, componentTranscripts(cg, opt)...)
+	}
+	return out
+}
+
+// ReconstructParallel enumerates transcripts with a bounded worker
+// pool, one component per work item. Components run largest first (LPT
+// order over graph nodes plus assigned reads) under a dynamic schedule,
+// and each component's transcripts land in a pre-sized slice cell, so
+// the flattened output is byte-identical to Reconstruct for any worker
+// count — path enumeration never looks outside its own component. The
+// profile reports how the pool's threads loaded.
+func ReconstructParallel(graphs []*chrysalis.ComponentGraph, opt Options, workers int) ([]Transcript, omp.Profile) {
+	opt.normalize()
+	order := omp.LPTOrder(len(graphs), func(i int) float64 {
+		return float64(graphs[i].Graph.NodeCount() + len(graphs[i].Reads))
+	})
+	perComp := make([][]Transcript, len(graphs))
+	prof := omp.ParallelForProfiled(len(graphs), workers, omp.Schedule{Kind: omp.Dynamic},
+		func(p, tid int) {
+			i := order[p]
+			perComp[i] = componentTranscripts(graphs[i], opt)
+		})
+	var out []Transcript
+	for _, ts := range perComp {
+		out = append(out, ts...)
+	}
+	return out, prof
+}
+
+// componentTranscripts enumerates one component's transcripts — the
+// shared per-component body of Reconstruct and ReconstructParallel.
+// opt must already be normalized.
+func componentTranscripts(cg *chrysalis.ComponentGraph, opt Options) []Transcript {
+	if opt.CleanGraph {
+		cg.Graph.ClipTips(0, 0.2)
+		cg.Graph.PopBubbles(0, 0.2)
+	}
+	paths := reconstructComponent(cg.Graph, opt)
+	var out []Transcript
+	for i, p := range paths {
+		if opt.MinTranscriptLen > 0 && len(p.seq) < opt.MinTranscriptLen {
+			continue
 		}
-		paths := reconstructComponent(cg.Graph, opt)
-		for i, p := range paths {
-			if opt.MinTranscriptLen > 0 && len(p.seq) < opt.MinTranscriptLen {
-				continue
-			}
-			out = append(out, Transcript{
-				Component: cg.Component.ID,
-				Index:     i,
-				ID:        fmt.Sprintf("comp%d_seq%d", cg.Component.ID, i),
-				Seq:       p.seq,
-				Coverage:  p.coverage,
-			})
-		}
+		out = append(out, Transcript{
+			Component: cg.Component.ID,
+			Index:     i,
+			ID:        fmt.Sprintf("comp%d_seq%d", cg.Component.ID, i),
+			Seq:       p.seq,
+			Coverage:  p.coverage,
+		})
 	}
 	return out
 }

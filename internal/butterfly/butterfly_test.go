@@ -191,3 +191,44 @@ func TestEndToEndFromChrysalisGraphs(t *testing.T) {
 		t.Errorf("coverage %g should reflect quantified reads", ts[0].Coverage)
 	}
 }
+
+// ReconstructParallel must flatten to exactly the serial Reconstruct
+// output — same transcripts, same ids, same order — for any worker
+// count, including graphs of very different sizes (the LPT case).
+func TestReconstructParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var graphs []*chrysalis.ComponentGraph
+	for id := 0; id < 9; id++ {
+		n := 60 + id*40 // skewed component sizes
+		cg := graphFor(t, 15, randDNA(rng, n))
+		cg.Component.ID = id * 3 // non-dense ids
+		graphs = append(graphs, cg)
+	}
+	opt := Options{MinTranscriptLen: 20}
+	serial := Reconstruct(graphs, opt)
+	if len(serial) == 0 {
+		t.Fatal("serial reconstruction empty")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par, prof := ReconstructParallel(graphs, opt, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d transcripts, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].ID != serial[i].ID || string(par[i].Seq) != string(serial[i].Seq) ||
+				par[i].Component != serial[i].Component || par[i].Index != serial[i].Index {
+				t.Fatalf("workers=%d transcript %d: %+v vs %+v", workers, i, par[i], serial[i])
+			}
+		}
+		if prof.Threads <= 0 {
+			t.Errorf("workers=%d: empty profile", workers)
+		}
+	}
+}
+
+func TestReconstructParallelEmpty(t *testing.T) {
+	ts, _ := ReconstructParallel(nil, Options{}, 4)
+	if len(ts) != 0 {
+		t.Errorf("transcripts from no graphs: %v", ts)
+	}
+}

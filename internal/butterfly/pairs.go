@@ -5,6 +5,7 @@ import (
 
 	"gotrinity/internal/chrysalis"
 	"gotrinity/internal/kmer"
+	"gotrinity/internal/omp"
 	"gotrinity/internal/seq"
 )
 
@@ -27,7 +28,21 @@ const minMateKmers = 3
 // its component whose two mates both match the transcript sequence.
 // The result is indexed like ts.
 func PairSupport(ts []Transcript, graphs []*chrysalis.ComponentGraph, reads []seq.Record) []int {
-	// Group each component's assigned reads into mate pairs.
+	return pairSupport(ts, graphs, reads, 1)
+}
+
+// PairSupportParallel is PairSupport over a bounded worker pool: each
+// transcript's support is computed independently (its own k-mer set
+// probed against its component's read-only pair list) and written into
+// its own cell, so the result is identical to the serial count for any
+// worker count.
+func PairSupportParallel(ts []Transcript, graphs []*chrysalis.ComponentGraph, reads []seq.Record, workers int) []int {
+	return pairSupport(ts, graphs, reads, workers)
+}
+
+func pairSupport(ts []Transcript, graphs []*chrysalis.ComponentGraph, reads []seq.Record, workers int) []int {
+	// Group each component's assigned reads into mate pairs. The map is
+	// built once and only read afterwards.
 	pairsByComp := map[int][][2]int32{}
 	for _, cg := range graphs {
 		mates := map[string]int32{}
@@ -53,10 +68,10 @@ func PairSupport(ts []Transcript, graphs []*chrysalis.ComponentGraph, reads []se
 	}
 
 	support := make([]int, len(ts))
-	for ti := range ts {
+	supportOne := func(ti int) {
 		pairs := pairsByComp[ts[ti].Component]
 		if len(pairs) == 0 {
-			continue
+			return
 		}
 		kmers := transcriptKmerSet(ts[ti].Seq)
 		for _, p := range pairs {
@@ -65,15 +80,27 @@ func PairSupport(ts []Transcript, graphs []*chrysalis.ComponentGraph, reads []se
 			}
 		}
 	}
+	if workers > 1 {
+		omp.ParallelFor(len(ts), workers, omp.Schedule{Kind: omp.Dynamic},
+			func(ti, tid int) { supportOne(ti) })
+	} else {
+		for ti := range ts {
+			supportOne(ti)
+		}
+	}
 	return support
 }
 
 // FilterByPairSupport drops transcripts with support below min within
 // components where at least one transcript meets it; components with
 // no supported transcript (e.g. single-end data) are left untouched.
-func FilterByPairSupport(ts []Transcript, support []int, min int) []Transcript {
+// The support slice is filtered in lockstep — a transcript's support
+// count does not depend on which other transcripts survive, so the
+// returned counts equal a fresh PairSupport over the filtered set
+// without re-scanning any read.
+func FilterByPairSupport(ts []Transcript, support []int, min int) ([]Transcript, []int) {
 	if min <= 0 || len(ts) != len(support) {
-		return ts
+		return ts, support
 	}
 	compHasSupport := map[int]bool{}
 	for i := range ts {
@@ -81,13 +108,14 @@ func FilterByPairSupport(ts []Transcript, support []int, min int) []Transcript {
 			compHasSupport[ts[i].Component] = true
 		}
 	}
-	out := ts[:0]
+	outT, outS := ts[:0], support[:0]
 	for i := range ts {
 		if !compHasSupport[ts[i].Component] || support[i] >= min {
-			out = append(out, ts[i])
+			outT = append(outT, ts[i])
+			outS = append(outS, support[i])
 		}
 	}
-	return out
+	return outT, outS
 }
 
 func splitMate(id string) (base string, mate int, ok bool) {

@@ -72,24 +72,39 @@ func TestPairSupportDistinguishesChimera(t *testing.T) {
 func TestFilterByPairSupport(t *testing.T) {
 	ts, graphs, reads := buildPairScenario(t)
 	support := PairSupport(ts, graphs, reads)
-	filtered := FilterByPairSupport(ts, support, 1)
-	for _, tr := range filtered {
+	filtered, fsupport := FilterByPairSupport(ts, support, 1)
+	if len(filtered) != len(fsupport) {
+		t.Fatalf("filtered %d transcripts but %d support values", len(filtered), len(fsupport))
+	}
+	for i, tr := range filtered {
 		if tr.ID == "chimera" && support[1] == 0 {
 			t.Error("unsupported chimera survived the filter")
+		}
+		if fsupport[i] < 1 {
+			t.Errorf("surviving transcript %s kept support %d", tr.ID, fsupport[i])
 		}
 	}
 	if len(filtered) == 0 {
 		t.Fatal("filter removed everything")
 	}
+	// The lockstep-filtered support must equal a fresh recount over the
+	// filtered transcripts — the invariant that let the pipeline drop
+	// its second PairSupport pass.
+	recount := PairSupport(filtered, graphs, reads)
+	for i := range recount {
+		if recount[i] != fsupport[i] {
+			t.Errorf("transcript %d: filtered support %d, recount %d", i, fsupport[i], recount[i])
+		}
+	}
 	// min=0 disables filtering entirely.
-	if got := FilterByPairSupport(ts, support, 0); len(got) != len(ts) {
+	if got, gotS := FilterByPairSupport(ts, support, 0); len(got) != len(ts) || len(gotS) != len(support) {
 		t.Error("min=0 must be a no-op")
 	}
 }
 
 func TestFilterLeavesUnpairedComponentsAlone(t *testing.T) {
 	ts := []Transcript{{Component: 5, ID: "x", Seq: []byte("ACGT")}}
-	got := FilterByPairSupport(ts, []int{0}, 1)
+	got, _ := FilterByPairSupport(ts, []int{0}, 1)
 	if len(got) != 1 {
 		t.Error("component without any pair support must be untouched")
 	}
@@ -98,5 +113,23 @@ func TestFilterLeavesUnpairedComponentsAlone(t *testing.T) {
 func TestPairSupportEmptyInputs(t *testing.T) {
 	if s := PairSupport(nil, nil, nil); len(s) != 0 {
 		t.Errorf("support = %v", s)
+	}
+}
+
+// PairSupportParallel must count exactly like the serial PairSupport
+// for any worker count.
+func TestPairSupportParallelMatchesSerial(t *testing.T) {
+	ts, graphs, reads := buildPairScenario(t)
+	want := PairSupport(ts, graphs, reads)
+	for _, workers := range []int{1, 2, 8} {
+		got := PairSupportParallel(ts, graphs, reads, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %v vs %v", workers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: %v vs %v", workers, got, want)
+			}
+		}
 	}
 }

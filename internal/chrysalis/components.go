@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gotrinity/internal/dbg"
+	"gotrinity/internal/omp"
 	"gotrinity/internal/seq"
 )
 
@@ -34,6 +35,79 @@ func FastaToDeBruijn(contigs []seq.Record, comps []Component, k int) ([]*Compone
 		out = append(out, &ComponentGraph{Component: comp, Graph: g})
 	}
 	return out, nil
+}
+
+// FastaToDeBruijnParallel fuses FastaToDeBruijn and QuantifyGraph into
+// one component-parallel phase: each component's graph is built from
+// its contigs and quantified with its assigned reads by a bounded
+// worker pool. Components are dispatched largest first (LPT order over
+// contig plus assigned-read bases) under a dynamic schedule to tame the
+// highly skewed component-size distribution, and every result lands in
+// a pre-sized slice cell indexed by component position, so the output
+// is identical to the serial FastaToDeBruijn + QuantifyGraph
+// composition regardless of worker count or interleaving: per
+// component, the graph sees the same AddSequence calls in the same
+// order (contigs first, then reads in assignment order).
+//
+// The returned units slice holds each component's work weight (the LPT
+// key), which doubles as the deterministic input of the tail makespan
+// model, and the profile reports how the pool's threads loaded.
+func FastaToDeBruijnParallel(contigs []seq.Record, comps []Component, k int,
+	reads []seq.Record, assignments []Assignment, workers int) ([]*ComponentGraph, []float64, omp.Profile, error) {
+	// Validate contig references up front so errors keep the serial
+	// path's deterministic first-component-in-order reporting.
+	for _, comp := range comps {
+		for _, ci := range comp.Contigs {
+			if ci < 0 || ci >= len(contigs) {
+				return nil, nil, omp.Profile{}, fmt.Errorf("chrysalis: component %d references contig %d of %d",
+					comp.ID, ci, len(contigs))
+			}
+		}
+	}
+	if _, err := dbg.New(k); err != nil {
+		return nil, nil, omp.Profile{}, fmt.Errorf("chrysalis: %w", err)
+	}
+	// Group assigned reads by component, preserving assignment order —
+	// the per-component order QuantifyGraph's single pass produces.
+	pos := make(map[int]int, len(comps))
+	for i, comp := range comps {
+		pos[comp.ID] = i
+	}
+	readsByComp := make([][]int32, len(comps))
+	for _, a := range assignments {
+		i, ok := pos[int(a.Component)]
+		if !ok || int(a.Read) >= len(reads) {
+			continue
+		}
+		readsByComp[i] = append(readsByComp[i], a.Read)
+	}
+	units := make([]float64, len(comps))
+	for i, comp := range comps {
+		for _, ci := range comp.Contigs {
+			units[i] += float64(len(contigs[ci].Seq))
+		}
+		for _, ri := range readsByComp[i] {
+			units[i] += float64(len(reads[ri].Seq))
+		}
+	}
+	order := omp.LPTOrder(len(comps), func(i int) float64 { return units[i] })
+	out := make([]*ComponentGraph, len(comps))
+	prof := omp.ParallelForProfiled(len(comps), workers, omp.Schedule{Kind: omp.Dynamic},
+		func(p, tid int) {
+			i := order[p]
+			comp := comps[i]
+			g, _ := dbg.New(k) // k validated above
+			for _, ci := range comp.Contigs {
+				g.AddSequence(contigs[ci].Seq, 1)
+			}
+			cg := &ComponentGraph{Component: comp, Graph: g}
+			for _, ri := range readsByComp[i] {
+				g.AddSequence(reads[ri].Seq, 1)
+				cg.Reads = append(cg.Reads, ri)
+			}
+			out[i] = cg
+		})
+	return out, units, prof, nil
 }
 
 // QuantifyGraph threads each assigned read through its component's

@@ -90,3 +90,93 @@ func mustKmer(t *testing.T, s string) kmerT {
 	}
 	return m
 }
+
+// FastaToDeBruijnParallel must reproduce the serial FastaToDeBruijn +
+// QuantifyGraph composition exactly — same graphs (node sets and
+// coverage), same per-component read lists in the same order — for any
+// worker count.
+func TestFastaToDeBruijnParallelMatchesSerial(t *testing.T) {
+	contigs := []seq.Record{
+		{ID: "a", Seq: []byte("ACGTACGTACGTACGT")},
+		{ID: "b", Seq: []byte("TTTTGGGGCCCCAAAA")},
+		{ID: "c", Seq: []byte("GATTACAGATTACAGA")},
+		{ID: "d", Seq: []byte("CCCCGGGGTTTTAAAACCCC")},
+	}
+	comps := []Component{
+		{ID: 3, Contigs: []int{0, 1}},
+		{ID: 7, Contigs: []int{2}},
+		{ID: 9, Contigs: []int{3}},
+	}
+	reads := []seq.Record{
+		{ID: "r0/1", Seq: []byte("ACGTACGTAC")},
+		{ID: "r0/2", Seq: []byte("TTTTGGGGCC")},
+		{ID: "r1/1", Seq: []byte("GATTACAGAT")},
+		{ID: "r2/1", Seq: []byte("CCCCGGGGTT")},
+	}
+	assigns := []Assignment{
+		{Read: 0, Component: 3, Matches: 5},
+		{Read: 1, Component: 3, Matches: 4},
+		{Read: 2, Component: 7, Matches: 6},
+		{Read: 3, Component: 9, Matches: 6},
+		{Read: 0, Component: 42}, // unknown component: ignored
+		{Read: 99, Component: 3}, // read out of range: ignored
+	}
+	const k = 5
+	serial, err := FastaToDeBruijn(contigs, comps, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	QuantifyGraph(serial, reads, assigns)
+
+	for _, workers := range []int{1, 2, 8} {
+		par, units, prof, err := FastaToDeBruijnParallel(contigs, comps, k, reads, assigns, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d graphs, want %d", workers, len(par), len(serial))
+		}
+		if len(units) != len(comps) {
+			t.Fatalf("workers=%d: %d unit entries", workers, len(units))
+		}
+		if prof.Threads <= 0 {
+			t.Errorf("workers=%d: empty profile %+v", workers, prof)
+		}
+		for i := range serial {
+			if par[i].Component.ID != serial[i].Component.ID {
+				t.Fatalf("workers=%d comp %d: id %d vs %d", workers, i, par[i].Component.ID, serial[i].Component.ID)
+			}
+			if got, want := par[i].Reads, serial[i].Reads; len(got) != len(want) {
+				t.Fatalf("workers=%d comp %d: reads %v vs %v", workers, i, got, want)
+			} else {
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("workers=%d comp %d: reads %v vs %v", workers, i, got, want)
+					}
+				}
+			}
+			sn, pn := serial[i].Graph.Nodes(), par[i].Graph.Nodes()
+			if len(sn) != len(pn) {
+				t.Fatalf("workers=%d comp %d: %d nodes vs %d", workers, i, len(pn), len(sn))
+			}
+			for _, m := range sn {
+				if par[i].Graph.Coverage(m) != serial[i].Graph.Coverage(m) {
+					t.Fatalf("workers=%d comp %d: coverage differs at %s", workers, i, m.Decode(k))
+				}
+			}
+			if units[i] <= 0 {
+				t.Errorf("workers=%d comp %d: unit weight %g", workers, i, units[i])
+			}
+		}
+	}
+}
+
+func TestFastaToDeBruijnParallelErrors(t *testing.T) {
+	contigs := []seq.Record{{ID: "a", Seq: []byte("ACGT")}}
+	if _, _, _, err := FastaToDeBruijnParallel(contigs, []Component{{ID: 0, Contigs: []int{5}}}, 3, nil, nil, 2); err == nil {
+		t.Error("accepted out-of-range contig index")
+	}
+	if _, _, _, err := FastaToDeBruijnParallel(contigs, []Component{{ID: 0, Contigs: []int{0}}}, 1, nil, nil, 2); err == nil {
+		t.Error("accepted k=1")
+	}
+}

@@ -97,9 +97,28 @@ func (d Distribution) Owner(c int) int {
 }
 
 // RankChunks returns the chunk indices owned by a rank, in order.
+// Round-robin ownership is a stride, so the common strategy avoids
+// scanning every chunk — callers invoke this once per rank, which made
+// schedule setup O(chunks × ranks) with the scan. BlockedContiguous
+// keeps the scan: its owner function is a division whose block edges
+// are easier to inherit than to re-derive.
 func (d Distribution) RankChunks(rank int) []int {
+	n := d.Chunks()
+	if rank < 0 || rank >= d.Ranks || n == 0 {
+		return nil
+	}
+	if d.Strategy == ChunkedRoundRobin {
+		if rank >= n {
+			return nil
+		}
+		out := make([]int, 0, (n-rank+d.Ranks-1)/d.Ranks)
+		for c := rank; c < n; c += d.Ranks {
+			out = append(out, c)
+		}
+		return out
+	}
 	var out []int
-	for c := 0; c < d.Chunks(); c++ {
+	for c := 0; c < n; c++ {
 		if d.Owner(c) == rank {
 			out = append(out, c)
 		}

@@ -149,3 +149,65 @@ func TestZeroItems(t *testing.T) {
 	}
 	d.ForEachRankItem(0, func(i int) { t.Error("item visited for n=0") })
 }
+
+// rankChunksScan is the original O(chunks) reference implementation of
+// RankChunks; the stride fast path for ChunkedRoundRobin must agree
+// with it on every input.
+func rankChunksScan(d Distribution, rank int) []int {
+	var out []int
+	for c := 0; c < d.Chunks(); c++ {
+		if d.Owner(c) == rank {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestRankChunksStrideMatchesScan(t *testing.T) {
+	f := func(nRaw, ranksRaw, chunkRaw uint8, blocked bool) bool {
+		n := int(nRaw)
+		ranks := int(ranksRaw)%9 + 1
+		chunk := int(chunkRaw)%13 + 1
+		d, err := NewDistribution(n, ranks, 1, chunk)
+		if err != nil {
+			return false
+		}
+		if blocked {
+			d.Strategy = BlockedContiguous
+		}
+		// Probe beyond the valid rank range too: out-of-range ranks own
+		// nothing under both implementations.
+		for rank := -1; rank <= ranks+1; rank++ {
+			got, want := d.RankChunks(rank), rankChunksScan(d, rank)
+			if len(got) != len(want) {
+				t.Logf("n=%d ranks=%d chunk=%d blocked=%v rank=%d: %v vs %v", n, ranks, chunk, blocked, rank, got, want)
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("n=%d ranks=%d chunk=%d blocked=%v rank=%d: %v vs %v", n, ranks, chunk, blocked, rank, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankChunksMoreRanksThanChunks(t *testing.T) {
+	// 3 chunks over 8 ranks: ranks 3..7 own nothing.
+	d, _ := NewDistribution(3, 8, 1, 1)
+	for rank := 0; rank < 3; rank++ {
+		if got := d.RankChunks(rank); len(got) != 1 || got[0] != rank {
+			t.Errorf("rank %d chunks = %v", rank, got)
+		}
+	}
+	for rank := 3; rank < 8; rank++ {
+		if got := d.RankChunks(rank); len(got) != 0 {
+			t.Errorf("rank %d chunks = %v, want none", rank, got)
+		}
+	}
+}

@@ -151,20 +151,33 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 	}
 
 	// butterfly: contigs + components + reads + assignments -> transcripts.
+	// The file-based runner uses the same component-parallel tail as the
+	// in-memory pipeline (TailWorkers=1 selects the serial reference).
 	assigns, err := chrysalis.ReadAssignmentsFile(art.Assignments)
 	if err != nil {
 		return nil, err
 	}
-	graphs, err := chrysalis.FastaToDeBruijn(contigs, comps, cfg.K)
-	if err != nil {
-		return nil, err
+	var graphs []*chrysalis.ComponentGraph
+	if cfg.tailWorkers() == 1 {
+		if graphs, err = chrysalis.FastaToDeBruijn(contigs, comps, cfg.K); err != nil {
+			return nil, err
+		}
+		chrysalis.QuantifyGraph(graphs, reads, assigns)
+	} else {
+		if graphs, _, _, err = chrysalis.FastaToDeBruijnParallel(contigs, comps, cfg.K, reads, assigns, cfg.tailWorkers()); err != nil {
+			return nil, err
+		}
 	}
-	chrysalis.QuantifyGraph(graphs, reads, assigns)
 	bopt := cfg.Butterfly
 	if bopt.Seed == 0 {
 		bopt.Seed = cfg.Seed
 	}
-	ts := butterfly.Reconstruct(graphs, bopt)
+	var ts []butterfly.Transcript
+	if cfg.tailWorkers() == 1 {
+		ts = butterfly.Reconstruct(graphs, bopt)
+	} else {
+		ts, _ = butterfly.ReconstructParallel(graphs, bopt, cfg.tailWorkers())
+	}
 	if err := seq.WriteFastaFile(art.Transcripts, butterfly.Records(ts)); err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@ import (
 	"gotrinity/internal/inchworm"
 	"gotrinity/internal/jellyfish"
 	"gotrinity/internal/mpi"
+	"gotrinity/internal/omp"
 	"gotrinity/internal/pyfasta"
 	"gotrinity/internal/seq"
 	"gotrinity/internal/trace"
@@ -37,6 +38,14 @@ type Config struct {
 	MaxMemReads    int // ReadsToTranscripts chunk size (default 1000)
 	Replicas       int // timing-replay replicas for the cost model (default 1)
 	MinPairSupport int // drop transcripts spanned by fewer mate pairs (0 = keep all)
+
+	// TailWorkers bounds the pipeline-tail worker pool: the concurrent
+	// Bowtie partition alignments and the component-parallel
+	// FastaToDebruijn/QuantifyGraph/Butterfly phases. 0 (the default)
+	// uses hardware parallelism (GOMAXPROCS); 1 selects the serial
+	// reference tail, whose output the parallel tail reproduces
+	// byte-identically for a fixed seed.
+	TailWorkers int
 
 	// SampleInterval enables the Collectl-style background sampler at
 	// the given period, filling Result.Samples/Marks (0 = disabled).
@@ -109,6 +118,7 @@ type Result struct {
 	InchwormStats inchworm.Stats
 	BowtieStats   bowtie.Stats
 	SplitStats    pyfasta.Stats
+	Tail          TailStats // deterministic work units of the parallel tail
 
 	Faults *FaultReport // non-nil when the fault layer was active
 }
@@ -197,54 +207,18 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 	}
 
 	// --- Bowtie: align reads to contigs; with Ranks>1 the contig set
-	// is PyFasta-split and each partition aligned independently.
+	// is PyFasta-split and the partitions aligned concurrently by the
+	// tail worker pool (serially when TailWorkers=1), merged in
+	// partition order.
 	err = stage("bowtie", func() error {
-		parts := [][]seq.Record{res.Contigs}
-		if cfg.Ranks > 1 {
-			var st pyfasta.Stats
-			var err error
-			parts, st, err = pyfasta.Split(res.Contigs, cfg.Ranks, pyfasta.EvenBases)
-			if err != nil {
-				return err
-			}
-			res.SplitStats = st
+		if err := runBowtiePartitions(reads, res, &cfg, runStart); err != nil {
+			return err
 		}
-		// Contig indices must stay global across partitions.
-		globalIndex := map[string]int{}
-		for i, c := range res.Contigs {
-			globalIndex[c.ID] = i
-		}
-		var nodeAls [][]bowtie.Alignment
-		for _, part := range parts {
-			if len(part) == 0 {
-				continue
-			}
-			ix, err := bowtie.NewIndex(part, cfg.Bowtie)
-			if err != nil {
-				return err
-			}
-			als, st := bowtie.NewAligner(ix).AlignAll(reads)
-			for i := range als {
-				als[i].Contig = globalIndex[als[i].ContigID]
-			}
-			nodeAls = append(nodeAls, als)
-			res.BowtieStats.Reads += st.Reads
-			res.BowtieStats.Aligned += st.Aligned
-			res.BowtieStats.SeedProbes += st.SeedProbes
-			res.BowtieStats.BasesCompared += st.BasesCompared
-			// Partitions run serially here: makespans add, the worst
-			// thread imbalance of any partition is reported.
-			res.BowtieStats.MakespanSec += st.MakespanSec
-			if st.ThreadImbalance > res.BowtieStats.ThreadImbalance {
-				res.BowtieStats.ThreadImbalance = st.ThreadImbalance
-			}
-		}
-		res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
-		res.Scaffolds = ScaffoldPairs(res.Alignments)
 		cfg.Trace.RealEvent("omp", "bowtie_alignall", trace.RealRank,
-			fmt.Sprintf("makespan=%.6fs imbalance=%.3f aligned=%d/%d",
+			fmt.Sprintf("makespan=%.6fs imbalance=%.3f aligned=%d/%d partitions=%d workers=%d",
 				res.BowtieStats.MakespanSec, res.BowtieStats.ThreadImbalance,
-				res.BowtieStats.Aligned, res.BowtieStats.Reads))
+				res.BowtieStats.Aligned, res.BowtieStats.Reads,
+				len(res.Tail.PartitionUnits), cfg.tailWorkers()))
 		return nil
 	})
 	if err != nil {
@@ -299,33 +273,63 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 		}
 	}
 
-	// --- FastaToDebruijn + QuantifyGraph.
+	// --- FastaToDebruijn + QuantifyGraph: one quantified graph per
+	// component, built component-parallel in LPT (largest-first) order
+	// by the tail pool; TailWorkers=1 runs the original serial two-pass
+	// composition, which the parallel phase reproduces exactly.
 	err = stage("fastatodebruijn", func() error {
-		var err error
-		res.Graphs, err = chrysalis.FastaToDeBruijn(res.Contigs, res.GFF.Components, cfg.K)
+		if cfg.tailWorkers() == 1 {
+			var err error
+			res.Graphs, err = chrysalis.FastaToDeBruijn(res.Contigs, res.GFF.Components, cfg.K)
+			if err != nil {
+				return err
+			}
+			chrysalis.QuantifyGraph(res.Graphs, reads, res.R2T.Assignments)
+			return nil
+		}
+		graphs, units, prof, err := chrysalis.FastaToDeBruijnParallel(
+			res.Contigs, res.GFF.Components, cfg.K, reads, res.R2T.Assignments, cfg.tailWorkers())
 		if err != nil {
 			return err
 		}
-		chrysalis.QuantifyGraph(res.Graphs, reads, res.R2T.Assignments)
+		res.Graphs = graphs
+		res.Tail.ComponentUnits = units
+		cfg.Trace.RealEvent("omp", "fastatodebruijn_components", trace.RealRank,
+			fmt.Sprintf("components=%d workers=%d makespan=%.6fs imbalance=%.3f",
+				len(graphs), prof.Threads, prof.Makespan().Seconds(), prof.Imbalance()))
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fastatodebruijn: %w", err)
 	}
 
-	// --- Butterfly: transcripts from the quantified graphs. The run
-	// seed flows into the path-enumeration tie-breaking unless the
-	// caller pinned its own butterfly seed.
+	// --- Butterfly: transcripts from the quantified graphs, one
+	// component per work item under the same tail pool. The run seed
+	// flows into the path-enumeration tie-breaking unless the caller
+	// pinned its own butterfly seed. Pair support filters in lockstep
+	// with the transcripts — a transcript's support count is
+	// independent of which other transcripts survive, so no second
+	// read scan is needed.
 	err = stage("butterfly", func() error {
 		bopt := cfg.Butterfly
 		if bopt.Seed == 0 {
 			bopt.Seed = cfg.Seed
 		}
-		res.Transcripts = butterfly.Reconstruct(res.Graphs, bopt)
-		res.PairSupport = butterfly.PairSupport(res.Transcripts, res.Graphs, reads)
-		if cfg.MinPairSupport > 0 {
-			res.Transcripts = butterfly.FilterByPairSupport(res.Transcripts, res.PairSupport, cfg.MinPairSupport)
+		if cfg.tailWorkers() == 1 {
+			res.Transcripts = butterfly.Reconstruct(res.Graphs, bopt)
 			res.PairSupport = butterfly.PairSupport(res.Transcripts, res.Graphs, reads)
+		} else {
+			var prof omp.Profile
+			res.Transcripts, prof = butterfly.ReconstructParallel(res.Graphs, bopt, cfg.tailWorkers())
+			res.PairSupport = butterfly.PairSupportParallel(res.Transcripts, res.Graphs, reads, cfg.tailWorkers())
+			cfg.Trace.RealEvent("omp", "butterfly_components", trace.RealRank,
+				fmt.Sprintf("components=%d transcripts=%d workers=%d makespan=%.6fs imbalance=%.3f",
+					len(res.Graphs), len(res.Transcripts), prof.Threads,
+					prof.Makespan().Seconds(), prof.Imbalance()))
+		}
+		if cfg.MinPairSupport > 0 {
+			res.Transcripts, res.PairSupport = butterfly.FilterByPairSupport(
+				res.Transcripts, res.PairSupport, cfg.MinPairSupport)
 		}
 		return nil
 	})

@@ -1,0 +1,157 @@
+// The parallel pipeline tail: Bowtie partitions aligned by a bounded
+// worker pool (the paper runs each PyFasta partition on its own node,
+// §III-A/Fig. 9-10) and, downstream of Chrysalis, component-parallel
+// FastaToDebruijn/QuantifyGraph/Butterfly phases. Every parallel path
+// here merges results in a fixed order (partition order, component
+// order), so output is byte-identical to the serial reference tail
+// (TailWorkers=1) for a fixed seed.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gotrinity/internal/bowtie"
+	"gotrinity/internal/omp"
+	"gotrinity/internal/pyfasta"
+	"gotrinity/internal/seq"
+)
+
+// TailStats meters the parallelizable pipeline tail in deterministic
+// work units — functions of the input alone, independent of worker
+// count, scheduling, and wall clock. They feed the tail makespan model
+// (BENCH_pipeline.json): serial tail cost is the sum of all units,
+// parallel tail cost is the LPT makespan of each phase's units over
+// the worker pool (omp.LPTMakespan).
+type TailStats struct {
+	// PartitionUnits holds one entry per non-empty Bowtie partition:
+	// seed probes + bases compared, the aligner's exact work counters.
+	PartitionUnits []float64
+	// ComponentUnits holds one entry per component: contig bases plus
+	// assigned-read bases, the weight of the component-parallel
+	// DeBruijn/Quantify/Butterfly work (filled by the parallel tail;
+	// empty on the serial reference path).
+	ComponentUnits []float64
+}
+
+// tailWorkers resolves Config.TailWorkers: 0 (or negative) means
+// hardware parallelism, 1 the serial reference tail.
+func (c *Config) tailWorkers() int {
+	if c.TailWorkers > 0 {
+		return c.TailWorkers
+	}
+	return omp.DefaultThreads()
+}
+
+// runBowtiePartitions is the bowtie stage body: PyFasta-split the
+// contigs (Ranks > 1), align every partition — concurrently when the
+// tail pool allows — and merge per-partition alignments in partition
+// order. Per-alignment contig renumbering uses the partition's offset
+// table (local index → global index, a slice lookup) instead of a
+// name-keyed map probe per alignment.
+func runBowtiePartitions(reads []seq.Record, res *Result, cfg *Config, runStart time.Time) error {
+	var idx [][]int
+	if cfg.Ranks > 1 {
+		var st pyfasta.Stats
+		var err error
+		idx, st, err = pyfasta.SplitIndices(res.Contigs, cfg.Ranks, pyfasta.EvenBases)
+		if err != nil {
+			return err
+		}
+		res.SplitStats = st
+	} else {
+		all := make([]int, len(res.Contigs))
+		for i := range all {
+			all[i] = i
+		}
+		idx = [][]int{all}
+	}
+	active := 0 // partitions that actually hold contigs
+	for _, ids := range idx {
+		if len(ids) > 0 {
+			active++
+		}
+	}
+	workers := cfg.tailWorkers()
+	concurrent := workers > 1 && active > 1
+	// Inner alignment threads: concurrent partitions divide the
+	// configured team among the pool's workers so total parallelism
+	// stays at the configured level instead of multiplying.
+	inner := cfg.Bowtie.Threads
+	if inner <= 0 {
+		inner = omp.DefaultThreads()
+	}
+	if concurrent {
+		div := workers
+		if div > active {
+			div = active
+		}
+		if inner = inner / div; inner < 1 {
+			inner = 1
+		}
+	}
+
+	type partOut struct {
+		als   []bowtie.Alignment
+		st    bowtie.Stats
+		bases int
+		err   error
+	}
+	outs := make([]partOut, len(idx))
+	alignPart := func(p int) {
+		ids := idx[p]
+		if len(ids) == 0 {
+			return
+		}
+		t0 := time.Now()
+		part := make([]seq.Record, len(ids))
+		bases := 0
+		for j, ci := range ids {
+			part[j] = res.Contigs[ci]
+			bases += len(res.Contigs[ci].Seq)
+		}
+		opt := cfg.Bowtie
+		opt.Threads = inner
+		ix, err := bowtie.NewIndex(part, opt)
+		if err != nil {
+			outs[p].err = err
+			return
+		}
+		als, st := bowtie.NewAligner(ix).AlignAll(reads)
+		for i := range als {
+			als[i].Contig = ids[als[i].Contig] // offset table: local → global
+		}
+		outs[p] = partOut{als: als, st: st, bases: bases}
+		cfg.Trace.RealSpan("bowtie", fmt.Sprintf("partition%d", p),
+			t0.Sub(runStart).Seconds(), time.Since(t0).Seconds(),
+			fmt.Sprintf("contigs=%d bases=%d alignments=%d", len(ids), bases, len(als)))
+	}
+	if concurrent {
+		omp.ParallelFor(len(idx), workers, omp.Schedule{Kind: omp.Dynamic},
+			func(p, tid int) { alignPart(p) })
+	} else {
+		for p := range idx {
+			alignPart(p)
+		}
+	}
+
+	// Merge in deterministic partition order; report the first failed
+	// partition (also in partition order).
+	var nodeAls [][]bowtie.Alignment
+	units := make([]float64, 0, len(idx))
+	for p := range outs {
+		if outs[p].err != nil {
+			return outs[p].err
+		}
+		if len(idx[p]) == 0 {
+			continue
+		}
+		nodeAls = append(nodeAls, outs[p].als)
+		res.BowtieStats.Accumulate(outs[p].st, concurrent)
+		units = append(units, float64(outs[p].st.SeedProbes+outs[p].st.BasesCompared))
+	}
+	res.Tail.PartitionUnits = units
+	res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
+	res.Scaffolds = ScaffoldPairs(res.Alignments)
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"gotrinity/internal/bowtie"
+	"gotrinity/internal/omp"
 	"gotrinity/internal/pyfasta"
 	"gotrinity/internal/seq"
 )
@@ -61,19 +62,24 @@ func Fig10(l *Lab, nodeCounts []int) ([]Fig10Row, error) {
 	}
 	ioUnits := readIOWeight * float64(readBases)
 
+	// Partitions are measured concurrently — each writes only its own
+	// cell, and the units are work counters (independent of scheduling),
+	// so the rows are identical to a serial measurement pass.
 	alignUnits := func(contigs []seqRecordSlice) []float64 {
 		out := make([]float64, len(contigs))
-		for i, part := range contigs {
-			if len(part) == 0 {
-				continue
-			}
-			ix, err := bowtie.NewIndex(part, opt)
-			if err != nil {
-				continue
-			}
-			_, st := bowtie.NewAligner(ix).AlignAll(p.dataset.Reads)
-			out[i] = verifyWeight*float64(st.BasesCompared) + probeWeight*float64(st.SeedProbes)
-		}
+		omp.ParallelFor(len(contigs), omp.DefaultThreads(), omp.Schedule{Kind: omp.Dynamic},
+			func(i, tid int) {
+				part := contigs[i]
+				if len(part) == 0 {
+					return
+				}
+				ix, err := bowtie.NewIndex(part, opt)
+				if err != nil {
+					return
+				}
+				_, st := bowtie.NewAligner(ix).AlignAll(p.dataset.Reads)
+				out[i] = verifyWeight*float64(st.BasesCompared) + probeWeight*float64(st.SeedProbes)
+			})
 		return out
 	}
 

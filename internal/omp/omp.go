@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -166,6 +167,57 @@ func guidedFor(n, threads, minChunk int, body func(i, tid int)) {
 		}(t)
 	}
 	wg.Wait()
+}
+
+// LPTOrder returns the indices [0, n) sorted by decreasing weight,
+// ties broken by ascending index — the longest-processing-time-first
+// order. Feeding a dynamic-schedule ParallelFor through this
+// permutation tames the imbalance of non-uniform loops (the classic
+// LPT bound: no worker finishes later than 4/3 of optimal), which is
+// the same non-uniform-iteration problem the paper attacks with
+// dynamic OpenMP scheduling in §III-B.
+func LPTOrder(n int, weight func(i int) float64) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := weight(order[a]), weight(order[b])
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// LPTMakespan returns the makespan of greedily assigning the weighted
+// items, heaviest first, each to the least-loaded of `workers`
+// identical workers — the deterministic cost model for a worker pool
+// draining a non-uniform work list. With one worker it degenerates to
+// the serial sum.
+func LPTMakespan(weights []float64, workers int) float64 {
+	if workers <= 0 {
+		workers = 1
+	}
+	load := make([]float64, workers)
+	order := LPTOrder(len(weights), func(i int) float64 { return weights[i] })
+	for _, i := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		load[best] += weights[i]
+	}
+	var max float64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // Profile summarises how a parallel-for's iterations landed on the

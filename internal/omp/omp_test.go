@@ -195,3 +195,63 @@ func BenchmarkParallelForDynamic(b *testing.B) {
 		})
 	}
 }
+
+func TestLPTOrder(t *testing.T) {
+	w := []float64{3, 9, 1, 9, 5}
+	got := LPTOrder(len(w), func(i int) float64 { return w[i] })
+	want := []int{1, 3, 4, 0, 2} // decreasing weight, ties by index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LPTOrder = %v, want %v", got, want)
+		}
+	}
+	if len(LPTOrder(0, nil)) != 0 {
+		t.Error("LPTOrder(0) not empty")
+	}
+}
+
+func TestLPTMakespan(t *testing.T) {
+	w := []float64{4, 3, 3, 2, 2, 2}
+	// Serial: the sum.
+	if got := LPTMakespan(w, 1); got != 16 {
+		t.Errorf("serial makespan = %g, want 16", got)
+	}
+	// Two workers: LPT packs {4,2,2} and {3,3,2} -> 8.
+	if got := LPTMakespan(w, 2); got != 8 {
+		t.Errorf("2-worker makespan = %g, want 8", got)
+	}
+	// More workers than items: the heaviest item bounds the makespan.
+	if got := LPTMakespan(w, 16); got != 4 {
+		t.Errorf("16-worker makespan = %g, want 4", got)
+	}
+	// Degenerate inputs.
+	if got := LPTMakespan(nil, 4); got != 0 {
+		t.Errorf("empty makespan = %g", got)
+	}
+	if got := LPTMakespan(w, 0); got != 16 {
+		t.Errorf("0-worker makespan = %g, want serial sum", got)
+	}
+}
+
+// The makespan never beats the two lower bounds (mean load, heaviest
+// item) and never exceeds the serial sum.
+func TestLPTMakespanBounds(t *testing.T) {
+	w := []float64{7, 1, 1, 1, 5, 2, 9, 4, 4, 3}
+	sum, max := 0.0, 0.0
+	for _, x := range w {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	for workers := 1; workers <= 12; workers++ {
+		got := LPTMakespan(w, workers)
+		lower := sum / float64(workers)
+		if lower < max {
+			lower = max
+		}
+		if got < lower-1e-9 || got > sum+1e-9 {
+			t.Errorf("workers=%d makespan %g outside [%g, %g]", workers, got, lower, sum)
+		}
+	}
+}

@@ -44,38 +44,61 @@ type Stats struct {
 	BasesTotal int
 }
 
-// Split partitions records into n parts under the given mode. Parts
-// may be empty when n exceeds the record count.
-func Split(records []seq.Record, n int, mode Mode) ([][]seq.Record, Stats, error) {
+// SplitIndices partitions the record *indices* into n parts under the
+// given mode, preserving input order within each part. The indices are
+// the offset table a distributed aligner needs to map a partition's
+// local contig numbers back to global ones without any per-alignment
+// name lookup: global = part[local].
+func SplitIndices(records []seq.Record, n int, mode Mode) ([][]int, Stats, error) {
 	if n <= 0 {
 		return nil, Stats{}, fmt.Errorf("pyfasta: part count %d must be positive", n)
 	}
-	parts := make([][]seq.Record, n)
+	parts := make([][]int, n)
 	var st Stats
 	switch mode {
 	case EvenCount:
-		for i, rec := range records {
+		for i := range records {
 			p := i % n
-			parts[p] = append(parts[p], rec)
+			parts[p] = append(parts[p], i)
 			st.Records++
-			st.BasesTotal += len(rec.Seq)
+			st.BasesTotal += len(records[i].Seq)
 		}
 	case EvenBases:
 		load := make([]int, n)
-		for _, rec := range records {
+		for i := range records {
 			best := 0
 			for p := 1; p < n; p++ {
 				if load[p] < load[best] {
 					best = p
 				}
 			}
-			parts[best] = append(parts[best], rec)
-			load[best] += len(rec.Seq)
+			parts[best] = append(parts[best], i)
+			load[best] += len(records[i].Seq)
 			st.Records++
-			st.BasesTotal += len(rec.Seq)
+			st.BasesTotal += len(records[i].Seq)
 		}
 	default:
 		return nil, Stats{}, fmt.Errorf("pyfasta: unknown mode %d", mode)
+	}
+	return parts, st, nil
+}
+
+// Split partitions records into n parts under the given mode. Parts
+// may be empty when n exceeds the record count.
+func Split(records []seq.Record, n int, mode Mode) ([][]seq.Record, Stats, error) {
+	idx, st, err := SplitIndices(records, n, mode)
+	if err != nil {
+		return nil, st, err
+	}
+	parts := make([][]seq.Record, n)
+	for p, ids := range idx {
+		if len(ids) == 0 {
+			continue
+		}
+		parts[p] = make([]seq.Record, len(ids))
+		for j, i := range ids {
+			parts[p][j] = records[i]
+		}
 	}
 	return parts, st, nil
 }

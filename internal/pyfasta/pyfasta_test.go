@@ -216,3 +216,60 @@ func TestSplitExactMultiples(t *testing.T) {
 		}
 	}
 }
+
+// SplitIndices is the offset-table form of Split: for every mode the
+// two must agree part by part, record by record, and the indices must
+// be a permutation of [0, n) in ascending order within each part.
+func TestSplitIndicesMatchesSplit(t *testing.T) {
+	records := randomRecords(rand.New(rand.NewSource(11)), 37)
+	for _, mode := range []Mode{EvenCount, EvenBases} {
+		for _, n := range []int{1, 2, 3, 5, 8, 40} {
+			idx, stI, err := SplitIndices(records, n, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts, stS, err := Split(records, n, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stI != stS {
+				t.Errorf("mode=%v n=%d: stats %+v vs %+v", mode, n, stI, stS)
+			}
+			seen := make([]bool, len(records))
+			for p := range idx {
+				if len(idx[p]) != len(parts[p]) {
+					t.Fatalf("mode=%v n=%d part %d: %d indices vs %d records", mode, n, p, len(idx[p]), len(parts[p]))
+				}
+				last := -1
+				for j, i := range idx[p] {
+					if records[i].ID != parts[p][j].ID {
+						t.Fatalf("mode=%v n=%d part %d[%d]: index %d names %s, Split placed %s",
+							mode, n, p, j, i, records[i].ID, parts[p][j].ID)
+					}
+					if i <= last {
+						t.Fatalf("mode=%v n=%d part %d: indices not ascending: %v", mode, n, p, idx[p])
+					}
+					last = i
+					if seen[i] {
+						t.Fatalf("mode=%v n=%d: record %d assigned twice", mode, n, i)
+					}
+					seen[i] = true
+				}
+			}
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("mode=%v n=%d: record %d unassigned", mode, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitIndicesErrors(t *testing.T) {
+	if _, _, err := SplitIndices(nil, 0, EvenCount); err == nil {
+		t.Error("accepted zero parts")
+	}
+	if _, _, err := SplitIndices(nil, 2, Mode(99)); err == nil {
+		t.Error("accepted unknown mode")
+	}
+}
