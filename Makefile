@@ -27,6 +27,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadSAM -fuzztime 10s ./internal/bowtie/
 	$(GO) test -run '^$$' -fuzz FuzzAlignDegenerateReads -fuzztime 10s ./internal/bowtie/
 	$(GO) test -run '^$$' -fuzz FuzzFlatSet -fuzztime 10s ./internal/kmer/
+	$(GO) test -run '^$$' -fuzz FuzzStreamingMerge -fuzztime 10s ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -64,13 +65,14 @@ bench-kernels:
 	       END { printf("\n}\n") }' > $(BENCH_KERNELS_JSON)
 	@cat $(BENCH_KERNELS_JSON)
 
-# Pipeline-tail snapshot: the serial-vs-parallel tail sweep recorded
-# as BENCH_pipeline.json (wall tail seconds plus the deterministic LPT
-# makespan model — see DESIGN.md #9) so tail-scaling regressions show
-# up in review diffs. Same awk JSON conversion as bench-chrysalis.
+# Pipeline-tail snapshot: the serial-vs-parallel tail sweep plus the
+# streaming-vs-barrier DAG sweep, recorded as BENCH_pipeline.json
+# (wall tail seconds plus the deterministic LPT makespan models — see
+# DESIGN.md #9 and #10) so tail-scaling regressions show up in review
+# diffs. Same awk JSON conversion as bench-chrysalis.
 BENCH_PIPELINE_JSON ?= BENCH_pipeline.json
 bench-pipeline:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 3x -timeout 30m . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipeline(Tail|Streaming)' -benchtime 3x -timeout 30m . \
 	| awk 'BEGIN { printf("{\n") } \
 	       /^Benchmark/ { if (n++) printf(",\n"); \
 	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
@@ -82,9 +84,11 @@ bench-pipeline:
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race ./internal/core/...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStreaming' -benchtime 1x .
 
 clean:
 	rm -rf bin

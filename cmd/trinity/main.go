@@ -35,6 +35,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
 	minPairs := flag.Int("min-pair-support", 0, "drop transcripts spanned by fewer mate pairs (0 = keep all)")
 	tailWorkers := flag.Int("tail-workers", 0, "pipeline-tail worker pool (0 = GOMAXPROCS, 1 = serial reference tail)")
+	streaming := flag.Bool("streaming", false, "run the pipeline tail as a streaming DAG of bounded channels (overlapping stages, byte-identical output)")
+	streamBuffer := flag.Int("stream-buffer", 0, "streaming channel buffer depth (0 = default 8)")
+	streamArtifacts := flag.String("stream-artifacts", "", "directory for streamed artifacts (transcripts.fa written with overlapped positional I/O)")
 	showTrace := flag.Bool("trace", false, "print the per-stage Collectl-style trace")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-style text metrics of the run")
@@ -72,6 +75,11 @@ func main() {
 		Seed:           *seed,
 		MinPairSupport: *minPairs,
 		TailWorkers:    *tailWorkers,
+		Streaming: core.StreamingConfig{
+			Enabled:     *streaming,
+			BufferDepth: *streamBuffer,
+			ArtifactDir: *streamArtifacts,
+		},
 		FaultSpec:      *faultSpec,
 		FaultSeed:      *faultSeed,
 		Recover:        *recover,

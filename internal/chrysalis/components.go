@@ -37,6 +37,56 @@ func FastaToDeBruijn(contigs []seq.Record, comps []Component, k int) ([]*Compone
 	return out, nil
 }
 
+// GroupAssignments groups the assigned read indices by component
+// position, preserving assignment order — the per-component read order
+// QuantifyGraph's single pass produces. Assignments to unknown
+// components or out-of-range reads are dropped, matching QuantifyGraph.
+func GroupAssignments(comps []Component, assignments []Assignment, nreads int) [][]int32 {
+	pos := make(map[int]int, len(comps))
+	for i, comp := range comps {
+		pos[comp.ID] = i
+	}
+	readsByComp := make([][]int32, len(comps))
+	for _, a := range assignments {
+		i, ok := pos[int(a.Component)]
+		if !ok || int(a.Read) >= nreads {
+			continue
+		}
+		readsByComp[i] = append(readsByComp[i], a.Read)
+	}
+	return readsByComp
+}
+
+// BuildComponentGraph builds one component's de Bruijn graph from its
+// contigs — the per-component unit of FastaToDeBruijn. The graph sees
+// the contigs in component order, exactly as the serial path adds them.
+func BuildComponentGraph(contigs []seq.Record, comp Component, k int) (*ComponentGraph, error) {
+	g, err := dbg.New(k)
+	if err != nil {
+		return nil, fmt.Errorf("chrysalis: component %d: %w", comp.ID, err)
+	}
+	for _, ci := range comp.Contigs {
+		if ci < 0 || ci >= len(contigs) {
+			return nil, fmt.Errorf("chrysalis: component %d references contig %d of %d",
+				comp.ID, ci, len(contigs))
+		}
+		g.AddSequence(contigs[ci].Seq, 1)
+	}
+	return &ComponentGraph{Component: comp, Graph: g}, nil
+}
+
+// QuantifyComponent threads the component's assigned reads (in
+// assignment order) through its graph — the per-component unit of
+// QuantifyGraph. Combined with BuildComponentGraph it reproduces the
+// exact AddSequence order of the serial composition: contigs first,
+// then reads in assignment order.
+func QuantifyComponent(cg *ComponentGraph, reads []seq.Record, assigned []int32) {
+	for _, ri := range assigned {
+		cg.Graph.AddSequence(reads[ri].Seq, 1)
+		cg.Reads = append(cg.Reads, ri)
+	}
+}
+
 // FastaToDeBruijnParallel fuses FastaToDeBruijn and QuantifyGraph into
 // one component-parallel phase: each component's graph is built from
 // its contigs and quantified with its assigned reads by a bounded
@@ -67,20 +117,7 @@ func FastaToDeBruijnParallel(contigs []seq.Record, comps []Component, k int,
 	if _, err := dbg.New(k); err != nil {
 		return nil, nil, omp.Profile{}, fmt.Errorf("chrysalis: %w", err)
 	}
-	// Group assigned reads by component, preserving assignment order —
-	// the per-component order QuantifyGraph's single pass produces.
-	pos := make(map[int]int, len(comps))
-	for i, comp := range comps {
-		pos[comp.ID] = i
-	}
-	readsByComp := make([][]int32, len(comps))
-	for _, a := range assignments {
-		i, ok := pos[int(a.Component)]
-		if !ok || int(a.Read) >= len(reads) {
-			continue
-		}
-		readsByComp[i] = append(readsByComp[i], a.Read)
-	}
+	readsByComp := GroupAssignments(comps, assignments, len(reads))
 	units := make([]float64, len(comps))
 	for i, comp := range comps {
 		for _, ci := range comp.Contigs {
@@ -95,16 +132,8 @@ func FastaToDeBruijnParallel(contigs []seq.Record, comps []Component, k int,
 	prof := omp.ParallelForProfiled(len(comps), workers, omp.Schedule{Kind: omp.Dynamic},
 		func(p, tid int) {
 			i := order[p]
-			comp := comps[i]
-			g, _ := dbg.New(k) // k validated above
-			for _, ci := range comp.Contigs {
-				g.AddSequence(contigs[ci].Seq, 1)
-			}
-			cg := &ComponentGraph{Component: comp, Graph: g}
-			for _, ri := range readsByComp[i] {
-				g.AddSequence(reads[ri].Seq, 1)
-				cg.Reads = append(cg.Reads, ri)
-			}
+			cg, _ := BuildComponentGraph(contigs, comps[i], k) // refs and k validated above
+			QuantifyComponent(cg, reads, readsByComp[i])
 			out[i] = cg
 		})
 	return out, units, prof, nil

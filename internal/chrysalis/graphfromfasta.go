@@ -52,6 +52,17 @@ type GFFOptions struct {
 	// Inchworm bundles" (§III-A).
 	ScaffoldPairs [][2]int32
 
+	// ScaffoldWait, when non-nil, supplies the scaffold pairs lazily:
+	// each rank calls it right before the final union-find, blocking
+	// until the Bowtie stage has published its pairs. This lets the
+	// streaming pipeline overlap the weld harvest with the alignment
+	// stage — everything before the union-find is independent of the
+	// scaffolds. An error return aborts the rank (used for cancellation
+	// when a concurrent stage fails). When set, ScaffoldPairs is
+	// ignored. The callback must be safe for concurrent use and must
+	// return the identical slice to every rank.
+	ScaffoldWait func() ([][2]int32, error)
+
 	// Faults injects a deterministic failure schedule into the run's
 	// MPI world (see mpi.FaultPlan). A non-nil plan implies the
 	// recovery layer even if Recovery.Enabled is false.
@@ -388,7 +399,15 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 				uf.union(int(members[0]), int(members[i]))
 			}
 		}
-		for _, p := range opt.ScaffoldPairs {
+		scaffolds := opt.ScaffoldPairs
+		if opt.ScaffoldWait != nil {
+			sp, err := opt.ScaffoldWait()
+			if err != nil {
+				return err
+			}
+			scaffolds = sp
+		}
+		for _, p := range scaffolds {
 			a, b := int(p[0]), int(p[1])
 			if a >= 0 && a < len(seqs) && b >= 0 && b < len(seqs) {
 				uf.union(a, b)

@@ -9,6 +9,7 @@ import (
 	"gotrinity/internal/butterfly"
 	"gotrinity/internal/chrysalis"
 	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/mpiio"
 	"gotrinity/internal/seq"
 )
 
@@ -178,7 +179,21 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 	} else {
 		ts, _ = butterfly.ReconstructParallel(graphs, bopt, cfg.tailWorkers())
 	}
-	if err := seq.WriteFastaFile(art.Transcripts, butterfly.Records(ts)); err != nil {
+	if cfg.Streaming.Enabled {
+		// The streaming artifact writer: per-component record groups
+		// serialized independently and written with concurrent
+		// positional writes (mpiio, the MPI_File_write_at pattern) —
+		// byte-identical to the serial writer below.
+		var parts [][]seq.Record
+		for i, j := 0, 0; i < len(ts); i = j {
+			for j = i; j < len(ts) && ts[j].Component == ts[i].Component; j++ {
+			}
+			parts = append(parts, butterfly.Records(ts[i:j]))
+		}
+		if err := mpiio.WriteFastaPartitions(art.Transcripts, parts); err != nil {
+			return nil, err
+		}
+	} else if err := seq.WriteFastaFile(art.Transcripts, butterfly.Records(ts)); err != nil {
 		return nil, err
 	}
 	return art, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -133,5 +134,38 @@ func TestReadSAMRoundTrip(t *testing.T) {
 			a.ReadLen != orig.ReadLen {
 			t.Fatalf("round trip mismatch: %+v vs %+v", a, orig)
 		}
+	}
+}
+
+// RunFiles with Streaming.Enabled routes the final transcript write
+// through the overlapped positional writer (mpiio); the file must be
+// byte-identical to the serial writer's.
+func TestRunFilesStreamingArtifactIdentical(t *testing.T) {
+	dir := t.TempDir()
+	d := rnaseq.Generate(rnaseq.Tiny(23))
+	readsPath := filepath.Join(dir, "reads.fa")
+	if err := seq.WriteFastaFile(readsPath, d.Reads); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	serial, err := RunFiles(readsPath, filepath.Join(dir, "serial"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Streaming.Enabled = true
+	streamed, err := RunFiles(readsPath, filepath.Join(dir, "streamed"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(serial.Transcripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(streamed.Transcripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed transcript file differs from serial write (%d vs %d bytes)", len(got), len(want))
 	}
 }

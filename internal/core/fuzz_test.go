@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzStreamingMerge drives the fan-in reorder buffer with arbitrary
+// op sequences — out-of-order arrivals, duplicate indices, dead-rank
+// gaps (Skip), and wild out-of-range slots — and checks it against a
+// reference model: releases come out in strictly ascending index
+// order, each pushed slot is released exactly once with its own value,
+// skipped slots never surface, and duplicates/range violations are
+// rejected without corrupting the stream.
+func FuzzStreamingMerge(f *testing.F) {
+	f.Add(3, []byte{0, 1, 2})
+	f.Add(4, []byte{2, 1, 0, 3})
+	f.Add(5, []byte{0x80, 1, 0x82, 3, 0x84}) // high bit = skip
+	f.Add(2, []byte{0, 0, 1, 1})             // duplicates
+	f.Add(1, []byte{9, 0})                   // out of range then valid
+	f.Add(0, []byte{0})
+	f.Fuzz(func(t *testing.T, n int, ops []byte) {
+		if n < 0 || n > 64 {
+			return
+		}
+		mb := newMergeBuffer[int](n)
+		consumed := make(map[int]byte, n) // 'p' pushed, 's' skipped
+		released := make(map[int]bool, n)
+		lastReleased := -1
+		for opIdx, op := range ops {
+			i := int(op & 0x7f)
+			skip := op&0x80 != 0
+			var rel []indexed[int]
+			var err error
+			if skip {
+				rel, err = mb.Skip(i)
+			} else {
+				rel, err = mb.Push(i, 1000+opIdx)
+			}
+			outOfRange := i < 0 || i >= n
+			_, dup := consumed[i]
+			if outOfRange || dup {
+				if err == nil {
+					t.Fatalf("op %d (idx=%d skip=%v): expected rejection (range=%v dup=%v)",
+						opIdx, i, skip, outOfRange, dup)
+				}
+				if len(rel) != 0 {
+					t.Fatalf("op %d: rejected op released %d items", opIdx, len(rel))
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d (idx=%d skip=%v): unexpected error %v", opIdx, i, skip, err)
+			}
+			if skip {
+				consumed[i] = 's'
+			} else {
+				consumed[i] = 'p'
+			}
+			for _, it := range rel {
+				if it.idx <= lastReleased {
+					t.Fatalf("op %d: released %d after %d (order violated)", opIdx, it.idx, lastReleased)
+				}
+				lastReleased = it.idx
+				if released[it.idx] {
+					t.Fatalf("op %d: slot %d released twice", opIdx, it.idx)
+				}
+				released[it.idx] = true
+				if consumed[it.idx] != 'p' {
+					t.Fatalf("op %d: released slot %d that was never pushed", opIdx, it.idx)
+				}
+				if it.val < 1000 {
+					t.Fatalf("op %d: slot %d carries foreign value %d", opIdx, it.idx, it.val)
+				}
+			}
+			// Model invariant: the release frontier is exactly the longest
+			// consumed prefix, minus skipped slots.
+			frontier := 0
+			for frontier < n {
+				if _, ok := consumed[frontier]; !ok {
+					break
+				}
+				frontier++
+			}
+			for j := 0; j < frontier; j++ {
+				if consumed[j] == 'p' && !released[j] {
+					t.Fatalf("op %d: slot %d inside frontier %d still unreleased", opIdx, j, frontier)
+				}
+			}
+			for j := frontier; j < n; j++ {
+				if released[j] {
+					t.Fatalf("op %d: slot %d beyond frontier %d already released", opIdx, j, frontier)
+				}
+			}
+			if mb.Done() != (frontier >= n) {
+				t.Fatalf("op %d: Done()=%v but frontier=%d of %d", opIdx, mb.Done(), frontier, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// The deterministic fan-in of the streaming tail: a reorder buffer
+// that accepts out-of-order completions from a worker pool and releases
+// them in index order, so every consumer downstream of a fan-in sees
+// the exact sequence the serial reference path produces regardless of
+// worker count, buffer depth, or scheduling. Dead producers (a faulted
+// rank that will never deliver its slot) are declared with Skip, which
+// releases the gap instead of stalling the stream forever.
+package core
+
+import "fmt"
+
+// indexed pairs a released value with the slot it arrived for.
+type indexed[T any] struct {
+	idx int
+	val T
+}
+
+// mergeBuffer is a single-owner reorder buffer over n slots. Push and
+// Skip return the contiguous run of items that became releasable, in
+// ascending index order; each slot is released at most once. The
+// buffer is not goroutine-safe — callers serialize access (the
+// streaming tail guards each fan-in with a mutex), which keeps the
+// release order a pure function of the (index, value) pairs delivered.
+type mergeBuffer[T any] struct {
+	n        int
+	next     int // lowest index not yet released
+	pending  map[int]T
+	skipped  map[int]bool
+	consumed []bool // slots already pushed or skipped
+}
+
+func newMergeBuffer[T any](n int) *mergeBuffer[T] {
+	if n < 0 {
+		n = 0
+	}
+	return &mergeBuffer[T]{
+		n:        n,
+		pending:  map[int]T{},
+		skipped:  map[int]bool{},
+		consumed: make([]bool, n),
+	}
+}
+
+func (b *mergeBuffer[T]) claim(i int, op string) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("core: merge %s index %d out of range [0,%d)", op, i, b.n)
+	}
+	if b.consumed[i] {
+		return fmt.Errorf("core: merge %s of duplicate index %d", op, i)
+	}
+	b.consumed[i] = true
+	return nil
+}
+
+// release drains the contiguous run starting at next.
+func (b *mergeBuffer[T]) release() []indexed[T] {
+	var out []indexed[T]
+	for b.next < b.n {
+		if b.skipped[b.next] {
+			delete(b.skipped, b.next)
+			b.next++
+			continue
+		}
+		v, ok := b.pending[b.next]
+		if !ok {
+			break
+		}
+		delete(b.pending, b.next)
+		out = append(out, indexed[T]{idx: b.next, val: v})
+		b.next++
+	}
+	return out
+}
+
+// Push delivers slot i and returns any newly releasable run.
+func (b *mergeBuffer[T]) Push(i int, v T) ([]indexed[T], error) {
+	if err := b.claim(i, "push"); err != nil {
+		return nil, err
+	}
+	b.pending[i] = v
+	return b.release(), nil
+}
+
+// Skip declares that slot i will never arrive (its producer died); the
+// gap is released silently so downstream consumers never block on it.
+func (b *mergeBuffer[T]) Skip(i int) ([]indexed[T], error) {
+	if err := b.claim(i, "skip"); err != nil {
+		return nil, err
+	}
+	b.skipped[i] = true
+	return b.release(), nil
+}
+
+// Done reports whether every slot has been released or skipped.
+func (b *mergeBuffer[T]) Done() bool { return b.next >= b.n }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func collectReleased(t *testing.T, rel []indexed[string], err error) []int {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, len(rel))
+	for i, it := range rel {
+		out[i] = it.idx
+	}
+	return out
+}
+
+func TestMergeBufferInOrder(t *testing.T) {
+	mb := newMergeBuffer[string](3)
+	for i := 0; i < 3; i++ {
+		rel, err := mb.Push(i, fmt.Sprint(i))
+		if got := collectReleased(t, rel, err); len(got) != 1 || got[0] != i {
+			t.Fatalf("push %d released %v", i, got)
+		}
+	}
+	if !mb.Done() {
+		t.Fatal("buffer not done after all pushes")
+	}
+}
+
+func TestMergeBufferOutOfOrder(t *testing.T) {
+	mb := newMergeBuffer[string](4)
+	if rel, err := mb.Push(2, "c"); err != nil || len(rel) != 0 {
+		t.Fatalf("push 2: rel=%v err=%v", rel, err)
+	}
+	if rel, err := mb.Push(1, "b"); err != nil || len(rel) != 0 {
+		t.Fatalf("push 1: rel=%v err=%v", rel, err)
+	}
+	rel, err := mb.Push(0, "a")
+	if got := collectReleased(t, rel, err); fmt.Sprint(got) != "[0 1 2]" {
+		t.Fatalf("push 0 released %v, want [0 1 2]", got)
+	}
+	for i, it := range rel {
+		if it.val != []string{"a", "b", "c"}[i] {
+			t.Fatalf("released value %d = %q", i, it.val)
+		}
+	}
+	if mb.Done() {
+		t.Fatal("done with slot 3 outstanding")
+	}
+	rel, err = mb.Push(3, "d")
+	if got := collectReleased(t, rel, err); fmt.Sprint(got) != "[3]" {
+		t.Fatalf("push 3 released %v", got)
+	}
+	if !mb.Done() {
+		t.Fatal("not done after final push")
+	}
+}
+
+// Skip models a dead producer: the gap is released silently so the
+// stream advances past it.
+func TestMergeBufferSkipGaps(t *testing.T) {
+	mb := newMergeBuffer[string](5)
+	if rel, err := mb.Push(1, "b"); err != nil || len(rel) != 0 {
+		t.Fatalf("push 1: rel=%v err=%v", rel, err)
+	}
+	rel, err := mb.Skip(0)
+	if got := collectReleased(t, rel, err); fmt.Sprint(got) != "[1]" {
+		t.Fatalf("skip 0 released %v, want [1]", got)
+	}
+	if rel, err := mb.Skip(2); err != nil || len(rel) != 0 {
+		t.Fatalf("skip 2: rel=%v err=%v", rel, err)
+	}
+	if rel, err := mb.Skip(4); err != nil || len(rel) != 0 {
+		t.Fatalf("skip 4: rel=%v err=%v", rel, err)
+	}
+	rel, err = mb.Push(3, "d")
+	if got := collectReleased(t, rel, err); fmt.Sprint(got) != "[3]" {
+		t.Fatalf("push 3 released %v, want [3]", got)
+	}
+	if !mb.Done() {
+		t.Fatal("not done after all slots pushed or skipped")
+	}
+}
+
+func TestMergeBufferRejectsDuplicatesAndRange(t *testing.T) {
+	mb := newMergeBuffer[string](2)
+	if _, err := mb.Push(0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Push(0, "again"); err == nil {
+		t.Fatal("duplicate push not rejected")
+	}
+	if _, err := mb.Skip(0); err == nil {
+		t.Fatal("skip of already-pushed slot not rejected")
+	}
+	if _, err := mb.Push(-1, "x"); err == nil {
+		t.Fatal("negative index not rejected")
+	}
+	if _, err := mb.Push(2, "x"); err == nil {
+		t.Fatal("out-of-range index not rejected")
+	}
+	if _, err := mb.Skip(7); err == nil {
+		t.Fatal("out-of-range skip not rejected")
+	}
+}
+
+func TestMergeBufferEmpty(t *testing.T) {
+	mb := newMergeBuffer[string](0)
+	if !mb.Done() {
+		t.Fatal("empty buffer should start done")
+	}
+	if _, err := mb.Push(0, "x"); err == nil {
+		t.Fatal("push into empty buffer not rejected")
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"gotrinity/internal/inchworm"
 	"gotrinity/internal/jellyfish"
 	"gotrinity/internal/mpi"
-	"gotrinity/internal/omp"
 	"gotrinity/internal/pyfasta"
 	"gotrinity/internal/seq"
 	"gotrinity/internal/trace"
@@ -46,6 +45,12 @@ type Config struct {
 	// reference tail, whose output the parallel tail reproduces
 	// byte-identically for a fixed seed.
 	TailWorkers int
+
+	// Streaming switches the pipeline tail (Bowtie → Butterfly) from
+	// barrier-stepped stages to a DAG of bounded channels whose stages
+	// overlap in wall time; output is byte-identical to the barrier
+	// path for a fixed seed. See StreamingConfig.
+	Streaming StreamingConfig
 
 	// SampleInterval enables the Collectl-style background sampler at
 	// the given period, filling Result.Samples/Marks (0 = disabled).
@@ -206,135 +211,17 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: inchworm produced no contigs (too few reads?)")
 	}
 
-	// --- Bowtie: align reads to contigs; with Ranks>1 the contig set
-	// is PyFasta-split and the partitions aligned concurrently by the
-	// tail worker pool (serially when TailWorkers=1), merged in
-	// partition order.
-	err = stage("bowtie", func() error {
-		if err := runBowtiePartitions(reads, res, &cfg, runStart); err != nil {
-			return err
+	// --- The pipeline tail (Bowtie → GraphFromFasta →
+	// ReadsToTranscripts → FastaToDebruijn/Quantify → Butterfly):
+	// barrier-stepped stages by default, or the channel DAG with
+	// overlapping stages when Streaming.Enabled — both byte-identical
+	// for a fixed seed.
+	if cfg.Streaming.Enabled {
+		if err := runStreamingTail(reads, res, &cfg, table, plan, recovery, meter, sampler, runStart); err != nil {
+			return nil, err
 		}
-		cfg.Trace.RealEvent("omp", "bowtie_alignall", trace.RealRank,
-			fmt.Sprintf("makespan=%.6fs imbalance=%.3f aligned=%d/%d partitions=%d workers=%d",
-				res.BowtieStats.MakespanSec, res.BowtieStats.ThreadImbalance,
-				res.BowtieStats.Aligned, res.BowtieStats.Reads,
-				len(res.Tail.PartitionUnits), cfg.tailWorkers()))
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: bowtie: %w", err)
-	}
-
-	// --- GraphFromFasta: weld contigs into components (hybrid when
-	// Ranks > 1), combining weld pairs with Bowtie scaffold pairs.
-	err = stage("graphfromfasta", func() error {
-		var err error
-		res.GFF, err = chrysalis.GraphFromFasta(res.Contigs, table, cfg.Ranks, chrysalis.GFFOptions{
-			K:                 cfg.K,
-			MinWeldSupport:    cfg.MinWeldSupport,
-			MaxWeldsPerContig: cfg.MaxWelds,
-			ThreadsPerRank:    cfg.ThreadsPerRank,
-			Seed:              cfg.Seed,
-			ScaffoldPairs:     res.Scaffolds,
-			Replicas:          cfg.Replicas,
-			Faults:            plan,
-			Recovery:          recovery,
-			Trace:             cfg.Trace,
-		})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: graphfromfasta: %w", err)
-	}
-
-	// --- ReadsToTranscripts: assign reads to components.
-	err = stage("readstotranscripts", func() error {
-		var err error
-		res.R2T, err = chrysalis.ReadsToTranscripts(reads, res.Contigs, res.GFF.Components,
-			cfg.Ranks, chrysalis.R2TOptions{
-				K:              cfg.K,
-				MaxMemReads:    cfg.MaxMemReads,
-				ThreadsPerRank: cfg.ThreadsPerRank,
-				Replicas:       cfg.Replicas,
-				Faults:         plan,
-				Recovery:       recovery,
-				Trace:          cfg.Trace,
-			})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: readstotranscripts: %w", err)
-	}
-	if recovery.Enabled {
-		res.Faults = &FaultReport{GFF: res.GFF.Recovery, R2T: res.R2T.Recovery}
-		if plan != nil {
-			res.Faults.Planned = plan.Faults()
-			res.Faults.Injected = plan.Fired()
-		}
-	}
-
-	// --- FastaToDebruijn + QuantifyGraph: one quantified graph per
-	// component, built component-parallel in LPT (largest-first) order
-	// by the tail pool; TailWorkers=1 runs the original serial two-pass
-	// composition, which the parallel phase reproduces exactly.
-	err = stage("fastatodebruijn", func() error {
-		if cfg.tailWorkers() == 1 {
-			var err error
-			res.Graphs, err = chrysalis.FastaToDeBruijn(res.Contigs, res.GFF.Components, cfg.K)
-			if err != nil {
-				return err
-			}
-			chrysalis.QuantifyGraph(res.Graphs, reads, res.R2T.Assignments)
-			return nil
-		}
-		graphs, units, prof, err := chrysalis.FastaToDeBruijnParallel(
-			res.Contigs, res.GFF.Components, cfg.K, reads, res.R2T.Assignments, cfg.tailWorkers())
-		if err != nil {
-			return err
-		}
-		res.Graphs = graphs
-		res.Tail.ComponentUnits = units
-		cfg.Trace.RealEvent("omp", "fastatodebruijn_components", trace.RealRank,
-			fmt.Sprintf("components=%d workers=%d makespan=%.6fs imbalance=%.3f",
-				len(graphs), prof.Threads, prof.Makespan().Seconds(), prof.Imbalance()))
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: fastatodebruijn: %w", err)
-	}
-
-	// --- Butterfly: transcripts from the quantified graphs, one
-	// component per work item under the same tail pool. The run seed
-	// flows into the path-enumeration tie-breaking unless the caller
-	// pinned its own butterfly seed. Pair support filters in lockstep
-	// with the transcripts — a transcript's support count is
-	// independent of which other transcripts survive, so no second
-	// read scan is needed.
-	err = stage("butterfly", func() error {
-		bopt := cfg.Butterfly
-		if bopt.Seed == 0 {
-			bopt.Seed = cfg.Seed
-		}
-		if cfg.tailWorkers() == 1 {
-			res.Transcripts = butterfly.Reconstruct(res.Graphs, bopt)
-			res.PairSupport = butterfly.PairSupport(res.Transcripts, res.Graphs, reads)
-		} else {
-			var prof omp.Profile
-			res.Transcripts, prof = butterfly.ReconstructParallel(res.Graphs, bopt, cfg.tailWorkers())
-			res.PairSupport = butterfly.PairSupportParallel(res.Transcripts, res.Graphs, reads, cfg.tailWorkers())
-			cfg.Trace.RealEvent("omp", "butterfly_components", trace.RealRank,
-				fmt.Sprintf("components=%d transcripts=%d workers=%d makespan=%.6fs imbalance=%.3f",
-					len(res.Graphs), len(res.Transcripts), prof.Threads,
-					prof.Makespan().Seconds(), prof.Imbalance()))
-		}
-		if cfg.MinPairSupport > 0 {
-			res.Transcripts, res.PairSupport = butterfly.FilterByPairSupport(
-				res.Transcripts, res.PairSupport, cfg.MinPairSupport)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: butterfly: %w", err)
+	} else if err := runBarrierTail(reads, res, &cfg, table, plan, recovery, runStart, stage); err != nil {
+		return nil, err
 	}
 
 	if sampler != nil {

@@ -1,0 +1,751 @@
+// The streaming pipeline tail: the five stages downstream of Inchworm
+// (Bowtie, GraphFromFasta, ReadsToTranscripts, FastaToDebruijn +
+// Quantify, Butterfly) run as a DAG of bounded channels instead of
+// stage → barrier → stage. Bowtie partitions stream through a reorder
+// buffer while GraphFromFasta's weld harvest runs concurrently — the
+// scaffold pairs are only needed at GFF's final union-find, so the
+// handoff is a single close-broadcast at that point. Completed
+// components then flow straight from the graph builders into the
+// quantify/butterfly/pair-support workers while ReadsToTranscripts is
+// still scanning, and the final fan-in releases components in order so
+// transcript output is byte-identical to the barrier-stepped reference
+// for any worker count, buffer depth, rank count, or injected faults.
+//
+// Deadlock freedom by construction: every channel send/recv and every
+// token acquire selects on the runner's done channel, which closes on
+// the first real failure; execution tokens are held only during
+// compute, never while blocked on a channel; and the stage graph is
+// acyclic (bowtie → gff → r2t → build → assemble → collect).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gotrinity/internal/bowtie"
+	"gotrinity/internal/butterfly"
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/collectl"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/mpi"
+	"gotrinity/internal/mpiio"
+	"gotrinity/internal/omp"
+	"gotrinity/internal/pyfasta"
+	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
+)
+
+// StreamingConfig selects and tunes the streaming tail. The zero value
+// (Enabled=false) keeps the barrier-stepped reference path.
+type StreamingConfig struct {
+	// Enabled switches the pipeline tail from barrier-stepped stages to
+	// the streaming DAG. Output is byte-identical either way.
+	Enabled bool
+
+	// BufferDepth is the capacity of every inter-stage channel
+	// (default 8). Depth 1 degenerates to rendezvous-like handoffs;
+	// larger depths absorb stage-rate mismatch at the cost of memory.
+	BufferDepth int
+
+	// AlignWorkers, BuildWorkers and AssembleWorkers bound the
+	// goroutines of the Bowtie-partition, graph-build and
+	// quantify/butterfly stages (default: TailWorkers each). All three
+	// stages draw execution tokens from one shared TailWorkers-sized
+	// pool, so these budgets shape scheduling, not total parallelism.
+	AlignWorkers    int
+	BuildWorkers    int
+	AssembleWorkers int
+
+	// ArtifactDir, when non-empty, streams the final transcripts into
+	// ArtifactDir/transcripts.fa: each component's records are
+	// serialized as the component is released (overlapping the
+	// remaining assembly) and written with mpiio's concurrent
+	// positional writes.
+	ArtifactDir string
+}
+
+func (s *StreamingConfig) normalize(workers int) {
+	if s.BufferDepth <= 0 {
+		s.BufferDepth = 8
+	}
+	if s.AlignWorkers <= 0 {
+		s.AlignWorkers = workers
+	}
+	if s.BuildWorkers <= 0 {
+		s.BuildWorkers = workers
+	}
+	if s.AssembleWorkers <= 0 {
+		s.AssembleWorkers = workers
+	}
+}
+
+// errStreamCanceled marks a node that stopped because another node
+// failed first; it is never reported as the run's error.
+var errStreamCanceled = errors.New("core: streaming stage canceled")
+
+// streamNodeOrder is the canonical reporting order — the order the
+// barrier path executes the stages, so the first error of a streaming
+// run names the same stage a sequential run would have failed in.
+var streamNodeOrder = []string{
+	"bowtie", "graphfromfasta", "readstotranscripts",
+	"fastatodebruijn", "butterfly", "artifacts",
+}
+
+// streamRunner carries the DAG's shared failure state.
+type streamRunner struct {
+	done      chan struct{}
+	closeOnce sync.Once
+	mu        sync.Mutex
+	errs      map[string]error
+}
+
+func newStreamRunner() *streamRunner {
+	return &streamRunner{done: make(chan struct{}), errs: map[string]error{}}
+}
+
+func (r *streamRunner) cancel() {
+	r.closeOnce.Do(func() { close(r.done) })
+}
+
+func (r *streamRunner) canceled() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail records a node's real error and cancels the DAG. A nil error is
+// ignored; errStreamCanceled cancels without recording (the node was
+// collateral damage of an earlier failure).
+func (r *streamRunner) fail(node string, err error) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, errStreamCanceled) {
+		r.mu.Lock()
+		if _, dup := r.errs[node]; !dup {
+			r.errs[node] = err
+		}
+		r.mu.Unlock()
+	}
+	r.cancel()
+}
+
+// firstError returns the recorded error of the earliest node in
+// canonical order, wrapped the way the barrier path wraps stage errors.
+func (r *streamRunner) firstError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, node := range streamNodeOrder {
+		if err := r.errs[node]; err != nil {
+			return fmt.Errorf("core: %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// edgeMeter counts traffic and blocked time on one DAG edge — the
+// backpressure telemetry. All fields are atomics.
+type edgeMeter struct {
+	sends, recvs           int64
+	blockedSendNS, blockedRecvNS int64
+}
+
+func (m *edgeMeter) report(name string) string {
+	return fmt.Sprintf("edge=%s sends=%d recvs=%d blocked_send=%.6fs blocked_recv=%.6fs",
+		name, atomic.LoadInt64(&m.sends), atomic.LoadInt64(&m.recvs),
+		float64(atomic.LoadInt64(&m.blockedSendNS))/1e9,
+		float64(atomic.LoadInt64(&m.blockedRecvNS))/1e9)
+}
+
+// streamSend sends v, metering time spent blocked; false means the DAG
+// was canceled and the caller must unwind without sending.
+func streamSend[T any](ch chan<- T, v T, done <-chan struct{}, m *edgeMeter) bool {
+	select {
+	case ch <- v:
+		atomic.AddInt64(&m.sends, 1)
+		return true
+	default:
+	}
+	t0 := time.Now()
+	select {
+	case ch <- v:
+		atomic.AddInt64(&m.blockedSendNS, time.Since(t0).Nanoseconds())
+		atomic.AddInt64(&m.sends, 1)
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// streamRecv receives one item; false means the channel closed (the
+// producer finished) or the DAG was canceled.
+func streamRecv[T any](ch <-chan T, done <-chan struct{}, m *edgeMeter) (T, bool) {
+	var zero T
+	select {
+	case v, ok := <-ch:
+		if ok {
+			atomic.AddInt64(&m.recvs, 1)
+		}
+		return v, ok
+	default:
+	}
+	t0 := time.Now()
+	select {
+	case v, ok := <-ch:
+		atomic.AddInt64(&m.blockedRecvNS, time.Since(t0).Nanoseconds())
+		if ok {
+			atomic.AddInt64(&m.recvs, 1)
+		}
+		return v, ok
+	case <-done:
+		return zero, false
+	}
+}
+
+// filterComponentPairSupport is FilterByPairSupport restricted to one
+// component: the global filter's keep/drop decision for a transcript
+// only consults its own component's transcripts, so applying it per
+// component and concatenating equals filtering the flattened list.
+func filterComponentPairSupport(ts []butterfly.Transcript, support []int, min int) ([]butterfly.Transcript, []int) {
+	hasSupport := false
+	for _, s := range support {
+		if s >= min {
+			hasSupport = true
+			break
+		}
+	}
+	if !hasSupport {
+		return ts, support
+	}
+	outT, outS := ts[:0], support[:0]
+	for i := range ts {
+		if support[i] >= min {
+			outT = append(outT, ts[i])
+			outS = append(outS, support[i])
+		}
+	}
+	return outT, outS
+}
+
+// stage indices into the streaming window table, in canonical order.
+const (
+	iBowtie = iota
+	iGFF
+	iR2T
+	iBuild
+	iAssemble
+	numStreamStages
+)
+
+var streamStageNames = [numStreamStages]string{
+	"bowtie", "graphfromfasta", "readstotranscripts", "fastatodebruijn", "butterfly",
+}
+
+// streamTestFailAlign, when non-nil, injects an error into the given
+// Bowtie partition — the test hook of the deadlock watchdog battery.
+var streamTestFailAlign func(partition int) error
+
+// compOut is one component's finished tail output.
+type compOut struct {
+	ts      []butterfly.Transcript
+	support []int
+}
+
+// runStreamingTail executes bowtie → butterfly as the streaming DAG.
+// It owns the collector (final fan-in consumer) on the calling
+// goroutine and returns once every node has exited.
+func runStreamingTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfish.CountTable,
+	plan *mpi.FaultPlan, recovery chrysalis.RecoveryOptions,
+	meter *collectl.Meter, sampler *collectl.Sampler, runStart time.Time) error {
+
+	workers := cfg.tailWorkers()
+	sc := cfg.Streaming
+	sc.normalize(workers)
+	pool := omp.NewTokenPool(workers)
+	r := newStreamRunner()
+
+	var edges struct {
+		alignIn, scaffold, buildIn, built, results edgeMeter
+	}
+	var win [numStreamStages]struct{ t0, t1 time.Time }
+	markStart := func(i int) {
+		win[i].t0 = time.Now()
+		if sampler != nil {
+			sampler.MarkStage(streamStageNames[i])
+		}
+	}
+	markEnd := func(i int) { win[i].t1 = time.Now() }
+
+	// Handoffs: scafReady/gffReady/r2tReady are close-broadcasts whose
+	// payloads live in res (written strictly before the close, so the
+	// channel receive orders the memory access).
+	scafReady := make(chan struct{})
+	gffReady := make(chan struct{})
+	r2tReady := make(chan struct{})
+	builtCh := make(chan int, sc.BufferDepth)
+	outCh := make(chan indexed[compOut], sc.BufferDepth)
+	var graphsArr []*chrysalis.ComponentGraph
+
+	var nodes sync.WaitGroup
+
+	// --- Node: bowtie. Partitions fan out to align workers and fan in
+	// through a reorder buffer; the merged alignments, stats and units
+	// accumulate in strict partition order as runs are released.
+	nodes.Add(1)
+	go func() {
+		defer nodes.Done()
+		markStart(iBowtie)
+		defer markEnd(iBowtie)
+		r.fail("bowtie", func() error {
+			var idx [][]int
+			if cfg.Ranks > 1 {
+				var st pyfasta.Stats
+				var err error
+				idx, st, err = pyfasta.SplitIndices(res.Contigs, cfg.Ranks, pyfasta.EvenBases)
+				if err != nil {
+					return err
+				}
+				res.SplitStats = st
+			} else {
+				all := make([]int, len(res.Contigs))
+				for i := range all {
+					all[i] = i
+				}
+				idx = [][]int{all}
+			}
+			active := 0
+			for _, ids := range idx {
+				if len(ids) > 0 {
+					active++
+				}
+			}
+			aw := min(sc.AlignWorkers, max(len(idx), 1))
+			concurrent := workers > 1 && active > 1
+			inner := cfg.Bowtie.Threads
+			if inner <= 0 {
+				inner = omp.DefaultThreads()
+			}
+			if concurrent {
+				if inner = inner / min(workers, active); inner < 1 {
+					inner = 1
+				}
+			}
+
+			type partOut struct {
+				als []bowtie.Alignment
+				st  bowtie.Stats
+			}
+			var mu sync.Mutex
+			mb := newMergeBuffer[partOut](len(idx))
+			var merged []indexed[partOut]
+			errsByPart := make([]error, len(idx))
+			partCh := make(chan int, sc.BufferDepth)
+			var wg sync.WaitGroup
+			for w := 0; w < aw; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						p, ok := streamRecv(partCh, r.done, &edges.alignIn)
+						if !ok {
+							return
+						}
+						if len(idx[p]) == 0 {
+							mu.Lock()
+							rel, _ := mb.Skip(p)
+							merged = append(merged, rel...)
+							mu.Unlock()
+							continue
+						}
+						if streamTestFailAlign != nil {
+							if err := streamTestFailAlign(p); err != nil {
+								errsByPart[p] = err
+								r.cancel()
+								return
+							}
+						}
+						if !pool.Acquire(r.done) {
+							return
+						}
+						t0 := time.Now()
+						als, st, bases, err := alignPartition(reads, res.Contigs, idx[p], cfg, inner)
+						pool.Release()
+						if err != nil {
+							errsByPart[p] = err
+							r.cancel()
+							return
+						}
+						cfg.Trace.RealSpan("bowtie", fmt.Sprintf("partition%d", p),
+							t0.Sub(runStart).Seconds(), time.Since(t0).Seconds(),
+							fmt.Sprintf("contigs=%d bases=%d alignments=%d", len(idx[p]), bases, len(als)))
+						mu.Lock()
+						rel, perr := mb.Push(p, partOut{als: als, st: st})
+						merged = append(merged, rel...)
+						mu.Unlock()
+						if perr != nil { // impossible: each p dispatched once
+							errsByPart[p] = perr
+							r.cancel()
+							return
+						}
+					}
+				}()
+			}
+			for p := range idx {
+				if !streamSend(partCh, p, r.done, &edges.alignIn) {
+					break
+				}
+			}
+			close(partCh)
+			wg.Wait()
+			for p := range errsByPart {
+				if errsByPart[p] != nil {
+					return errsByPart[p]
+				}
+			}
+			if !mb.Done() {
+				return errStreamCanceled
+			}
+			var nodeAls [][]bowtie.Alignment
+			units := make([]float64, 0, len(merged))
+			for _, it := range merged {
+				nodeAls = append(nodeAls, it.val.als)
+				res.BowtieStats.Accumulate(it.val.st, concurrent)
+				units = append(units, float64(it.val.st.SeedProbes+it.val.st.BasesCompared))
+			}
+			res.Tail.PartitionUnits = units
+			res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
+			res.Scaffolds = ScaffoldPairs(res.Alignments)
+			close(scafReady)
+			cfg.Trace.RealEvent("omp", "bowtie_alignall", trace.RealRank,
+				fmt.Sprintf("makespan=%.6fs imbalance=%.3f aligned=%d/%d partitions=%d workers=%d",
+					res.BowtieStats.MakespanSec, res.BowtieStats.ThreadImbalance,
+					res.BowtieStats.Aligned, res.BowtieStats.Reads,
+					len(res.Tail.PartitionUnits), workers))
+			return nil
+		}())
+	}()
+
+	// --- Node: graphfromfasta. Starts immediately — the weld harvest
+	// and pooling are independent of the scaffolds, which every rank
+	// waits for only at the final union-find.
+	nodes.Add(1)
+	go func() {
+		defer nodes.Done()
+		markStart(iGFF)
+		defer markEnd(iGFF)
+		gff, err := chrysalis.GraphFromFasta(res.Contigs, table, cfg.Ranks, chrysalis.GFFOptions{
+			K:                 cfg.K,
+			MinWeldSupport:    cfg.MinWeldSupport,
+			MaxWeldsPerContig: cfg.MaxWelds,
+			ThreadsPerRank:    cfg.ThreadsPerRank,
+			Seed:              cfg.Seed,
+			Replicas:          cfg.Replicas,
+			Faults:            plan,
+			Recovery:          recovery,
+			Trace:             cfg.Trace,
+			ScaffoldWait: func() ([][2]int32, error) {
+				select {
+				case <-scafReady:
+					return res.Scaffolds, nil
+				default:
+				}
+				t0 := time.Now()
+				select {
+				case <-scafReady:
+					atomic.AddInt64(&edges.scaffold.blockedRecvNS, time.Since(t0).Nanoseconds())
+					atomic.AddInt64(&edges.scaffold.recvs, 1)
+					return res.Scaffolds, nil
+				case <-r.done:
+					return nil, errStreamCanceled
+				}
+			},
+		})
+		if err == nil {
+			res.GFF = gff
+			close(gffReady)
+		}
+		r.fail("graphfromfasta", err)
+	}()
+
+	// --- Node: readstotranscripts. Needs the components; runs
+	// concurrently with the graph builders below.
+	nodes.Add(1)
+	go func() {
+		defer nodes.Done()
+		select {
+		case <-gffReady:
+		case <-r.done:
+			return
+		}
+		markStart(iR2T)
+		defer markEnd(iR2T)
+		r2t, err := chrysalis.ReadsToTranscripts(reads, res.Contigs, res.GFF.Components,
+			cfg.Ranks, chrysalis.R2TOptions{
+				K:              cfg.K,
+				MaxMemReads:    cfg.MaxMemReads,
+				ThreadsPerRank: cfg.ThreadsPerRank,
+				Replicas:       cfg.Replicas,
+				Faults:         plan,
+				Recovery:       recovery,
+				Trace:          cfg.Trace,
+			})
+		if err == nil {
+			res.R2T = r2t
+			var readBases float64
+			for i := range reads {
+				readBases += float64(len(reads[i].Seq))
+			}
+			res.Tail.R2TUnits = readBases
+			close(r2tReady)
+		}
+		r.fail("readstotranscripts", err)
+	}()
+
+	// --- Node: graph build (FastaToDebruijn). Components are dispatched
+	// largest-first and built while ReadsToTranscripts still runs; each
+	// finished graph streams to the assembly workers.
+	nodes.Add(1)
+	go func() {
+		defer nodes.Done()
+		defer close(builtCh)
+		select {
+		case <-gffReady:
+		case <-r.done:
+			return
+		}
+		markStart(iBuild)
+		defer markEnd(iBuild)
+		comps := res.GFF.Components
+		// Upfront reference validation keeps the serial path's
+		// deterministic first-component-in-order error reporting.
+		for _, comp := range comps {
+			for _, ci := range comp.Contigs {
+				if ci < 0 || ci >= len(res.Contigs) {
+					r.fail("fastatodebruijn", fmt.Errorf("chrysalis: component %d references contig %d of %d",
+						comp.ID, ci, len(res.Contigs)))
+					return
+				}
+			}
+		}
+		n := len(comps)
+		graphsArr = make([]*chrysalis.ComponentGraph, n)
+		buildUnits := make([]float64, n)
+		for i, comp := range comps {
+			for _, ci := range comp.Contigs {
+				buildUnits[i] += float64(len(res.Contigs[ci].Seq))
+			}
+		}
+		res.Tail.BuildUnits = buildUnits
+		order := omp.LPTOrder(n, func(i int) float64 { return buildUnits[i] })
+		buildCh := make(chan int, sc.BufferDepth)
+		errsByComp := make([]error, n)
+		var wg sync.WaitGroup
+		for w := 0; w < min(sc.BuildWorkers, max(n, 1)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i, ok := streamRecv(buildCh, r.done, &edges.buildIn)
+					if !ok {
+						return
+					}
+					if !pool.Acquire(r.done) {
+						return
+					}
+					cg, err := chrysalis.BuildComponentGraph(res.Contigs, comps[i], cfg.K)
+					pool.Release()
+					if err != nil {
+						errsByComp[i] = err
+						r.cancel()
+						return
+					}
+					graphsArr[i] = cg
+					if !streamSend(builtCh, i, r.done, &edges.built) {
+						return
+					}
+				}
+			}()
+		}
+		for _, i := range order {
+			if !streamSend(buildCh, i, r.done, &edges.buildIn) {
+				break
+			}
+		}
+		close(buildCh)
+		wg.Wait()
+		for i := range errsByComp {
+			if errsByComp[i] != nil {
+				r.fail("fastatodebruijn", errsByComp[i])
+				return
+			}
+		}
+	}()
+
+	// --- Node: assemble (Quantify + Butterfly + pair support). Consumes
+	// built graphs as they arrive once the assignments exist; finished
+	// components fan in through the final reorder buffer, which releases
+	// them to the collector in component order.
+	nodes.Add(1)
+	go func() {
+		defer nodes.Done()
+		defer close(outCh)
+		select {
+		case <-r2tReady:
+		case <-r.done:
+			return
+		}
+		markStart(iAssemble)
+		defer markEnd(iAssemble)
+		comps := res.GFF.Components
+		n := len(comps)
+		readsByComp := chrysalis.GroupAssignments(comps, res.R2T.Assignments, len(reads))
+		quantUnits := make([]float64, n)
+		for i := range readsByComp {
+			for _, ri := range readsByComp[i] {
+				quantUnits[i] += float64(len(reads[ri].Seq))
+			}
+		}
+		res.Tail.QuantUnits = quantUnits
+		bopt := cfg.Butterfly
+		if bopt.Seed == 0 {
+			bopt.Seed = cfg.Seed
+		}
+		var mu sync.Mutex
+		mb := newMergeBuffer[compOut](n)
+		var wg sync.WaitGroup
+		for w := 0; w < min(sc.AssembleWorkers, max(n, 1)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i, ok := streamRecv(builtCh, r.done, &edges.built)
+					if !ok {
+						return
+					}
+					if !pool.Acquire(r.done) {
+						return
+					}
+					cg := graphsArr[i]
+					chrysalis.QuantifyComponent(cg, reads, readsByComp[i])
+					ts := butterfly.ReconstructOne(cg, bopt)
+					support := butterfly.PairSupportOne(ts, butterfly.ComponentPairs(cg, reads), reads)
+					if cfg.MinPairSupport > 0 {
+						ts, support = filterComponentPairSupport(ts, support, cfg.MinPairSupport)
+					}
+					pool.Release()
+					// Push and forward under one lock so released runs
+					// reach the collector in release (component) order.
+					mu.Lock()
+					rel, perr := mb.Push(i, compOut{ts: ts, support: support})
+					sent := perr == nil
+					for _, it := range rel {
+						if !streamSend(outCh, it, r.done, &edges.results) {
+							sent = false
+							break
+						}
+					}
+					mu.Unlock()
+					if !sent {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if !mb.Done() && !r.canceled() {
+			r.fail("butterfly", fmt.Errorf("core: streaming assembly released %d of %d components", mb.next, n))
+		}
+	}()
+
+	// --- Collector (this goroutine): the DAG's sink. Accumulates the
+	// in-order component stream and, when an artifact dir is set,
+	// serializes each component's FASTA records as they land so the
+	// file write overlaps the remaining assembly.
+	var collected []compOut
+	var parts [][]seq.Record
+	expect := -1 // released indices must arrive in ascending order
+	for it := range outCh {
+		if it.idx <= expect {
+			r.fail("butterfly", fmt.Errorf("core: streaming merge released component %d after %d", it.idx, expect))
+			break
+		}
+		expect = it.idx
+		collected = append(collected, it.val)
+		if sc.ArtifactDir != "" {
+			parts = append(parts, butterfly.Records(it.val.ts))
+		}
+	}
+	nodes.Wait()
+	if err := r.firstError(); err != nil {
+		return err
+	}
+	if r.canceled() {
+		return fmt.Errorf("core: streaming tail canceled without a recorded error")
+	}
+
+	res.Graphs = graphsArr
+	res.Tail.ComponentUnits = make([]float64, len(res.Tail.BuildUnits))
+	for i := range res.Tail.ComponentUnits {
+		res.Tail.ComponentUnits[i] = res.Tail.BuildUnits[i] + res.Tail.QuantUnits[i]
+	}
+	for _, co := range collected {
+		res.Transcripts = append(res.Transcripts, co.ts...)
+		res.PairSupport = append(res.PairSupport, co.support...)
+	}
+	if recovery.Enabled {
+		res.Faults = &FaultReport{GFF: res.GFF.Recovery, R2T: res.R2T.Recovery}
+		if plan != nil {
+			res.Faults.Planned = plan.Faults()
+			res.Faults.Injected = plan.Fired()
+		}
+	}
+	if sc.ArtifactDir != "" {
+		if err := os.MkdirAll(sc.ArtifactDir, 0o755); err != nil {
+			return fmt.Errorf("core: artifacts: %w", err)
+		}
+		if err := mpiio.WriteFastaPartitions(filepath.Join(sc.ArtifactDir, "transcripts.fa"), parts); err != nil {
+			return fmt.Errorf("core: artifacts: %w", err)
+		}
+	}
+
+	// Stage profiles and overlap/backpressure telemetry, recorded in
+	// canonical order from the (wall-clock) windows the nodes occupied.
+	// All of it is real-time data: RealSpan/RealEvent/ObserveReal only,
+	// so the deterministic virtual exports stay byte-identical.
+	for i := 0; i < numStreamStages; i++ {
+		meter.RecordAt(streamStageNames[i], win[i].t0, win[i].t1.Sub(win[i].t0))
+		cfg.Trace.RealSpan("pipeline", streamStageNames[i],
+			win[i].t0.Sub(runStart).Seconds(), win[i].t1.Sub(win[i].t0).Seconds(), "streaming")
+		if i > 0 {
+			if ov := win[i-1].t1.Sub(win[i].t0).Seconds(); ov > 0 {
+				cfg.Trace.RealEvent("stream", "overlap", trace.RealRank,
+					fmt.Sprintf("stages=%s+%s overlap=%.6fs",
+						streamStageNames[i-1], streamStageNames[i], ov))
+				cfg.Trace.ObserveReal("stream_overlap_sec", ov)
+			}
+		}
+	}
+	for _, e := range []struct {
+		name string
+		m    *edgeMeter
+	}{
+		{"align_in", &edges.alignIn},
+		{"scaffold_wait", &edges.scaffold},
+		{"build_in", &edges.buildIn},
+		{"built", &edges.built},
+		{"results", &edges.results},
+	} {
+		cfg.Trace.RealEvent("stream", "backpressure", trace.RealRank, e.m.report(e.name))
+		cfg.Trace.ObserveReal("stream_blocked_sec",
+			float64(atomic.LoadInt64(&e.m.blockedSendNS)+atomic.LoadInt64(&e.m.blockedRecvNS))/1e9)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gotrinity/internal/rnaseq"
+	"gotrinity/internal/seq"
+)
+
+// The streaming determinism battery: the channel-DAG tail must be
+// byte-identical to the barrier-stepped serial reference for every
+// worker count, buffer depth, rank count, and injected fault plan —
+// and it must never deadlock, even when a producer dies.
+
+func streamingConfig(ranks, workers, depth int) Config {
+	cfg := batteryConfig(ranks, workers)
+	cfg.Streaming.Enabled = true
+	cfg.Streaming.BufferDepth = depth
+	return cfg
+}
+
+// runWithWatchdog runs fn under a deadline; on timeout it dumps every
+// goroutine stack and fails the test — a stuck channel in the DAG
+// surfaces as a readable deadlock report instead of a 10-minute hang.
+func runWithWatchdog(t *testing.T, timeout time.Duration, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("streaming pipeline deadlocked (no result after %v)\n%s", timeout, buf[:n])
+		return nil
+	}
+}
+
+func TestStreamingTailByteIdentical(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	// The full workers × depths cross runs at the interesting rank
+	// count; the degenerate (1) and wide (16) rank counts get trimmed
+	// sets to keep the battery tractable under -race.
+	battery := map[int][][2]int{ // ranks -> {workers, depth}
+		1:  {{1, 1}, {4, 8}, {8, 64}},
+		4:  {},
+		16: {{2, 1}, {4, 8}, {8, 64}},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, dpt := range []int{1, 8, 64} {
+			battery[4] = append(battery[4], [2]int{w, dpt})
+		}
+	}
+	for _, ranks := range []int{1, 4, 16} {
+		_, wantSci, wantTrace := runBattery(t, d.Reads, batteryConfig(ranks, 1))
+		for _, wd := range battery[ranks] {
+			workers, depth := wd[0], wd[1]
+			res, sci, tr := runBattery(t, d.Reads, streamingConfig(ranks, workers, depth))
+			if !bytes.Equal(sci, wantSci) {
+				t.Fatalf("ranks=%d workers=%d depth=%d: streaming scientific output differs from barrier serial tail",
+					ranks, workers, depth)
+			}
+			if !bytes.Equal(tr, wantTrace) {
+				t.Fatalf("ranks=%d workers=%d depth=%d: streaming virtual trace exports differ from barrier serial tail",
+					ranks, workers, depth)
+			}
+			if len(res.Tail.BuildUnits) != len(res.GFF.Components) ||
+				len(res.Tail.QuantUnits) != len(res.GFF.Components) {
+				t.Fatalf("ranks=%d workers=%d depth=%d: streaming unit decomposition missing", ranks, workers, depth)
+			}
+		}
+	}
+}
+
+// Seeded fault plans (one rank killed during the hybrid Chrysalis)
+// must flow through the DAG's channels: the recovered streaming run
+// matches the fault-free barrier serial run byte for byte.
+func TestStreamingFaultedMatchesSerial(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	_, wantSci, _ := runBattery(t, d.Reads, batteryConfig(4, 1))
+	fired := false
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := streamingConfig(4, 8, 8)
+		cfg.FaultSeed = seed
+		res, sci, _ := runBattery(t, d.Reads, cfg)
+		if res.Faults != nil && len(res.Faults.Injected) > 0 {
+			fired = true
+		}
+		if !bytes.Equal(sci, wantSci) {
+			t.Fatalf("fault seed %d: streaming faulted output differs from barrier serial fault-free tail", seed)
+		}
+	}
+	if !fired {
+		t.Fatal("no fault fired across seeds 1..3")
+	}
+}
+
+// The deterministic work units are functions of the input, not of the
+// execution mode: streaming and barrier meter identical partition and
+// component units, and the streaming decomposition sums back to the
+// component units exactly.
+func TestStreamingUnitsMatchBarrier(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	barrier, _, _ := runBattery(t, d.Reads, batteryConfig(4, 8))
+	stream, _, _ := runBattery(t, d.Reads, streamingConfig(4, 8, 8))
+	if fmt.Sprint(stream.Tail.PartitionUnits) != fmt.Sprint(barrier.Tail.PartitionUnits) {
+		t.Fatalf("partition units: streaming %v != barrier %v",
+			stream.Tail.PartitionUnits, barrier.Tail.PartitionUnits)
+	}
+	if fmt.Sprint(stream.Tail.ComponentUnits) != fmt.Sprint(barrier.Tail.ComponentUnits) {
+		t.Fatalf("component units: streaming %v != barrier %v",
+			stream.Tail.ComponentUnits, barrier.Tail.ComponentUnits)
+	}
+	for i := range stream.Tail.ComponentUnits {
+		if sum := stream.Tail.BuildUnits[i] + stream.Tail.QuantUnits[i]; sum != stream.Tail.ComponentUnits[i] {
+			t.Fatalf("component %d: build %v + quant %v != total %v",
+				i, stream.Tail.BuildUnits[i], stream.Tail.QuantUnits[i], stream.Tail.ComponentUnits[i])
+		}
+	}
+	if stream.Tail.R2TUnits <= 0 {
+		t.Fatalf("R2T units = %v, want > 0", stream.Tail.R2TUnits)
+	}
+}
+
+// The streamed artifact writer (per-component serialization overlapped
+// with assembly, concurrent positional writes) must produce exactly
+// the file the serial writer produces from the final transcript list.
+func TestStreamingArtifactMatchesTranscripts(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	dir := t.TempDir()
+	cfg := streamingConfig(4, 8, 8)
+	cfg.Streaming.ArtifactDir = dir
+	res, _, _ := runBattery(t, d.Reads, cfg)
+	got, err := os.ReadFile(filepath.Join(dir, "transcripts.fa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(t.TempDir(), "ref.fa")
+	if err := seq.WriteFastaFile(ref, res.TranscriptRecords()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed artifact differs from serial write (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// A producer failing mid-stream (a Bowtie partition erroring while
+// GraphFromFasta's ranks are already blocked waiting for scaffolds)
+// must cancel every consumer: the run returns the bowtie error
+// promptly instead of deadlocking.
+func TestStreamingAlignFailureDoesNotDeadlock(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	injected := errors.New("injected partition failure")
+	streamTestFailAlign = func(p int) error {
+		if p == 1 {
+			return injected
+		}
+		return nil
+	}
+	defer func() { streamTestFailAlign = nil }()
+	err := runWithWatchdog(t, 60*time.Second, func() error {
+		_, err := Run(d.Reads, streamingConfig(4, 4, 1))
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected an error from the injected partition failure")
+	}
+	if !errors.Is(err, injected) {
+		t.Fatalf("error lost the injected cause: %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "core: bowtie: ") {
+		t.Fatalf("error not attributed to the bowtie node: %v", err)
+	}
+}
+
+// Killing most of the world during the hybrid stages must also resolve
+// promptly: either the recovery layer restores the run or the failure
+// propagates through the channels — never a blocked consumer.
+func TestStreamingFaultStormDoesNotDeadlock(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	_, wantSci, _ := runBattery(t, d.Reads, batteryConfig(4, 1))
+	cfg := streamingConfig(4, 4, 1)
+	cfg.FaultSpec = "kill:rank=1,call=2; kill:rank=2,call=3; kill:rank=3,call=4"
+	var res *Result
+	err := runWithWatchdog(t, 120*time.Second, func() error {
+		var err error
+		res, err = Run(d.Reads, cfg)
+		return err
+	})
+	if err != nil {
+		// A clean, attributed failure is acceptable under a fault storm;
+		// a hang is not (the watchdog catches that above).
+		t.Logf("fault storm returned error (acceptable): %v", err)
+		return
+	}
+	if sci := scientificFingerprint(t, res); !bytes.Equal(sci, wantSci) {
+		t.Fatal("recovered fault-storm run differs from fault-free serial tail")
+	}
+}
+
+// TailWorkers=0 (hardware parallelism) under varying GOMAXPROCS must
+// not perturb streaming output either.
+func TestStreamingGomaxprocsInvariance(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	_, wantSci, wantTrace := runBattery(t, d.Reads, batteryConfig(4, 1))
+	origGM := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origGM)
+	for _, gm := range []int{1, 8} {
+		runtime.GOMAXPROCS(gm)
+		_, sci, tr := runBattery(t, d.Reads, streamingConfig(4, 0, 8))
+		runtime.GOMAXPROCS(origGM)
+		if !bytes.Equal(sci, wantSci) {
+			t.Fatalf("gomaxprocs=%d: streaming output differs from serial tail", gm)
+		}
+		if !bytes.Equal(tr, wantTrace) {
+			t.Fatalf("gomaxprocs=%d: streaming virtual trace differs from serial tail", gm)
+		}
+	}
+}
+
+// The streaming run still reports the canonical 7-stage collectl
+// trace, now with overlapping windows (total <= sum of durations).
+func TestStreamingStageTrace(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	res, _, _ := runBattery(t, d.Reads, streamingConfig(4, 8, 8))
+	want := []string{"jellyfish", "inchworm", "bowtie", "graphfromfasta", "readstotranscripts", "fastatodebruijn", "butterfly"}
+	if len(res.Trace.Stages) != len(want) {
+		t.Fatalf("trace stages = %d, want %d", len(res.Trace.Stages), len(want))
+	}
+	for i, w := range want {
+		if res.Trace.Stages[i].Name != w {
+			t.Errorf("stage %d = %s, want %s", i, res.Trace.Stages[i].Name, w)
+		}
+	}
+	var sum float64
+	for _, s := range res.Trace.Stages {
+		if s.Duration < 0 {
+			t.Errorf("stage %s has negative duration %v", s.Name, s.Duration)
+		}
+		sum += s.Duration
+	}
+	if total := res.Trace.Total(); total > sum+1e-9 {
+		t.Errorf("wall span %v exceeds summed stage durations %v", total, sum)
+	}
+}

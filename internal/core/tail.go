@@ -12,9 +12,14 @@ import (
 	"time"
 
 	"gotrinity/internal/bowtie"
+	"gotrinity/internal/butterfly"
+	"gotrinity/internal/chrysalis"
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/mpi"
 	"gotrinity/internal/omp"
 	"gotrinity/internal/pyfasta"
 	"gotrinity/internal/seq"
+	"gotrinity/internal/trace"
 )
 
 // TailStats meters the parallelizable pipeline tail in deterministic
@@ -32,6 +37,22 @@ type TailStats struct {
 	// DeBruijn/Quantify/Butterfly work (filled by the parallel tail;
 	// empty on the serial reference path).
 	ComponentUnits []float64
+
+	// The streaming tail decomposes ComponentUnits into the part that
+	// can hide behind ReadsToTranscripts and the part that cannot
+	// (filled by the streaming path only; ComponentUnits = BuildUnits +
+	// QuantUnits elementwise).
+
+	// BuildUnits is each component's contig bases — the FastaToDebruijn
+	// graph build, which overlaps the ReadsToTranscripts scan.
+	BuildUnits []float64
+	// QuantUnits is each component's assigned-read bases — the
+	// quantify/butterfly work that must follow the assignments.
+	QuantUnits []float64
+	// R2TUnits is the total read bases the ReadsToTranscripts scan
+	// streams past — the overlap window the graph builds hide behind,
+	// in the same base-count unit space as Build/QuantUnits.
+	R2TUnits float64
 }
 
 // tailWorkers resolves Config.TailWorkers: 0 (or negative) means
@@ -41,6 +62,147 @@ func (c *Config) tailWorkers() int {
 		return c.TailWorkers
 	}
 	return omp.DefaultThreads()
+}
+
+// runBarrierTail executes the pipeline tail as the classic
+// stage → barrier → stage sequence: each phase drains completely
+// before the next begins. This is the reference path whose output the
+// streaming DAG reproduces byte-for-byte.
+func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfish.CountTable,
+	plan *mpi.FaultPlan, recovery chrysalis.RecoveryOptions, runStart time.Time,
+	stage func(string, func() error) error) error {
+
+	// --- Bowtie: align reads to contigs; with Ranks>1 the contig set
+	// is PyFasta-split and the partitions aligned concurrently by the
+	// tail worker pool (serially when TailWorkers=1), merged in
+	// partition order.
+	err := stage("bowtie", func() error {
+		if err := runBowtiePartitions(reads, res, cfg, runStart); err != nil {
+			return err
+		}
+		cfg.Trace.RealEvent("omp", "bowtie_alignall", trace.RealRank,
+			fmt.Sprintf("makespan=%.6fs imbalance=%.3f aligned=%d/%d partitions=%d workers=%d",
+				res.BowtieStats.MakespanSec, res.BowtieStats.ThreadImbalance,
+				res.BowtieStats.Aligned, res.BowtieStats.Reads,
+				len(res.Tail.PartitionUnits), cfg.tailWorkers()))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: bowtie: %w", err)
+	}
+
+	// --- GraphFromFasta: weld contigs into components (hybrid when
+	// Ranks > 1), combining weld pairs with Bowtie scaffold pairs.
+	err = stage("graphfromfasta", func() error {
+		var err error
+		res.GFF, err = chrysalis.GraphFromFasta(res.Contigs, table, cfg.Ranks, chrysalis.GFFOptions{
+			K:                 cfg.K,
+			MinWeldSupport:    cfg.MinWeldSupport,
+			MaxWeldsPerContig: cfg.MaxWelds,
+			ThreadsPerRank:    cfg.ThreadsPerRank,
+			Seed:              cfg.Seed,
+			ScaffoldPairs:     res.Scaffolds,
+			Replicas:          cfg.Replicas,
+			Faults:            plan,
+			Recovery:          recovery,
+			Trace:             cfg.Trace,
+		})
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("core: graphfromfasta: %w", err)
+	}
+
+	// --- ReadsToTranscripts: assign reads to components.
+	err = stage("readstotranscripts", func() error {
+		var err error
+		res.R2T, err = chrysalis.ReadsToTranscripts(reads, res.Contigs, res.GFF.Components,
+			cfg.Ranks, chrysalis.R2TOptions{
+				K:              cfg.K,
+				MaxMemReads:    cfg.MaxMemReads,
+				ThreadsPerRank: cfg.ThreadsPerRank,
+				Replicas:       cfg.Replicas,
+				Faults:         plan,
+				Recovery:       recovery,
+				Trace:          cfg.Trace,
+			})
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("core: readstotranscripts: %w", err)
+	}
+	if recovery.Enabled {
+		res.Faults = &FaultReport{GFF: res.GFF.Recovery, R2T: res.R2T.Recovery}
+		if plan != nil {
+			res.Faults.Planned = plan.Faults()
+			res.Faults.Injected = plan.Fired()
+		}
+	}
+
+	// --- FastaToDebruijn + QuantifyGraph: one quantified graph per
+	// component, built component-parallel in LPT (largest-first) order
+	// by the tail pool; TailWorkers=1 runs the original serial two-pass
+	// composition, which the parallel phase reproduces exactly.
+	err = stage("fastatodebruijn", func() error {
+		if cfg.tailWorkers() == 1 {
+			var err error
+			res.Graphs, err = chrysalis.FastaToDeBruijn(res.Contigs, res.GFF.Components, cfg.K)
+			if err != nil {
+				return err
+			}
+			chrysalis.QuantifyGraph(res.Graphs, reads, res.R2T.Assignments)
+			return nil
+		}
+		graphs, units, prof, err := chrysalis.FastaToDeBruijnParallel(
+			res.Contigs, res.GFF.Components, cfg.K, reads, res.R2T.Assignments, cfg.tailWorkers())
+		if err != nil {
+			return err
+		}
+		res.Graphs = graphs
+		res.Tail.ComponentUnits = units
+		cfg.Trace.RealEvent("omp", "fastatodebruijn_components", trace.RealRank,
+			fmt.Sprintf("components=%d workers=%d makespan=%.6fs imbalance=%.3f",
+				len(graphs), prof.Threads, prof.Makespan().Seconds(), prof.Imbalance()))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: fastatodebruijn: %w", err)
+	}
+
+	// --- Butterfly: transcripts from the quantified graphs, one
+	// component per work item under the same tail pool. The run seed
+	// flows into the path-enumeration tie-breaking unless the caller
+	// pinned its own butterfly seed. Pair support filters in lockstep
+	// with the transcripts — a transcript's support count is
+	// independent of which other transcripts survive, so no second
+	// read scan is needed.
+	err = stage("butterfly", func() error {
+		bopt := cfg.Butterfly
+		if bopt.Seed == 0 {
+			bopt.Seed = cfg.Seed
+		}
+		if cfg.tailWorkers() == 1 {
+			res.Transcripts = butterfly.Reconstruct(res.Graphs, bopt)
+			res.PairSupport = butterfly.PairSupport(res.Transcripts, res.Graphs, reads)
+		} else {
+			var prof omp.Profile
+			res.Transcripts, prof = butterfly.ReconstructParallel(res.Graphs, bopt, cfg.tailWorkers())
+			res.PairSupport = butterfly.PairSupportParallel(res.Transcripts, res.Graphs, reads, cfg.tailWorkers())
+			cfg.Trace.RealEvent("omp", "butterfly_components", trace.RealRank,
+				fmt.Sprintf("components=%d transcripts=%d workers=%d makespan=%.6fs imbalance=%.3f",
+					len(res.Graphs), len(res.Transcripts), prof.Threads,
+					prof.Makespan().Seconds(), prof.Imbalance()))
+		}
+		if cfg.MinPairSupport > 0 {
+			res.Transcripts, res.PairSupport = butterfly.FilterByPairSupport(
+				res.Transcripts, res.PairSupport, cfg.MinPairSupport)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: butterfly: %w", err)
+	}
+	return nil
 }
 
 // runBowtiePartitions is the bowtie stage body: PyFasta-split the
@@ -104,22 +266,10 @@ func runBowtiePartitions(reads []seq.Record, res *Result, cfg *Config, runStart 
 			return
 		}
 		t0 := time.Now()
-		part := make([]seq.Record, len(ids))
-		bases := 0
-		for j, ci := range ids {
-			part[j] = res.Contigs[ci]
-			bases += len(res.Contigs[ci].Seq)
-		}
-		opt := cfg.Bowtie
-		opt.Threads = inner
-		ix, err := bowtie.NewIndex(part, opt)
+		als, st, bases, err := alignPartition(reads, res.Contigs, ids, cfg, inner)
 		if err != nil {
 			outs[p].err = err
 			return
-		}
-		als, st := bowtie.NewAligner(ix).AlignAll(reads)
-		for i := range als {
-			als[i].Contig = ids[als[i].Contig] // offset table: local → global
 		}
 		outs[p] = partOut{als: als, st: st, bases: bases}
 		cfg.Trace.RealSpan("bowtie", fmt.Sprintf("partition%d", p),
@@ -154,4 +304,28 @@ func runBowtiePartitions(reads []seq.Record, res *Result, cfg *Config, runStart 
 	res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
 	res.Scaffolds = ScaffoldPairs(res.Alignments)
 	return nil
+}
+
+// alignPartition aligns all reads against one contig partition and
+// renumbers the hits to global contig indices via the partition's
+// offset table — the per-partition unit shared by the barrier and
+// streaming bowtie stages.
+func alignPartition(reads, contigs []seq.Record, ids []int, cfg *Config, inner int) ([]bowtie.Alignment, bowtie.Stats, int, error) {
+	part := make([]seq.Record, len(ids))
+	bases := 0
+	for j, ci := range ids {
+		part[j] = contigs[ci]
+		bases += len(contigs[ci].Seq)
+	}
+	opt := cfg.Bowtie
+	opt.Threads = inner
+	ix, err := bowtie.NewIndex(part, opt)
+	if err != nil {
+		return nil, bowtie.Stats{}, bases, err
+	}
+	als, st := bowtie.NewAligner(ix).AlignAll(reads)
+	for i := range als {
+		als[i].Contig = ids[als[i].Contig] // offset table: local → global
+	}
+	return als, st, bases, nil
 }

@@ -51,8 +51,12 @@ type message struct {
 // Observer receives telemetry callbacks from a World: one per
 // point-to-point send, one per completed collective, one per rank
 // death. Implementations must be safe for concurrent use by all rank
-// goroutines and must not call back into the World — RankDeath in
-// particular fires with internal locks held.
+// goroutines and must not call back into the World. RankDeath is
+// delivered asynchronously, in death order, by a dedicated dispatcher
+// goroutine — never with internal locks held — so an observer may
+// forward fault events over a (possibly momentarily full) channel to
+// downstream consumers without deadlocking the world; Run/RunE do not
+// return until every death has been delivered.
 type Observer interface {
 	// Message is called after rank src sends bytes payload bytes to dst.
 	Message(src, dst, tag, bytes int)
@@ -62,6 +66,12 @@ type Observer interface {
 	// RankDeath is called once per death; evicted distinguishes the
 	// straggler policy from an injected kill.
 	RankDeath(rank int, evicted bool)
+}
+
+// deathNote is one queued RankDeath notification.
+type deathNote struct {
+	rank    int
+	evicted bool
 }
 
 // World owns the shared state of one simulated MPI job: the mailbox
@@ -83,6 +93,15 @@ type World struct {
 
 	deathMu sync.Mutex
 	deathCh chan struct{} // closed and replaced at every rank death
+
+	// Rank deaths are announced to the observer from a dispatcher
+	// goroutine, not from under the barrier lock where they are
+	// detected: a RankDeath implementation that blocks (forwarding the
+	// event over a channel) must not freeze every surviving rank. The
+	// queue holds at most one note per rank, so enqueueing under the
+	// lock never blocks.
+	deathQ  chan deathNote
+	deathWG sync.WaitGroup
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -90,7 +109,8 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: world size %d must be positive", size))
 	}
-	w := &World{size: size, slots: make([][]byte, size), deathCh: make(chan struct{})}
+	w := &World{size: size, slots: make([][]byte, size), deathCh: make(chan struct{}),
+		deathQ: make(chan deathNote, size)}
 	w.boxes = make([][]chan message, size)
 	for s := 0; s < size; s++ {
 		w.boxes[s] = make([]chan message, size)
@@ -109,8 +129,9 @@ func NewWorld(size int) *World {
 		close(w.deathCh) // wake receivers blocked on the dead rank
 		w.deathCh = make(chan struct{})
 		w.deathMu.Unlock()
-		if w.obs != nil {
-			w.obs.RankDeath(rank, evicted)
+		select {
+		case w.deathQ <- deathNote{rank: rank, evicted: evicted}:
+		default: // unreachable: at most one death per rank fits the buffer
 		}
 	}
 	return w
@@ -178,10 +199,21 @@ func (w *World) Run(body func(c *Comm)) ([]Stats, []error) {
 
 // RunE is Run for bodies that return an error. A rank returning a
 // non-nil error is treated as failed and removed from the world so
-// surviving ranks do not block on it.
+// surviving ranks do not block on it. A World runs one job: create a
+// fresh World per RunE call (the observer's death queue is consumed
+// and closed by the run).
 func (w *World) RunE(body func(c *Comm) error) ([]Stats, []error) {
 	stats := make([]Stats, w.size)
 	errs := make([]error, w.size)
+	if w.obs != nil {
+		w.deathWG.Add(1)
+		go func() {
+			defer w.deathWG.Done()
+			for d := range w.deathQ {
+				w.obs.RankDeath(d.rank, d.evicted)
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
@@ -206,6 +238,13 @@ func (w *World) RunE(body func(c *Comm) error) ([]Stats, []error) {
 		}(r)
 	}
 	wg.Wait()
+	if w.obs != nil {
+		// Drain the death dispatcher: every observed death is delivered
+		// before RunE returns, so exports built right after a run see a
+		// complete, deterministic fault record.
+		close(w.deathQ)
+		w.deathWG.Wait()
+	}
 	return stats, errs
 }
 

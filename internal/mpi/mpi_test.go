@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorldRunAllRanks(t *testing.T) {
@@ -333,5 +334,68 @@ func TestObserverSeesDeath(t *testing.T) {
 	}
 	if len(obs.evictions) != 0 {
 		t.Errorf("unexpected evictions %v", obs.evictions)
+	}
+}
+
+// blockingObserver forwards every death over an unbuffered channel,
+// modelling a trace consumer that is slow to pick events up. The
+// dispatcher goroutine must absorb this: surviving ranks keep making
+// progress while the observer blocks, and RunE still delivers every
+// death before returning.
+type blockingObserver struct {
+	deaths chan int
+}
+
+func (o *blockingObserver) Message(src, dst, tag, bytes int)                            {}
+func (o *blockingObserver) Collective(rank int, op string, sent, recv int64, parts int) {}
+func (o *blockingObserver) RankDeath(rank int, evicted bool)                            { o.deaths <- rank }
+
+func TestBlockingDeathObserverDoesNotDeadlock(t *testing.T) {
+	plan := &FaultPlan{}
+	plan.Add(Fault{Kind: FaultKill, Rank: 1, AtCall: 1})
+	plan.Add(Fault{Kind: FaultKill, Rank: 2, AtCall: 2})
+	w := NewWorld(4)
+	w.SetFaults(plan)
+	obs := &blockingObserver{deaths: make(chan int)}
+	w.SetObserver(obs)
+
+	got := make(chan []int, 1)
+	go func() {
+		var deaths []int
+		for r := range obs.deaths {
+			// Hold each notification for a while before accepting the
+			// next: the barrier path that detected the death must not be
+			// waiting on us.
+			time.Sleep(10 * time.Millisecond)
+			deaths = append(deaths, r)
+		}
+		got <- deaths
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		w.Run(func(c *Comm) {
+			for i := 0; i < 4; i++ {
+				c.TryBarrier()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("world deadlocked behind a blocking RankDeath observer")
+	}
+	// RunE has returned, so the dispatcher has already pushed every
+	// death into the observer; close the forwarding channel and check
+	// the full record arrived.
+	close(obs.deaths)
+	deaths := <-got
+	if len(deaths) != 2 {
+		t.Fatalf("observer saw deaths %v, want both ranks 1 and 2", deaths)
+	}
+	seen := map[int]bool{deaths[0]: true, deaths[1]: true}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("observer saw deaths %v, want {1, 2}", deaths)
 	}
 }

@@ -1,15 +1,19 @@
-// Package mpiio implements striped parallel FASTA input — the
+// Package mpiio implements striped parallel FASTA I/O — the
 // "exploring MPI-I/O for RNA-Seq data" direction of the paper's future
-// work (§VI). Instead of every rank redundantly streaming the whole
-// read file (the §III-C scheme), each rank reads only its own byte
-// range, with the classic MPI-IO record-boundary rule: a rank owns
-// exactly the records whose header byte ('>') falls inside its stripe.
-// The union over ranks is therefore exactly the serial read, with no
-// record duplicated or lost.
+// work (§VI). On the read side, instead of every rank redundantly
+// streaming the whole read file (the §III-C scheme), each rank reads
+// only its own byte range, with the classic MPI-IO record-boundary
+// rule: a rank owns exactly the records whose header byte ('>') falls
+// inside its stripe. The union over ranks is therefore exactly the
+// serial read, with no record duplicated or lost. On the write side,
+// each partition is serialized independently and written at its
+// prefix-sum offset with concurrent positional writes — the
+// MPI_File_write_at pattern.
 package mpiio
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -162,6 +166,78 @@ func ReadFastaParallel(path string, ranks int) ([][]seq.Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// WriteFastaPartitions writes the concatenation of the partitions to
+// path as one FASTA file, byte-identical to seq.WriteFastaFile over the
+// flattened record list. Each partition is serialized by its own
+// goroutine, offsets come from a prefix sum over the serialized sizes,
+// and the chunks land via concurrent WriteAt calls — the
+// MPI_File_write_at pattern, so no partition waits for an earlier one
+// to flush.
+func WriteFastaPartitions(path string, parts [][]seq.Record) error {
+	bufs := make([][]byte, len(parts))
+	errs := make([]error, len(parts))
+	done := make(chan struct{}, len(parts))
+	for p := range parts {
+		go func(p int) {
+			defer func() { done <- struct{}{} }()
+			var b bytes.Buffer
+			fw := seq.NewFastaWriter(&b)
+			for i := range parts[p] {
+				if err := fw.Write(&parts[p][i]); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+			if err := fw.Flush(); err != nil {
+				errs[p] = err
+				return
+			}
+			bufs[p] = b.Bytes()
+		}(p)
+	}
+	for range parts {
+		<-done
+	}
+	for p, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpiio: partition %d: %w", p, err)
+		}
+	}
+	offsets := make([]int64, len(parts))
+	var total int64
+	for p, b := range bufs {
+		offsets[p] = total
+		total += int64(len(b))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(total); err != nil {
+		f.Close()
+		return err
+	}
+	for p := range bufs {
+		go func(p int) {
+			defer func() { done <- struct{}{} }()
+			if len(bufs[p]) == 0 {
+				return
+			}
+			_, errs[p] = f.WriteAt(bufs[p], offsets[p])
+		}(p)
+	}
+	for range bufs {
+		<-done
+	}
+	for p, err := range errs {
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("mpiio: partition %d write: %w", p, err)
+		}
+	}
+	return f.Close()
 }
 
 func trimEOL(line []byte) []byte {

@@ -1,7 +1,9 @@
 package mpiio
 
 import (
+	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -134,5 +136,62 @@ func TestEmptyStripe(t *testing.T) {
 	recs, err := ReadFastaStripe(writeTestFasta(t, []seq.Record{{ID: "x", Seq: []byte("ACGT")}}), Range{5, 5})
 	if err != nil || recs != nil {
 		t.Errorf("empty stripe: %v %v", recs, err)
+	}
+}
+
+// WriteFastaPartitions (concurrent positional writes, one goroutine
+// per partition) must produce exactly the bytes of a serial write over
+// the flattened records, for any partitioning — including empty
+// partitions and an empty file.
+func TestWriteFastaPartitionsMatchesSerial(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(17))
+	recs := d.Reads[:200]
+	for _, nparts := range []int{1, 2, 7, 64} {
+		parts := make([][]seq.Record, nparts)
+		for i, r := range recs {
+			parts[i%nparts] = append(parts[i%nparts], r)
+		}
+		// Re-flatten in partition order for the serial reference.
+		dir := t.TempDir()
+		got := filepath.Join(dir, "parallel.fa")
+		if err := WriteFastaPartitions(got, parts); err != nil {
+			t.Fatal(err)
+		}
+		want := filepath.Join(dir, "serial.fa")
+		if err := seq.WriteFastaFile(want, flatten(parts)); err != nil {
+			t.Fatal(err)
+		}
+		gb, err := os.ReadFile(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := os.ReadFile(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("nparts=%d: parallel write differs from serial (%d vs %d bytes)", nparts, len(gb), len(wb))
+		}
+	}
+}
+
+func TestWriteFastaPartitionsDegenerate(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.fa")
+	if err := WriteFastaPartitions(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(empty)
+	if err != nil || fi.Size() != 0 {
+		t.Fatalf("empty write: size=%v err=%v", fi.Size(), err)
+	}
+	sparse := filepath.Join(dir, "sparse.fa")
+	parts := [][]seq.Record{nil, {{ID: "a", Seq: []byte("ACGT")}}, nil}
+	if err := WriteFastaPartitions(sparse, parts); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := seq.ReadFastaFile(sparse)
+	if err != nil || len(recs) != 1 || recs[0].ID != "a" {
+		t.Fatalf("sparse write: recs=%v err=%v", recs, err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -71,13 +72,30 @@ func (r *Recorder) WriteChrome(w io.Writer, opts ChromeOptions) error {
 			pid, quote(name)))
 	}
 
+	// Real spans overlap in wall time once the streaming pipeline runs
+	// stages concurrently; give each category its own thread track so
+	// the overlap renders as parallel lanes instead of one garbled row.
+	// Tids are assigned from the sorted category set, so the mapping is
+	// a function of the recording alone.
+	realTid := realTids(spans, opts)
+	if opts.IncludeReal {
+		for cat, tid := range realTid {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				realPID, tid, quote(cat)))
+		}
+	}
+
 	for _, s := range spans {
 		if s.Real && !opts.IncludeReal {
 			continue
 		}
-		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":0%s}`,
+		tid := 0
+		if s.Real {
+			tid = realTid[s.Cat]
+		}
+		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d%s}`,
 			quote(s.Name), quote(s.Cat), usec(s.Start), usec(s.Dur),
-			pidFor(s.Rank, s.Real), argsJSON(s.Arg)))
+			pidFor(s.Rank, s.Real), tid, argsJSON(s.Arg)))
 	}
 	// Instant events carry no virtual timestamp of their own (faults
 	// fire inside collectives); place them at their per-rank ordinal so
@@ -106,6 +124,28 @@ func (r *Recorder) WriteChrome(w io.Writer, opts ChromeOptions) error {
 	}
 	bw.WriteString("]}}\n")
 	return bw.Flush()
+}
+
+// realTids maps each real-span category to a stable thread id within
+// the real-time process, in sorted-category order.
+func realTids(spans []Span, opts ChromeOptions) map[string]int {
+	if !opts.IncludeReal {
+		return nil
+	}
+	var cats []string
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if s.Real && !seen[s.Cat] {
+			seen[s.Cat] = true
+			cats = append(cats, s.Cat)
+		}
+	}
+	sort.Strings(cats)
+	tids := make(map[string]int, len(cats))
+	for i, c := range cats {
+		tids[c] = i
+	}
+	return tids
 }
 
 // realPID is the trace pid grouping whole-process (non-rank) data. It

@@ -298,7 +298,8 @@ func (r *Recorder) Collective(rank int, op string, sent, recv int64, participant
 }
 
 // RankDeath implements mpi.Observer: deaths and evictions become fault
-// events. Called with mpi-internal locks held, so it only appends.
+// events. Delivered asynchronously by the world's death dispatcher, in
+// death order.
 func (r *Recorder) RankDeath(rank int, evicted bool) {
 	if r == nil {
 		return

@@ -308,3 +308,50 @@ func TestStageTable(t *testing.T) {
 		}
 	}
 }
+
+// Real spans land on per-category lanes: each real category gets its
+// own tid (in sorted-category order) so overlapping pipeline stages
+// render side by side instead of stacking on one row.
+func TestChromeRealSpanLanes(t *testing.T) {
+	r := New(cluster.BlueWonder(1))
+	r.RealSpan("pipeline", "bowtie", 0, 0.5, "")
+	r.RealSpan("pipeline", "graphfromfasta", 0.2, 0.6, "")
+	r.RealSpan("bowtie", "partition0", 0.05, 0.1, "")
+	r.RealSpan("stream", "overlap", 0.3, 0.1, "")
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf, ChromeOptions{IncludeReal: true}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	catTid := map[string]float64{}
+	names := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			cat := ev["cat"].(string)
+			tid := ev["tid"].(float64)
+			if prev, ok := catTid[cat]; ok && prev != tid {
+				t.Errorf("category %q split across tids %g and %g", cat, prev, tid)
+			}
+			catTid[cat] = tid
+		}
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			args := ev["args"].(map[string]any)
+			names[ev["tid"].(float64)] = args["name"].(string)
+		}
+	}
+	// Sorted categories: bowtie=0, pipeline=1, stream=2.
+	want := map[string]float64{"bowtie": 0, "pipeline": 1, "stream": 2}
+	for cat, tid := range want {
+		if catTid[cat] != tid {
+			t.Errorf("category %q on tid %g, want %g", cat, catTid[cat], tid)
+		}
+		if names[tid] != cat {
+			t.Errorf("tid %g named %q, want %q", tid, names[tid], cat)
+		}
+	}
+}
