@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline verify clean
+.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline bench-shard verify clean
 
 build:
 	$(GO) build ./...
@@ -81,10 +81,27 @@ bench-pipeline:
 	       END { printf("\n}\n") }' > $(BENCH_PIPELINE_JSON)
 	@cat $(BENCH_PIPELINE_JSON)
 
+# Sharded k-mer state snapshot: per-rank resident bytes and lookup
+# exchange bytes for the replicated vs ShardKmers GraphFromFasta at
+# ranks {1,4,16}, recorded as BENCH_shard.json so the memory-vs-bytes
+# trade shows up in review diffs. Same awk JSON conversion as
+# bench-chrysalis.
+BENCH_SHARD_JSON ?= BENCH_shard.json
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardScaling' -benchtime 3x -timeout 30m . \
+	| awk 'BEGIN { printf("{\n") } \
+	       /^Benchmark/ { if (n++) printf(",\n"); \
+	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
+	         for (i = 3; i < NF; i += 2) printf(", \"%s\": %s", $$(i+1), $$i); \
+	         printf("}") } \
+	       END { printf("\n}\n") }' > $(BENCH_SHARD_JSON)
+	@cat $(BENCH_SHARD_JSON)
+
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/shard/... ./internal/mpi/...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 1x .

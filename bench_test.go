@@ -175,6 +175,26 @@ func BenchmarkHeadlineSpeedups(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling records the ShardKmers memory-vs-traffic
+// trade at ranks {1,4,16}: per-rank resident k-mer bytes for the
+// replicated and sharded paths plus the addressed lookup-exchange
+// bytes, with output verified identical (see DESIGN.md §11).
+func BenchmarkShardScaling(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ShardScaling(l, []int{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			reportSpeedup(b, fmt.Sprintf("replicated_bytes_rank_r%d", r.Ranks), float64(r.ReplicatedBytes))
+			reportSpeedup(b, fmt.Sprintf("sharded_mean_bytes_rank_r%d", r.Ranks), float64(r.ShardedMeanBytes))
+			reportSpeedup(b, fmt.Sprintf("exchange_bytes_r%d", r.Ranks), float64(r.ExchangeBytes))
+		}
+		reportSpeedup(b, "resident_reduction_r16", rows[len(rows)-1].ResidentReduction)
+	}
+}
+
 // BenchmarkAblationDistribution quantifies chunked round-robin vs the
 // rejected pre-allocated blocks (§III-B).
 func BenchmarkAblationDistribution(b *testing.B) {

@@ -31,6 +31,7 @@ func main() {
 	support := flag.Int("support", 2, "read occurrences required per weld window k-mer")
 	maxWelds := flag.Int("max-welds", 100, "weld harvest cap per contig")
 	seed := flag.Int64("seed", 0, "run seed")
+	shardKmers := flag.Bool("shard-kmers", false, "partition the k-mer lookup state across ranks (byte-identical output)")
 	flag.Parse()
 
 	if *contigsPath == "" || *readsPath == "" {
@@ -55,6 +56,7 @@ func main() {
 		MaxWeldsPerContig: *maxWelds,
 		ThreadsPerRank:    *threads,
 		Seed:              *seed,
+		ShardKmers:        *shardKmers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -33,6 +33,7 @@ func main() {
 	threads := flag.Int("threads", 16, "OpenMP threads per rank")
 	k := flag.Int("k", 25, "k-mer length")
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
+	shardKmers := flag.Bool("shard-kmers", false, "partition Chrysalis k-mer lookup state across ranks (distributed hash table; byte-identical output)")
 	minPairs := flag.Int("min-pair-support", 0, "drop transcripts spanned by fewer mate pairs (0 = keep all)")
 	tailWorkers := flag.Int("tail-workers", 0, "pipeline-tail worker pool (0 = GOMAXPROCS, 1 = serial reference tail)")
 	streaming := flag.Bool("streaming", false, "run the pipeline tail as a streaming DAG of bounded channels (overlapping stages, byte-identical output)")
@@ -73,6 +74,7 @@ func main() {
 		Ranks:          *nprocs,
 		ThreadsPerRank: *threads,
 		Seed:           *seed,
+		ShardKmers:     *shardKmers,
 		MinPairSupport: *minPairs,
 		TailWorkers:    *tailWorkers,
 		Streaming: core.StreamingConfig{

@@ -37,6 +37,15 @@ type GFFOptions struct {
 	// instead of the paper's dynamic one (ablation; timing only).
 	StaticSchedule bool
 
+	// ShardKmers partitions the k-mer lookup state (read counts, contig
+	// occurrence index, weld index) across the ranks by kmer.OwnerRank
+	// instead of replicating it on every rank: each rank holds ~1/ranks
+	// of the tables and fetches the k-mers its welding loops will probe
+	// in batched Alltoallv lookup rounds (see sharded.go). Results are
+	// byte-identical to the replicated path — only per-rank memory and
+	// communication change, metered via GFFRankProfile.
+	ShardKmers bool
+
 	// LoopOpWeight is the cost-model weight of one welding-loop
 	// operation relative to one setup operation (default 20). Trinity's
 	// inner loops extract, hash and compare string k-mers with poor
@@ -122,6 +131,14 @@ type GFFRankProfile struct {
 	OutputUnits    float64   // non-parallel: union-find + component output
 	Welds          int       // welds this rank harvested
 	Pairs          int       // weld incidences this rank found
+
+	// ResidentKmerBytes is the rank's peak resident k-mer lookup state:
+	// the full replicated tables, or — under ShardKmers — the rank's
+	// shards plus the partial replicas its loops queried.
+	ResidentKmerBytes int64
+	// ShardExchangeBytes counts the addressed bytes this rank moved
+	// through sharded lookup rounds (0 unless ShardKmers).
+	ShardExchangeBytes int64
 }
 
 // GFFResult is the full GraphFromFasta output.
@@ -181,11 +198,31 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 
 	// In a real cluster every rank builds these identical read-only
 	// structures independently; here they are built once and shared,
-	// while each rank is still charged the full build cost.
-	var ixOnce, widxOnce sync.Once
+	// while each rank is still charged the full build cost. Under
+	// ShardKmers the full tables are built lazily — only if chunk
+	// recovery needs to recompute a foreign chunk whose k-mers the local
+	// partial replica never queried.
+	var ixOnce, widxOnce, pooledOnce sync.Once
 	var ix *contigKmerIndex
 	var widx *weldIndex
 	var pooledShared []string
+	fullIx := func() *contigKmerIndex {
+		ixOnce.Do(func() { ix = buildContigKmerIndex(seqs, opt.K) })
+		return ix
+	}
+	fullWidx := func() *weldIndex {
+		widxOnce.Do(func() { widx = buildWeldIndex(pooledShared, opt.K) })
+		return widx
+	}
+	// Sharded-lookup shared state: the source data every shard is
+	// rebuilt from, and the per-phase completion ledgers.
+	var srcOnce sync.Once
+	var source *gffSource
+	var led1, led2 *fetchLedger
+	if opt.ShardKmers {
+		led1 = newFetchLedger(ranks)
+		led2 = newFetchLedger(ranks)
+	}
 	// Per-contig loop costs, written by the owning rank, read by every
 	// rank after a barrier for the replicated timing replay. Only the
 	// fault-free path uses the shared arrays; the fault layer keeps
@@ -203,28 +240,31 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	}
 
 	// weldChunk and pairChunk compute one chunk's partial result — the
-	// checkpoint unit of the recovery layer.
-	weldChunk := func(ch int) (welds []string, chCosts []float64, units float64) {
+	// checkpoint unit of the recovery layer. The lookup structures are
+	// parameters: a rank's normal loops pass its local (replicated or
+	// partial) replicas, while recovery recompute passes the full tables
+	// so a survivor can recompute any dead rank's chunk.
+	weldChunk := func(ch int, kix *contigKmerIndex, reads *jellyfish.Frozen) (welds []string, chCosts []float64, units float64) {
 		sc := weldScratchPool.Get().(*weldScratch)
 		defer weldScratchPool.Put(sc)
 		lo, hi := dist.ChunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
 			rot := harvestRotation(opt.Seed, i, len(seqs[i]))
-			ws, u := harvestWelds(seqs[i], i, ix, frozenReads, opt, rot, sc)
+			ws, u := harvestWelds(seqs[i], i, kix, reads, opt, rot, sc)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			welds = append(welds, ws...)
 		}
 		return welds, chCosts, units
 	}
-	pairChunk := func(ch int) (encs []int64, chCosts []float64, units float64) {
+	pairChunk := func(ch int, wix *weldIndex) (encs []int64, chCosts []float64, units float64) {
 		sc := weldScratchPool.Get().(*weldScratch)
 		defer weldScratchPool.Put(sc)
 		lo, hi := dist.ChunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
-			pairs, u := scanContigForWelds(seqs[i], i, widx, sc)
+			pairs, u := scanContigForWelds(seqs[i], i, wix, sc)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			for _, p := range pairs {
@@ -251,9 +291,35 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 
 		// --- Non-parallel setup: every rank loads the contig file and
 		// builds the k-mer occurrence index (GraphFromFasta "reads the
-		// entire file into memory", §III-C).
-		ixOnce.Do(func() { ix = buildContigKmerIndex(seqs, opt.K) })
-		prof.SetupUnits = float64(ix.buildOps)
+		// entire file into memory", §III-C). Under ShardKmers the rank
+		// instead builds only its own shard of the distributed tables,
+		// then fetches the k-mers loop 1 will probe over its contigs (and
+		// their reverse complements, which cover the RC-seed and
+		// weld-support probes) in batched lookup rounds, materialising a
+		// partial replica the unchanged loop kernels run on.
+		var rs *rankShards
+		var lIx *contigKmerIndex // loop-1 lookup structures of this rank
+		var lReads *jellyfish.Frozen
+		if opt.ShardKmers {
+			srcOnce.Do(func() { source = buildGFFSource(seqs, opt.K, frozenReads) })
+			rs = newRankShards(source, ranks, rank, rep, opt.Trace)
+			rs.ensureLoop1(rank)
+			queries := collectQueryKmers(seqs, dist, rank, opt.K, true)
+			bodies, ferr := fetchShardAnswers(c, "graphfromfasta/loop1", rs, led1, queries, rs.answerLoop1, ro)
+			if ferr != nil {
+				return ferr
+			}
+			var berr error
+			lIx, lReads, berr = buildLoop1Cache(seqs, opt.K, queries, bodies)
+			if berr != nil {
+				return berr
+			}
+			prof.SetupUnits = float64(len(source.keys))
+		} else {
+			ixOnce.Do(func() { ix = buildContigKmerIndex(seqs, opt.K) })
+			lIx, lReads = ix, frozenReads
+			prof.SetupUnits = float64(ix.buildOps)
+		}
 
 		// --- Loop 1: harvest welds over this rank's chunks, dividing
 		// each chunk across the logical OpenMP threads dynamically.
@@ -261,7 +327,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		if active {
 			for _, ch := range dist.RankChunks(rank) {
 				c.Probe() // fault point: a rank can die between chunks
-				ws, chCosts, _ := weldChunk(ch)
+				ws, chCosts, _ := weldChunk(ch, lIx, lReads)
 				store1.put(ch, ws, chCosts)
 				myWelds = append(myWelds, ws...)
 			}
@@ -269,7 +335,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			sc := weldScratchPool.Get().(*weldScratch)
 			dist.ForEachRankItem(rank, func(i int) {
 				rot := harvestRotation(opt.Seed, i, len(seqs[i]))
-				welds, units := harvestWelds(seqs[i], i, ix, frozenReads, opt, rot, sc)
+				welds, units := harvestWelds(seqs[i], i, lIx, lReads, opt, rot, sc)
 				costs1[i] = units * opt.LoopOpWeight
 				myWelds = append(myWelds, welds...)
 			})
@@ -292,7 +358,9 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			}
 			if err := recoverChunks(c, "graphfromfasta/welds", ro, rep, opt.Trace, store1.missing,
 				func(ch int) ([]byte, float64) {
-					ws, chCosts, units := weldChunk(ch)
+					// Recompute with the full tables: a dead rank's chunk
+					// probes k-mers outside this rank's partial replica.
+					ws, chCosts, units := weldChunk(ch, fullIx(), frozenReads)
 					store1.put(ch, ws, chCosts)
 					return packWelds(ws), units
 				}); err != nil {
@@ -301,13 +369,12 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
 			myCosts := store1.itemCosts(len(seqs), dist.ChunkRange)
 			prof.Loop1Units, prof.Loop1Imbalance = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
-			widxOnce.Do(func() {
+			pooledOnce.Do(func() {
 				chunkParts := make([][]byte, dist.Chunks())
 				for ch := range chunkParts {
 					chunkParts[ch] = packWelds(store1.chunk(ch))
 				}
 				pooledShared = poolWelds(chunkParts)
-				widx = buildWeldIndex(pooledShared, opt.K)
 			})
 		} else {
 			c.Barrier() // all per-contig costs visible to every rank
@@ -315,15 +382,33 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			c.AllgatherInt(len(packed))
 			parts := c.Allgatherv(packed)
 			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
-			widxOnce.Do(func() {
-				pooledShared = poolWelds(parts)
-				widx = buildWeldIndex(pooledShared, opt.K)
-			})
+			pooledOnce.Do(func() { pooledShared = poolWelds(parts) })
 		}
 
 		// --- Non-parallel middle: build the pooled weld index. The
 		// pooled weld list is identical on every rank by construction.
+		// Under ShardKmers each rank builds only its shard of the index
+		// and fetches the rows loop 2 will probe (forward contig k-mers
+		// only — the index itself is keyed under both orientations of
+		// each weld core).
 		pooled := pooledShared
+		var lWidx *weldIndex
+		if opt.ShardKmers {
+			rs.pooled = pooled
+			rs.ensureLoop2(rank)
+			queries := collectQueryKmers(seqs, dist, rank, opt.K, false)
+			bodies, ferr := fetchShardAnswers(c, "graphfromfasta/loop2", rs, led2, queries, rs.answerLoop2, ro)
+			if ferr != nil {
+				return ferr
+			}
+			var berr error
+			lWidx, berr = buildLoop2Cache(pooled, opt.K, queries, bodies)
+			if berr != nil {
+				return berr
+			}
+		} else {
+			lWidx = fullWidx()
+		}
 		prof.MidUnits = float64(len(pooled)) * 2 // core + rc-core hash inserts
 
 		// --- Loop 2: find (weld, contig) incidences over this rank's
@@ -332,14 +417,14 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		if active {
 			for _, ch := range dist.RankChunks(rank) {
 				c.Probe()
-				encs, chCosts, _ := pairChunk(ch)
+				encs, chCosts, _ := pairChunk(ch, lWidx)
 				store2.put(ch, encs, chCosts)
 				myPairs = append(myPairs, encs...)
 			}
 		} else {
 			sc := weldScratchPool.Get().(*weldScratch)
 			dist.ForEachRankItem(rank, func(i int) {
-				pairs, units := scanContigForWelds(seqs[i], i, widx, sc)
+				pairs, units := scanContigForWelds(seqs[i], i, lWidx, sc)
 				costs2[i] = units * opt.LoopOpWeight
 				for _, p := range pairs {
 					myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
@@ -358,7 +443,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			c.TryAllgathervInt64(myPairs)
 			if err := recoverChunks(c, "graphfromfasta/pairs", ro, rep, opt.Trace, store2.missing,
 				func(ch int) ([]byte, float64) {
-					encs, chCosts, units := pairChunk(ch)
+					encs, chCosts, units := pairChunk(ch, fullWidx())
 					store2.put(ch, encs, chCosts)
 					return packInt64s(encs), units
 				}); err != nil {
@@ -418,6 +503,11 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			comps = append(comps, Component{ID: len(comps), Contigs: g})
 		}
 		prof.OutputUnits = float64(total) + float64(len(seqs))
+		prof.ResidentKmerBytes = lReads.MemBytes() + lIx.memBytes() + lWidx.memBytes()
+		if rs != nil {
+			prof.ResidentKmerBytes += rs.residentBytes()
+			prof.ShardExchangeBytes = rs.exchanged
+		}
 
 		results[rank] = &GFFResult{Components: comps, Welds: pooled, NumPairs: total}
 		return nil
@@ -487,6 +577,14 @@ func traceGFF(opt GFFOptions, dist Distribution, profiles []GFFRankProfile,
 		}
 		rec.Observe("gff_weld_chunk_units", u1)
 		rec.Observe("gff_pair_chunk_units", u2)
+	}
+	// Sharded-lookup meters, gated so replicated-path traces stay
+	// byte-identical to earlier versions.
+	if opt.ShardKmers {
+		for rank := range profiles {
+			rec.Observe("gff_shard_resident_bytes", float64(profiles[rank].ResidentKmerBytes))
+			rec.Observe("gff_shard_exchange_bytes", float64(profiles[rank].ShardExchangeBytes))
+		}
 	}
 	rec.AdvanceBase()
 }

@@ -3,6 +3,7 @@ package chrysalis
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -71,6 +72,8 @@ type RecoveryReport struct {
 	ReassignedChunks []int   // chunks recomputed by survivors, in recovery order
 	RecomputedUnits  float64 // work units spent recomputing
 	DroppedContribs  int     // lost collective contributions detected (and recovered)
+	ShardRounds      int     // extra sharded-lookup rounds forced by failures (ShardKmers only)
+	ReassignedShards []int   // k-mer shards rebuilt by an adopting survivor, ascending unique
 }
 
 // UnrecoverableError reports a Chrysalis phase that could not be
@@ -182,6 +185,27 @@ func (r *recReport) addDropped() {
 	r.mu.Unlock()
 }
 
+func (r *recReport) addShardRound() {
+	r.mu.Lock()
+	r.r.ShardRounds++
+	r.mu.Unlock()
+}
+
+// addShard records a shard adoption once per shard id, keeping the
+// list sorted so reports are deterministic regardless of which fetch
+// phase triggered the rebuild.
+func (r *recReport) addShard(s int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchInts(r.r.ReassignedShards, s)
+	if i < len(r.r.ReassignedShards) && r.r.ReassignedShards[i] == s {
+		return
+	}
+	r.r.ReassignedShards = append(r.r.ReassignedShards, 0)
+	copy(r.r.ReassignedShards[i+1:], r.r.ReassignedShards[i:])
+	r.r.ReassignedShards[i] = s
+}
+
 func (r *recReport) snapshot(stage string, dead []int) *RecoveryReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -189,6 +213,7 @@ func (r *recReport) snapshot(stage string, dead []int) *RecoveryReport {
 	out.Stage = stage
 	out.DeadRanks = append([]int(nil), dead...)
 	out.ReassignedChunks = append([]int(nil), out.ReassignedChunks...)
+	out.ReassignedShards = append([]int(nil), out.ReassignedShards...)
 	return &out
 }
 
@@ -302,8 +327,16 @@ func recoverChunks(c *mpi.Comm, stage string, opt RecoveryOptions, rep *recRepor
 			c.Probe()
 		}
 		// Metered exchange of the recovered payloads; it doubles as the
-		// sync point that publishes this round's checkpoints. Failures
-		// are tolerated — the next round re-checks the store.
-		c.TryAllgatherv(payload) //nolint:errcheck
+		// sync point that publishes this round's checkpoints. Peer
+		// failures are tolerated — the next round's AgreeDead folds a
+		// rank that died during this exchange into the reassignment —
+		// but this rank's own eviction must propagate: an evicted rank
+		// that kept looping would keep writing checkpoints and running
+		// collectives the survivors no longer include it in.
+		if _, err := c.TryAllgatherv(payload); err != nil {
+			if fe, ok := mpi.AsFault(err); !ok || fe.Evicted {
+				return err
+			}
+		}
 	}
 }

@@ -125,6 +125,7 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		MaxWeldsPerContig: cfg.MaxWelds,
 		ThreadsPerRank:    cfg.ThreadsPerRank,
 		Seed:              cfg.Seed,
+		ShardKmers:        cfg.ShardKmers,
 		ScaffoldPairs:     ScaffoldPairs(samAls),
 	})
 	if err != nil {

@@ -38,6 +38,14 @@ type Config struct {
 	Replicas       int // timing-replay replicas for the cost model (default 1)
 	MinPairSupport int // drop transcripts spanned by fewer mate pairs (0 = keep all)
 
+	// ShardKmers partitions GraphFromFasta's k-mer lookup state (read
+	// counts, contig occurrence index, weld index) across the ranks by
+	// owner rank instead of replicating it on every rank; remote rows
+	// are fetched in batched Alltoallv lookup rounds. Output is
+	// byte-identical either way — only per-rank memory and
+	// communication change.
+	ShardKmers bool
+
 	// TailWorkers bounds the pipeline-tail worker pool: the concurrent
 	// Bowtie partition alignments and the component-parallel
 	// FastaToDebruijn/QuantifyGraph/Butterfly phases. 0 (the default)

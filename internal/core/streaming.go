@@ -447,6 +447,7 @@ func runStreamingTail(reads []seq.Record, res *Result, cfg *Config, table *jelly
 			MaxWeldsPerContig: cfg.MaxWelds,
 			ThreadsPerRank:    cfg.ThreadsPerRank,
 			Seed:              cfg.Seed,
+			ShardKmers:        cfg.ShardKmers,
 			Replicas:          cfg.Replicas,
 			Faults:            plan,
 			Recovery:          recovery,

@@ -101,6 +101,7 @@ func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfi
 			MaxWeldsPerContig: cfg.MaxWelds,
 			ThreadsPerRank:    cfg.ThreadsPerRank,
 			Seed:              cfg.Seed,
+			ShardKmers:        cfg.ShardKmers,
 			ScaffoldPairs:     res.Scaffolds,
 			Replicas:          cfg.Replicas,
 			Faults:            plan,

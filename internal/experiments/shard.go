@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"gotrinity/internal/chrysalis"
+)
+
+// Sharded-memory study. The paper's future work (§VI) targets the
+// per-node memory of the MPI Chrysalis — every rank replicates the
+// full read k-mer table and both weld indexes. ShardScaling measures
+// the trade the ShardKmers distributed hash table makes: per-rank
+// resident k-mer state shrinks roughly like 2/R (the rank's 1/R shard
+// plus the ~1/R partial replica its welding loops fetch) in exchange
+// for batched Alltoallv lookup traffic, with output verified identical
+// to the replicated run at every rank count.
+
+// ShardRow compares the replicated and sharded GraphFromFasta memory
+// profiles at one rank count.
+type ShardRow struct {
+	Ranks             int
+	ReplicatedBytes   int64 // per-rank resident k-mer state, replicated path
+	ShardedMaxBytes   int64 // worst rank, sharded path
+	ShardedMeanBytes  int64 // mean rank, sharded path
+	ExchangeBytes     int64 // addressed lookup-round bytes, summed over ranks
+	ResidentReduction float64 // ReplicatedBytes / ShardedMeanBytes
+}
+
+// ShardScaling runs GraphFromFasta with and without ShardKmers over
+// the given rank counts, verifies the outputs are identical, and
+// reports the memory-vs-traffic trade.
+func ShardScaling(l *Lab, rankCounts []int) ([]ShardRow, error) {
+	if len(rankCounts) == 0 {
+		rankCounts = []int{1, 4, 16}
+	}
+	p, err := l.Sugarbeet()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ShardRow, 0, len(rankCounts))
+	for _, ranks := range rankCounts {
+		opt := chrysalis.GFFOptions{K: l.K, ThreadsPerRank: threadsPerNode}
+		base, err := chrysalis.GraphFromFasta(p.contigs, p.table, ranks, opt)
+		if err != nil {
+			return nil, err
+		}
+		opt.ShardKmers = true
+		l.logf("shard: GraphFromFasta with %d ranks, sharded k-mer state...", ranks)
+		res, err := chrysalis.GraphFromFasta(p.contigs, p.table, ranks, opt)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(res.Components, base.Components) || !reflect.DeepEqual(res.Welds, base.Welds) {
+			return nil, fmt.Errorf("experiments: sharded output diverged at %d ranks", ranks)
+		}
+		row := ShardRow{Ranks: ranks, ReplicatedBytes: base.Profiles[0].ResidentKmerBytes}
+		var sum int64
+		for _, prof := range res.Profiles {
+			if prof.ResidentKmerBytes > row.ShardedMaxBytes {
+				row.ShardedMaxBytes = prof.ResidentKmerBytes
+			}
+			sum += prof.ResidentKmerBytes
+			row.ExchangeBytes += prof.ShardExchangeBytes
+		}
+		row.ShardedMeanBytes = sum / int64(ranks)
+		if row.ShardedMeanBytes > 0 {
+			row.ResidentReduction = float64(row.ReplicatedBytes) / float64(row.ShardedMeanBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteShardTable renders the rows as the EXPERIMENTS.md table.
+func WriteShardTable(w io.Writer, rows []ShardRow) {
+	fmt.Fprintln(w, "| ranks | replicated B/rank | sharded max B/rank | sharded mean B/rank | reduction | exchange B |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %d | %d | %d | %d | %.2fx | %d |\n",
+			r.Ranks, r.ReplicatedBytes, r.ShardedMaxBytes, r.ShardedMeanBytes, r.ResidentReduction, r.ExchangeBytes)
+	}
+}

@@ -189,6 +189,53 @@ func (t *CountTable) Freeze() *Frozen {
 	return f
 }
 
+// FrozenFromEntries builds a Frozen table directly from (k-mer, count)
+// pairs — the constructor the sharded k-mer layer uses for owner-rank
+// shards and remote-answer caches, which materialise partial tables
+// without ever holding a full CountTable. Entries must name distinct
+// k-mers; probe behaviour (and therefore Get results) is identical to
+// a Freeze of a table holding the same pairs.
+func FrozenFromEntries(k int, entries []Entry) *Frozen {
+	slots := 16
+	shift := uint(60)
+	for slots < 3*len(entries)/2+1 {
+		slots <<= 1
+		shift--
+	}
+	f := &Frozen{
+		K:       k,
+		entries: make([]frozenEntry, slots),
+		mask:    uint64(slots - 1),
+		shift:   shift,
+		n:       len(entries),
+	}
+	for _, e := range entries {
+		j := (uint64(e.Kmer) * fibMul) >> f.shift
+		for f.entries[j].key != 0 {
+			j = (j + 1) & f.mask
+		}
+		f.entries[j] = frozenEntry{uint64(e.Kmer)<<1 | 1, e.Count}
+	}
+	return f
+}
+
+// ForEach calls fn for every (k-mer, count) pair in slot order —
+// deterministic for a deterministically built snapshot. The sharding
+// layer uses it to carve a full source table into owner shards.
+func (f *Frozen) ForEach(fn func(m kmer.Kmer, count uint32)) {
+	for _, e := range f.entries {
+		if e.key != 0 {
+			fn(kmer.Kmer(e.key>>1), e.count)
+		}
+	}
+}
+
+// MemBytes returns the resident size of the snapshot's backing array —
+// the per-rank memory term the sharding layer meters.
+func (f *Frozen) MemBytes() int64 {
+	return int64(len(f.entries)) * 16 // frozenEntry: 8-byte key + padded 4-byte count
+}
+
 // fibMul is 2^64/phi — Fibonacci hashing. One multiply spreads the
 // k-mer's low-entropy bits into the top bits that index the table.
 const fibMul = 0x9e3779b97f4a7c15

@@ -1,5 +1,7 @@
 package kmer
 
+import "fmt"
+
 // FlatSet is an open-addressing, linear-probing set of k-mers that
 // assigns every distinct k-mer a dense id (0..Len()-1) in insertion
 // order. It is the shared substrate of the Chrysalis performance
@@ -21,8 +23,14 @@ type FlatSet struct {
 	n     int32
 }
 
-// minFlatSlots keeps degenerate tables probe-friendly.
-const minFlatSlots = 16
+// minFlatSlots keeps degenerate tables probe-friendly; maxFlatSlots
+// stops growth once the slot array can already hold every id the
+// int32 dense-id space allows (with one slot spare, so a saturated
+// table still has an empty slot for the probe loop to land on).
+const (
+	minFlatSlots = 16
+	maxFlatSlots = 1 << 31
+)
 
 // NewFlatSet allocates a set pre-sized for capacityHint distinct
 // k-mers at ≤ 2/3 load. The set grows transparently if the hint was
@@ -50,10 +58,21 @@ func mixKmer(x uint64) uint64 {
 	return x
 }
 
+// maxFlatLen is the dense-id capacity of a FlatSet: ids are int32, so
+// a table holds at most MaxInt32 distinct k-mers. Far beyond any table
+// this pipeline builds, but a pathological insert stream must fail
+// loudly — one more insertion would wrap the next id negative and
+// silently corrupt every payload array keyed by it.
+const maxFlatLen = 1<<31 - 1
+
 // Add returns m's dense id, inserting it if absent. Build-phase only:
-// not safe for concurrent use.
+// not safe for concurrent use. Panics with a diagnostic if the table
+// is saturated (maxFlatLen distinct k-mers) and m is not already
+// present.
 func (s *FlatSet) Add(m Kmer) int32 {
-	if 3*int(s.n+1) > 2*len(s.slots) {
+	// The load check runs in int: the old int32 form (3*(s.n+1)) wraps
+	// before the widening conversion once n nears the id ceiling.
+	if 3*(int(s.n)+1) > 2*len(s.slots) && len(s.slots) < maxFlatSlots {
 		s.grow()
 	}
 	key := uint64(m)<<1 | 1
@@ -61,6 +80,9 @@ func (s *FlatSet) Add(m Kmer) int32 {
 	for {
 		switch s.slots[i] {
 		case 0:
+			if s.n == maxFlatLen {
+				panic(fmt.Sprintf("kmer: FlatSet saturated: %d distinct k-mers exhaust the int32 dense-id space", s.n))
+			}
 			s.slots[i] = key
 			s.ids[i] = s.n
 			s.n++
@@ -71,6 +93,10 @@ func (s *FlatSet) Add(m Kmer) int32 {
 		i = (i + 1) & s.mask
 	}
 }
+
+// MemBytes returns the resident size of the set's backing arrays — the
+// term the sharding layer charges per rank for its shard stores.
+func (s *FlatSet) MemBytes() int64 { return int64(len(s.slots))*8 + int64(len(s.ids))*4 }
 
 // Lookup returns m's dense id, or ok=false if m was never added.
 // Wait-free once the build phase is over.

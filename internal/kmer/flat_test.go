@@ -2,6 +2,7 @@ package kmer
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -129,4 +130,78 @@ func FuzzFlatSet(f *testing.F) {
 			t.Fatalf("Len = %d, want %d", s.Len(), len(ref))
 		}
 	})
+}
+
+// TestFlatSetSaturationPanics pins the dense-id capacity edge: the
+// last representable id must still insert, a duplicate of it must
+// still resolve, and the first insertion past maxFlatLen must panic
+// with a diagnostic instead of wrapping ids negative. The counter is
+// forced to the edge directly — actually inserting 2^31 keys is not a
+// unit test.
+func TestFlatSetSaturationPanics(t *testing.T) {
+	s := NewFlatSet(0)
+	s.n = maxFlatLen - 1
+	if id := s.Add(Kmer(1)); id != maxFlatLen-1 {
+		t.Fatalf("Add at capacity edge: id = %d, want %d", id, int32(maxFlatLen-1))
+	}
+	if s.n != maxFlatLen {
+		t.Fatalf("n = %d, want %d", s.n, int32(maxFlatLen))
+	}
+	if id := s.Add(Kmer(1)); id != maxFlatLen-1 {
+		t.Fatalf("duplicate Add on saturated table: id = %d, want %d", id, int32(maxFlatLen-1))
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Add past saturation did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "saturated") {
+			t.Fatalf("panic = %v, want saturation diagnostic", r)
+		}
+	}()
+	s.Add(Kmer(2))
+}
+
+// TestFlatSetLoadCheckNoOverflow pins the grow trigger's arithmetic:
+// near the id ceiling the old int32 form (3*(n+1)) wrapped negative
+// and stopped growing the table. With the counter forced high, an
+// insert must still leave the table below full occupancy.
+func TestFlatSetLoadCheckNoOverflow(t *testing.T) {
+	s := NewFlatSet(0)
+	s.n = maxFlatLen - 2
+	slotsBefore := len(s.slots)
+	s.Add(Kmer(3))
+	if len(s.slots) <= slotsBefore {
+		t.Fatalf("grow did not trigger at n=%d: slots %d -> %d", maxFlatLen-2, slotsBefore, len(s.slots))
+	}
+}
+
+// TestOwnerRank pins the partitioner: deterministic, in range, total
+// (every k-mer owned), and reasonably balanced across ranks.
+func TestOwnerRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, ranks := range []int{1, 2, 3, 4, 7, 16} {
+		counts := make([]int, ranks)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			m := Kmer(rng.Uint64() & mask(25))
+			o := OwnerRank(m, ranks)
+			if o < 0 || o >= ranks {
+				t.Fatalf("OwnerRank(%v, %d) = %d out of range", m, ranks, o)
+			}
+			if o2 := OwnerRank(m, ranks); o2 != o {
+				t.Fatalf("OwnerRank not deterministic: %d vs %d", o, o2)
+			}
+			counts[o]++
+		}
+		if ranks == 1 {
+			continue
+		}
+		want := n / ranks
+		for r, got := range counts {
+			if got < want/2 || got > want*2 {
+				t.Fatalf("ranks=%d: shard %d holds %d of %d k-mers (expected ~%d)", ranks, r, got, n, want)
+			}
+		}
+	}
 }

@@ -1,0 +1,296 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// segPayload is the deterministic per-pair payload of the battery:
+// length src+2*dst+1 bytes of value src*16+dst, so every (src, dst)
+// pair has a distinct size and the addressed-byte sums are easy to
+// compute independently.
+func segPayload(src, dst int) []byte {
+	return bytesRepeat(byte(src*16+dst), src+2*dst+1)
+}
+
+// byteObserver records, per rank, the sent/recv bytes each Alltoallv
+// observation reported.
+type byteObserver struct {
+	mu   sync.Mutex
+	sent map[int]int64
+	recv map[int]int64
+	ops  map[int]int
+}
+
+func newByteObserver() *byteObserver {
+	return &byteObserver{sent: map[int]int64{}, recv: map[int]int64{}, ops: map[int]int{}}
+}
+
+func (o *byteObserver) Message(src, dst, tag, bytes int) {}
+
+func (o *byteObserver) Collective(rank int, op string, sent, recv int64, participants int) {
+	if op != "Alltoallv" {
+		return
+	}
+	o.mu.Lock()
+	o.sent[rank] += sent
+	o.recv[rank] += recv
+	o.ops[rank]++
+	o.mu.Unlock()
+}
+
+func (o *byteObserver) RankDeath(rank int, evicted bool) {}
+
+// TestAlltoallvMetersExactlyAddressedBytes is the metering acceptance
+// criterion: the Observer's Alltoallv bytes must equal the sum of the
+// addressed segment lengths exactly — no broadcast factor, and no wire
+// bytes for the self segment.
+func TestAlltoallvMetersExactlyAddressedBytes(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			w := NewWorld(n)
+			obs := newByteObserver()
+			w.SetObserver(obs)
+			w.Run(func(c *Comm) {
+				send := make([][]byte, n)
+				for dst := 0; dst < n; dst++ {
+					send[dst] = segPayload(c.Rank(), dst)
+				}
+				got := c.Alltoallv(send)
+				for src := 0; src < n; src++ {
+					if string(got[src]) != string(segPayload(src, c.Rank())) {
+						t.Errorf("rank %d: wrong segment from %d", c.Rank(), src)
+					}
+				}
+			})
+			for rank := 0; rank < n; rank++ {
+				var wantSent, wantRecv int64
+				for peer := 0; peer < n; peer++ {
+					if peer == rank {
+						continue // self segment moves no wire bytes
+					}
+					wantSent += int64(len(segPayload(rank, peer)))
+					wantRecv += int64(len(segPayload(peer, rank)))
+				}
+				if obs.ops[rank] != 1 {
+					t.Errorf("rank %d: %d Alltoallv observations, want 1", rank, obs.ops[rank])
+				}
+				if obs.sent[rank] != wantSent || obs.recv[rank] != wantRecv {
+					t.Errorf("rank %d: observed sent=%d recv=%d, want sent=%d recv=%d",
+						rank, obs.sent[rank], obs.recv[rank], wantSent, wantRecv)
+				}
+			}
+		})
+	}
+}
+
+// TestTryAlltoallvKillBattery kills one rank at its first call across
+// world sizes: survivors must finish with the victim's segment nil,
+// every live segment intact, and the victim in the reported dead set.
+func TestTryAlltoallvKillBattery(t *testing.T) {
+	for _, n := range []int{4, 16} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			withTimeout(t, 10*time.Second, func() {
+				const victim = 1
+				w := NewWorld(n)
+				w.SetFaults(NewFaultPlan(Fault{Kind: FaultKill, Rank: victim, AtCall: 0}))
+				_, errs := w.RunE(func(c *Comm) error {
+					send := make([][]byte, n)
+					for dst := 0; dst < n; dst++ {
+						send[dst] = segPayload(c.Rank(), dst)
+					}
+					out, err := c.TryAlltoallv(send)
+					if c.Rank() == victim {
+						return err
+					}
+					fe, ok := AsFault(err)
+					if !ok {
+						return fmt.Errorf("rank %d: err = %v, want FaultError", c.Rank(), err)
+					}
+					if !containsRank(fe.Dead, victim) {
+						return fmt.Errorf("rank %d: dead = %v, missing victim", c.Rank(), fe.Dead)
+					}
+					if out[victim] != nil {
+						return fmt.Errorf("rank %d: got segment from dead victim", c.Rank())
+					}
+					for src := 0; src < n; src++ {
+						if src == victim || src == c.Rank() {
+							continue
+						}
+						if string(out[src]) != string(segPayload(src, c.Rank())) {
+							return fmt.Errorf("rank %d: bad live segment from %d", c.Rank(), src)
+						}
+					}
+					return nil
+				})
+				for r, err := range errs {
+					if r == victim {
+						if err == nil {
+							t.Errorf("victim completed")
+						}
+						continue
+					}
+					if err != nil {
+						t.Errorf("rank %d: %v", r, err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestTryAlltoallvDropMsgBattery drops one pairwise segment on the
+// wire: with a receive timeout set, only the receiver of the dropped
+// segment reports a timeout with that one segment nil — every other
+// segment on every rank still arrives.
+func TestTryAlltoallvDropMsgBattery(t *testing.T) {
+	for _, n := range []int{4, 16} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			withTimeout(t, 10*time.Second, func() {
+				const src, dst = 2, 0
+				w := NewWorld(n)
+				// The dropped segment is src's first message to dst.
+				w.SetFaults(NewFaultPlan(Fault{Kind: FaultDropMsg, Rank: src, Dst: dst, AtCall: 0}))
+				w.SetRecvTimeout(200 * time.Millisecond)
+				_, errs := w.RunE(func(c *Comm) error {
+					send := make([][]byte, n)
+					for d := 0; d < n; d++ {
+						send[d] = segPayload(c.Rank(), d)
+					}
+					out, err := c.TryAlltoallv(send)
+					if c.Rank() == dst {
+						fe, ok := AsFault(err)
+						if !ok || !fe.Timeout {
+							return fmt.Errorf("rank %d: err = %v, want timeout FaultError", c.Rank(), err)
+						}
+						if out[src] != nil {
+							return fmt.Errorf("rank %d: dropped segment arrived", c.Rank())
+						}
+					} else if err != nil {
+						return fmt.Errorf("rank %d: err = %v, want nil", c.Rank(), err)
+					}
+					for s := 0; s < n; s++ {
+						if s == c.Rank() || (c.Rank() == dst && s == src) {
+							continue
+						}
+						if string(out[s]) != string(segPayload(s, c.Rank())) {
+							return fmt.Errorf("rank %d: bad segment from %d", c.Rank(), s)
+						}
+					}
+					return nil
+				})
+				for r, err := range errs {
+					if err != nil {
+						t.Errorf("rank %d: %v", r, err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestTryAlltoallvInjectedTimeout checks the FaultTimeout hook: the
+// victim participates (no segment is lost anywhere) but returns a
+// timeout-flagged error from the collective.
+func TestTryAlltoallvInjectedTimeout(t *testing.T) {
+	for _, n := range []int{4, 16} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			withTimeout(t, 10*time.Second, func() {
+				const victim = 3
+				w := NewWorld(n)
+				w.SetFaults(NewFaultPlan(Fault{Kind: FaultTimeout, Rank: victim, AtCall: 0}))
+				_, errs := w.RunE(func(c *Comm) error {
+					send := make([][]byte, n)
+					for d := 0; d < n; d++ {
+						send[d] = segPayload(c.Rank(), d)
+					}
+					out, err := c.TryAlltoallv(send)
+					if c.Rank() == victim {
+						fe, ok := AsFault(err)
+						if !ok || !fe.Timeout {
+							return fmt.Errorf("victim err = %v, want timeout FaultError", err)
+						}
+					} else if err != nil {
+						return fmt.Errorf("rank %d: err = %v, want nil", c.Rank(), err)
+					}
+					for s := 0; s < n; s++ {
+						if string(out[s]) != string(segPayload(s, c.Rank())) {
+							return fmt.Errorf("rank %d: bad segment from %d", c.Rank(), s)
+						}
+					}
+					return nil
+				})
+				for r, err := range errs {
+					if err != nil {
+						t.Errorf("rank %d: %v", r, err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestTryAlltoallvDropContribution loses one rank's whole contribution
+// (including its self segment) while the rank keeps participating;
+// every receiver sees that rank's segments as nil and retrying the
+// exchange delivers them (the plan is one-shot).
+func TestTryAlltoallvDropContribution(t *testing.T) {
+	const n = 4
+	const victim = 2
+	withTimeout(t, 10*time.Second, func() {
+		w := NewWorld(n)
+		w.SetFaults(NewFaultPlan(Fault{Kind: FaultDropContribution, Rank: victim, AtCall: 0}))
+		w.SetRecvTimeout(200 * time.Millisecond)
+		_, errs := w.RunE(func(c *Comm) error {
+			send := make([][]byte, n)
+			for d := 0; d < n; d++ {
+				send[d] = segPayload(c.Rank(), d)
+			}
+			out, _ := c.TryAlltoallv(send)
+			for s := 0; s < n; s++ {
+				want := segPayload(s, c.Rank())
+				if s == victim {
+					// A dropped contribution sends empty segments; the
+					// victim's own slot is lost entirely.
+					if c.Rank() == victim && out[s] != nil {
+						return fmt.Errorf("victim kept its dropped self segment")
+					}
+					if c.Rank() != victim && len(out[s]) != 0 {
+						return fmt.Errorf("rank %d: dropped contribution delivered %d bytes", c.Rank(), len(out[s]))
+					}
+					continue
+				}
+				if string(out[s]) != string(want) {
+					return fmt.Errorf("rank %d: bad segment from %d", c.Rank(), s)
+				}
+			}
+			// Retry: the fault is spent, so the full exchange succeeds.
+			out2, err := c.TryAlltoallv(send)
+			if err != nil {
+				return fmt.Errorf("rank %d retry: %v", c.Rank(), err)
+			}
+			for s := 0; s < n; s++ {
+				if string(out2[s]) != string(segPayload(s, c.Rank())) {
+					return fmt.Errorf("rank %d retry: bad segment from %d", c.Rank(), s)
+				}
+			}
+			return nil
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}
+	})
+}
+
+func containsRank(dead []int, r int) bool {
+	for _, d := range dead {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}

@@ -317,6 +317,16 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
+	c.sendSegment(dst, tag, data)
+}
+
+// sendSegment is the metered wire send shared by Send and the pairwise
+// collectives: it copies, charges the sender, notifies the observer,
+// and applies message-indexed faults, but places no operation fault
+// point of its own — collectives keep their single fault point in
+// collHooks while each of their segments still counts as one message
+// and remains individually targetable by dropmsg/delaymsg faults.
+func (c *Comm) sendSegment(dst, tag int, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	c.Stats.BytesSent += int64(len(data))

@@ -196,42 +196,87 @@ func (c *Comm) ReduceInt64(root int, v int64, op Op) int64 {
 	return acc
 }
 
+// alltoallvTag is the reserved point-to-point tag carrying Alltoallv's
+// pairwise segments, chosen far outside the non-negative tag space that
+// application code uses so collective traffic never steals a user
+// message.
+const alltoallvTag = -0x40000000
+
 // Alltoallv exchanges per-destination payloads: send[i] goes to rank
 // i; the result's element [i] is what rank i sent to this rank. It is
-// built from Allgatherv of the flattened send matrix rows, which keeps
-// the accounting faithful (every byte crosses the wire).
+// a true pairwise exchange — each rank receives only the segments
+// addressed to it, so the meters charge exactly the bytes a real
+// exchange would move (the earlier Allgatherv-based construction
+// broadcast every rank's whole send matrix, inflating received traffic
+// by a factor of the world size).
 func (c *Comm) Alltoallv(send [][]byte) [][]byte {
+	out, err := c.TryAlltoallv(send)
+	if err != nil {
+		c.abort(err)
+	}
+	return out
+}
+
+// TryAlltoallv is Alltoallv returning observed failures as a
+// *FaultError, like the other Try* collectives: segments from ranks
+// that died before delivering come back nil (an empty segment from a
+// live rank is non-nil), and the partial result is still returned
+// alongside the error. Each pairwise segment travels as one
+// point-to-point message, so message faults (dropmsg/delaymsg) hit
+// individual segments; a dropped segment surfaces as a receive timeout
+// when the world has one — without a timeout it is indistinguishable
+// from an arbitrarily slow sender, as with real MPI.
+func (c *Comm) TryAlltoallv(send [][]byte) ([][]byte, error) {
 	if len(send) != c.world.size {
 		panic(fmt.Sprintf("mpi: alltoallv needs %d send buffers, got %d", c.world.size, len(send)))
 	}
-	// Flatten: [n payloads, each length-prefixed].
-	var flat []byte
-	for _, p := range send {
-		var lenBuf [8]byte
-		putInt64(lenBuf[:], int64(len(p)))
-		flat = append(flat, lenBuf[:]...)
-		flat = append(flat, p...)
+	before := c.Stats
+	drop, timeoutErr := c.collHooks("Alltoallv")
+	dead1, ev := c.syncPoint()
+	if ev {
+		return nil, c.collResult("Alltoallv", dead1, true, timeoutErr)
 	}
-	rows := c.Allgatherv(flat)
 	out := make([][]byte, c.world.size)
-	for src, row := range rows {
-		// Walk to this rank's segment within src's row.
-		off := 0
-		for dst := 0; dst < c.world.size; dst++ {
-			if off+8 > len(row) {
-				panic("mpi: alltoallv row truncated")
-			}
-			n := int(getInt64(row[off:]))
-			off += 8
-			if dst == c.rank {
-				seg := make([]byte, n)
-				copy(seg, row[off:off+n])
-				out[src] = seg
-			}
-			off += n
-		}
+	// Self-delivery never touches the wire; it is lost when this rank's
+	// contribution drops, matching Allgatherv losing its own slot.
+	if !drop {
+		out[c.rank] = append([]byte{}, send[c.rank]...)
 	}
-	return out
+	// Send phase: one message per destination, walked in a rank-shifted
+	// order so the pairwise traffic does not converge on rank 0 first.
+	for off := 1; off < c.world.size; off++ {
+		dst := (c.rank + off) % c.world.size
+		seg := send[dst]
+		if drop {
+			seg = nil
+		}
+		c.sendSegment(dst, alltoallvTag, seg)
+	}
+	// Receive phase: exactly one segment from every other rank. Sources
+	// that die mid-exchange contribute nil, but segments they delivered
+	// before dying remain receivable (tryRecv drains the mailbox before
+	// concluding a source is dead).
+	var recvDead []int
+	for off := 1; off < c.world.size; off++ {
+		src := (c.rank - off + c.world.size) % c.world.size
+		data, err := c.tryRecv(src, alltoallvTag, c.world.recvTimeout)
+		if err != nil {
+			fe, ok := AsFault(err)
+			if !ok {
+				return out, err
+			}
+			if fe.Timeout && timeoutErr == nil {
+				timeoutErr = &FaultError{Op: "Alltoallv", Rank: c.rank, Timeout: true, Dead: fe.Dead}
+			}
+			recvDead = unionDead(recvDead, fe.Dead)
+			continue
+		}
+		out[src] = data
+	}
+	dead2, ev := c.syncPoint()
+	c.Stats.CollectiveOps++
+	c.observeCollective("Alltoallv", before)
+	return out, c.collResult("Alltoallv", unionDead(dead1, recvDead, dead2), ev, timeoutErr)
 }
 
 // SplitColor partitions the world by color, returning this rank's new

@@ -1,0 +1,209 @@
+// Package shard distributes the pipeline's k-mer lookup state across
+// MPI ranks as a HipMer-style distributed hash table: k-mer space is
+// partitioned by kmer.OwnerRank, each rank holds only its shard of the
+// count/occurrence/weld tables in frozen flat stores, and lookups that
+// land on a remote shard are batched into aggregated exchange rounds
+// over the pairwise Alltoallv instead of being replicated everywhere.
+//
+// The package provides the three shard-layer primitives that are
+// independent of what is being looked up: the deterministic owner map
+// under rank deaths (Owners), a frozen CSR row store keyed by k-mer
+// (CSR), and the two-collective query/reply round (Round). What a row
+// means — contig occurrences, weld references — is the caller's
+// encoding.
+package shard
+
+import (
+	"encoding/binary"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/mpi"
+)
+
+// Owners maps each shard id (the static owner given by kmer.OwnerRank)
+// to the rank currently serving it: a live rank serves its own shard,
+// and a dead rank's shard is adopted by a survivor chosen by the same
+// deterministic rule on every rank — the i-th shard of the dead set
+// goes to alive[shard % len(alive)], mirroring the chunk-reassignment
+// rule of the recovery layer. All ranks agreeing on the same dead set
+// (via AgreeDead) therefore route to, and rebuild, the same shards
+// without a leader. With no survivors the map is all -1.
+func Owners(worldSize int, dead []int) []int {
+	isDead := make([]bool, worldSize)
+	for _, r := range dead {
+		if r >= 0 && r < worldSize {
+			isDead[r] = true
+		}
+	}
+	alive := make([]int, 0, worldSize)
+	for r := 0; r < worldSize; r++ {
+		if !isDead[r] {
+			alive = append(alive, r)
+		}
+	}
+	owners := make([]int, worldSize)
+	for s := range owners {
+		switch {
+		case !isDead[s]:
+			owners[s] = s
+		case len(alive) > 0:
+			owners[s] = alive[s%len(alive)]
+		default:
+			owners[s] = -1
+		}
+	}
+	return owners
+}
+
+// CSR is a frozen k-mer → row store in the flat two-array layout of
+// the Chrysalis kernels: a FlatSet maps a k-mer to a dense id, and the
+// id indexes a prefix-summed row of opaque uint64 values. Build once
+// with NewCSR, then Lookup is wait-free for any number of readers.
+type CSR struct {
+	set    *kmer.FlatSet
+	starts []int32
+	rows   []uint64
+}
+
+// NewCSR builds a store from parallel (key, value) pairs; repeated
+// keys accumulate into one row whose values keep their input order, so
+// feeding pairs in a globally deterministic order yields rows that are
+// byte-identical on every rank that builds the same shard.
+func NewCSR(keys []kmer.Kmer, vals []uint64) *CSR {
+	set := kmer.NewFlatSet(len(keys))
+	ids := make([]int32, len(keys))
+	for i, m := range keys {
+		ids[i] = set.Add(m)
+	}
+	n := set.Len()
+	starts := make([]int32, n+1)
+	for _, id := range ids {
+		starts[id+1]++
+	}
+	for i := 0; i < n; i++ {
+		starts[i+1] += starts[i]
+	}
+	rows := make([]uint64, len(vals))
+	next := make([]int32, n)
+	for i, id := range ids {
+		rows[starts[id]+next[id]] = vals[i]
+		next[id]++
+	}
+	return &CSR{set: set, starts: starts, rows: rows}
+}
+
+// Lookup returns m's row (nil if m is not in the store). The returned
+// slice aliases the store; callers must not mutate it.
+func (s *CSR) Lookup(m kmer.Kmer) []uint64 {
+	id, ok := s.set.Lookup(m)
+	if !ok {
+		return nil
+	}
+	return s.rows[s.starts[id]:s.starts[id+1]]
+}
+
+// Len returns the number of distinct keys stored.
+func (s *CSR) Len() int { return s.set.Len() }
+
+// MemBytes returns the resident size of the store's backing arrays.
+func (s *CSR) MemBytes() int64 {
+	return s.set.MemBytes() + int64(len(s.starts))*4 + int64(len(s.rows))*8
+}
+
+// PackKmers encodes k-mers as fixed 8-byte little-endian words — the
+// query wire format of a lookup round.
+func PackKmers(ms []kmer.Kmer) []byte {
+	out := make([]byte, 8*len(ms))
+	for i, m := range ms {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(m))
+	}
+	return out
+}
+
+// UnpackKmers decodes a PackKmers payload, ignoring a trailing partial
+// word (possible only on a corrupted exchange).
+func UnpackKmers(b []byte) []kmer.Kmer {
+	n := len(b) / 8
+	out := make([]kmer.Kmer, n)
+	for i := 0; i < n; i++ {
+		out[i] = kmer.Kmer(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Round runs one aggregated remote-lookup round: queries[d] are the
+// k-mers this rank addresses to rank d (self-addressed queries are
+// answered locally through the same path and move no wire bytes), and
+// answer encodes this rank's reply to one incoming k-mer by appending
+// the row payload to dst and returning the extended slice. Two
+// pairwise Alltoallv collectives move the batched queries and the
+// uvarint-framed replies; resps[d][i] is the answer frame for
+// queries[d][i], non-nil (possibly empty) when it arrived and nil when
+// it was lost — an owner that died mid-round, a dropped segment, or a
+// dropped contribution all surface as nil frames for the caller's
+// retry loop to re-request under a freshly agreed owner map.
+//
+// The error is the first collective failure observed (eviction of this
+// rank aborts the round before the reply leg; peer deaths and timeouts
+// still return the partial resps).
+func Round(c *mpi.Comm, queries [][]kmer.Kmer, answer func(m kmer.Kmer, dst []byte) []byte) (resps [][][]byte, err error) {
+	size := c.Size()
+	send := make([][]byte, size)
+	for d := 0; d < size; d++ {
+		send[d] = PackKmers(queries[d])
+	}
+	in, qerr := c.TryAlltoallv(send)
+	if qerr != nil {
+		if fe, ok := mpi.AsFault(qerr); ok && fe.Evicted {
+			return nil, qerr
+		}
+	}
+	// Serve whatever arrived, even on a degraded exchange: every frame
+	// answered now is one fewer to re-request next round.
+	reply := make([][]byte, size)
+	var scratch []byte
+	for s, blob := range in {
+		qs := UnpackKmers(blob)
+		if len(qs) == 0 {
+			continue
+		}
+		var buf []byte
+		for _, m := range qs {
+			scratch = answer(m, scratch[:0])
+			buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+			buf = append(buf, scratch...)
+		}
+		reply[s] = buf
+	}
+	out, rerr := c.TryAlltoallv(reply)
+	if rerr != nil {
+		if fe, ok := mpi.AsFault(rerr); ok && fe.Evicted {
+			return nil, rerr
+		}
+	}
+	resps = make([][][]byte, size)
+	for d := 0; d < size; d++ {
+		resps[d] = decodeFrames(out[d], len(queries[d]))
+	}
+	if err = qerr; err == nil {
+		err = rerr
+	}
+	return resps, err
+}
+
+// decodeFrames splits a reply blob into want uvarint-framed answers;
+// frames the blob does not cover decode as nil (lost).
+func decodeFrames(blob []byte, want int) [][]byte {
+	frames := make([][]byte, want)
+	off := 0
+	for i := 0; i < want; i++ {
+		n, w := binary.Uvarint(blob[off:])
+		if w <= 0 || off+w+int(n) > len(blob) {
+			break
+		}
+		off += w
+		frames[i] = blob[off : off+int(n) : off+int(n)]
+		off += int(n)
+	}
+	return frames
+}
