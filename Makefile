@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline bench-shard verify clean
+.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline bench-shard bench-seq lint-ascii verify clean
 
 build:
 	$(GO) build ./...
@@ -97,15 +97,51 @@ bench-shard:
 	       END { printf("\n}\n") }' > $(BENCH_SHARD_JSON)
 	@cat $(BENCH_SHARD_JSON)
 
-verify: build
+# Packed-sequence snapshot: resident-byte ratio of the 2-bit
+# representation (ascii/packed must stay ≥ 2), the packing/ingest
+# throughput, the word-wise vs byte-loop reverse complement, and the
+# packed vs ASCII k-mer extraction (the no-regression pin), recorded
+# as BENCH_seq.json so representation regressions show up in review
+# diffs. Same awk JSON conversion as bench-chrysalis.
+BENCH_SEQ_JSON ?= BENCH_seq.json
+bench-seq:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSeq(PackedResidentBytes|Pack$$|RevComp)' -benchtime 1s ./internal/seq/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkKmerIter' -benchtime 1s ./internal/kmer/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDSKCount' -benchtime 1s ./internal/dsk/ ; } \
+	| awk 'BEGIN { printf("{\n") } \
+	       /^Benchmark/ { if (n++) printf(",\n"); \
+	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
+	         for (i = 3; i < NF; i += 2) printf(", \"%s\": %s", $$(i+1), $$i); \
+	         printf("}") } \
+	       END { printf("\n}\n") }' > $(BENCH_SEQ_JSON)
+	@cat $(BENCH_SEQ_JSON)
+
+# ASCII-decode gate for the packed hot paths: sequence payloads in the
+# Chrysalis/Inchworm/Jellyfish/Bowtie packages must stay 2-bit packed —
+# any .Decode()/.AppendDecode materialisation needs an explicit
+# `ascii-ok: <why>` annotation naming the file/result boundary it
+# serves. New unannotated conversions fail the build.
+LINT_ASCII_PKGS = internal/chrysalis internal/inchworm internal/jellyfish internal/bowtie
+lint-ascii:
+	@bad=$$(grep -nE '\.Decode\(|\.AppendDecode\(' $$(find $(LINT_ASCII_PKGS) -name '*.go' ! -name '*_test.go') /dev/null | grep -v 'ascii-ok:'; true); \
+	if [ -n "$$bad" ]; then \
+	  echo "$$bad"; \
+	  echo "lint-ascii: sequence payload decoded to ASCII in a packed hot path (annotate '// ascii-ok: <why>' only at a file/result boundary)"; \
+	  exit 1; \
+	fi
+	@echo "lint-ascii: clean"
+
+verify: build lint-ascii
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/core/...
 	$(GO) test -race ./internal/shard/... ./internal/mpi/...
+	$(GO) test -race ./internal/seq/... ./internal/dsk/...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStreaming' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSeq(PackedResidentBytes|RevComp)|BenchmarkKmerIter' -benchtime 1x ./internal/seq/ ./internal/kmer/
 
 clean:
 	rm -rf bin

@@ -34,6 +34,11 @@ func main() {
 	k := flag.Int("k", 25, "k-mer length")
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
 	shardKmers := flag.Bool("shard-kmers", false, "partition Chrysalis k-mer lookup state across ranks (distributed hash table; byte-identical output)")
+	asciiSeq := flag.Bool("ascii-seq", false, "keep sequences byte-per-base ASCII on the hot paths (default: 2-bit packed end-to-end; byte-identical output)")
+	external := flag.Bool("external", false, "external-memory mode: disk-partitioned k-mer counting (DSK) + packed-resident sequences for larger-than-RAM datasets")
+	externalBudget := flag.Int("external-budget-mb", 0, "advisory resident-memory budget for --external in MiB (0 = unbudgeted; reported, not enforced)")
+	externalTmp := flag.String("external-tmp", "", "directory for --external partition files (default: system temp dir)")
+	externalParts := flag.Int("external-partitions", 0, "disk partitions for --external counting (0 = default 8)")
 	minPairs := flag.Int("min-pair-support", 0, "drop transcripts spanned by fewer mate pairs (0 = keep all)")
 	tailWorkers := flag.Int("tail-workers", 0, "pipeline-tail worker pool (0 = GOMAXPROCS, 1 = serial reference tail)")
 	streaming := flag.Bool("streaming", false, "run the pipeline tail as a streaming DAG of bounded channels (overlapping stages, byte-identical output)")
@@ -75,6 +80,13 @@ func main() {
 		ThreadsPerRank: *threads,
 		Seed:           *seed,
 		ShardKmers:     *shardKmers,
+		ASCIISeq:       *asciiSeq,
+		External: core.ExternalConfig{
+			Enabled:      *external,
+			MemoryBudget: int64(*externalBudget) << 20,
+			TmpDir:       *externalTmp,
+			Partitions:   *externalParts,
+		},
 		MinPairSupport: *minPairs,
 		TailWorkers:    *tailWorkers,
 		Streaming: core.StreamingConfig{
@@ -95,6 +107,18 @@ func main() {
 	}
 	log.Printf("inchworm: %d contigs; chrysalis: %d components; butterfly: %d transcripts",
 		len(res.Contigs), len(res.GFF.Components), len(res.Transcripts))
+	if rep := res.External; rep != nil {
+		log.Printf("external: %d partitions, peak partition %d of %d distinct k-mers; resident peak %s (in-memory working set %s)",
+			rep.Counting.Partitions, rep.Counting.PeakPartition, rep.Counting.DistinctKmers,
+			fmtBytes(rep.ResidentPeakBytes), fmtBytes(rep.InMemoryBytes))
+		if rep.BudgetBytes > 0 {
+			verdict := "within"
+			if !rep.WithinBudget {
+				verdict = "OVER"
+			}
+			log.Printf("external: budget %s — %s budget", fmtBytes(rep.BudgetBytes), verdict)
+		}
+	}
 	if res.Faults != nil {
 		logRecovery(res.Faults)
 	}
@@ -157,6 +181,17 @@ func logRecovery(fr *core.FaultReport) {
 		log.Printf("%s: recovered in %d round(s): dead ranks %v, %d chunk(s) reassigned (%.0f units recomputed), %d dropped contribution(s)",
 			rep.Stage, rep.Rounds, rep.DeadRanks, len(rep.ReassignedChunks), rep.RecomputedUnits, rep.DroppedContribs)
 	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func loadReads(path string) ([]seq.Record, error) {

@@ -137,7 +137,7 @@ func (ix *Index) lookupSeed(m kmer.Kmer) []hit {
 	if ix.seeds != nil {
 		return ix.seeds[m]
 	}
-	pattern := []byte(m.Decode(ix.opt.SeedLen))
+	pattern := []byte(m.Decode(ix.opt.SeedLen)) // ascii-ok: FM backend operates on ASCII text by construction
 	positions := ix.fmix.Locate(pattern)
 	if len(positions) == 0 {
 		return nil

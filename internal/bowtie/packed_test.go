@@ -1,0 +1,105 @@
+package bowtie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+// makeReads samples reads from the contigs: exact, mutated, reverse
+// complemented, N-poisoned, and some pure noise.
+func makeReads(rng *rand.Rand, contigs []seq.Record, n int) []seq.Record {
+	reads := make([]seq.Record, n)
+	for i := range reads {
+		var s []byte
+		if rng.Intn(10) == 0 {
+			s = make([]byte, 60)
+			for j := range s {
+				s[j] = "ACGT"[rng.Intn(4)]
+			}
+		} else {
+			c := contigs[rng.Intn(len(contigs))].Seq
+			start := rng.Intn(len(c) - 60)
+			s = append([]byte(nil), c[start:start+60]...)
+			for m := rng.Intn(4); m > 0; m-- {
+				s[rng.Intn(len(s))] = "ACGT"[rng.Intn(4)]
+			}
+			if rng.Intn(6) == 0 {
+				s[rng.Intn(len(s))] = 'N'
+			}
+			if rng.Intn(2) == 0 {
+				s = seq.ReverseComplement(s)
+			}
+		}
+		reads[i] = seq.Record{ID: contigID(i) + "r", Seq: s}
+	}
+	return reads
+}
+
+// TestPackedAlignerMatchesASCII is the acceptance pin: the packed
+// aligner must report the identical alignments and work-unit stats as
+// the ASCII aligner over an adversarial read mix.
+func TestPackedAlignerMatchesASCII(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	contigs := makeContigs(rng, 12, 500)
+	reads := makeReads(rng, contigs, 400)
+	opt := Options{SeedLen: 12, SeedStride: 5, MaxMismatch: 3, Threads: 4}
+
+	ix, err := NewIndex(contigs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix, err := NewPackedIndex(seq.PackRecords(contigs), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Bases != pix.Bases {
+		t.Fatalf("indexed bases %d vs %d", pix.Bases, ix.Bases)
+	}
+	if ix.MemoryFootprint() != pix.MemoryFootprint() {
+		t.Fatalf("seed table footprint %d vs %d", pix.MemoryFootprint(), ix.MemoryFootprint())
+	}
+
+	want, wantStats := NewAligner(ix).AlignAll(reads)
+	got, gotStats := NewPackedAligner(pix).AlignAll(seq.PackRecords(reads))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("alignments differ: %d vs %d", len(got), len(want))
+	}
+	if gotStats.Reads != wantStats.Reads || gotStats.Aligned != wantStats.Aligned ||
+		gotStats.SeedProbes != wantStats.SeedProbes || gotStats.BasesCompared != wantStats.BasesCompared {
+		t.Fatalf("stats differ: packed %+v ascii %+v", gotStats, wantStats)
+	}
+}
+
+// TestPackedAlignerPerRead pins AlignRead pairwise, including the
+// per-read stats deltas.
+func TestPackedAlignerPerRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	contigs := makeContigs(rng, 6, 300)
+	reads := makeReads(rng, contigs, 200)
+	opt := Options{SeedLen: 10, SeedStride: 4, MaxMismatch: 2}
+	ix, _ := NewIndex(contigs, opt)
+	pix, _ := NewPackedIndex(seq.PackRecords(contigs), opt)
+	al, pal := NewAligner(ix), NewPackedAligner(pix)
+	for i := range reads {
+		var ws, gs Stats
+		want, wok := al.AlignRead(&reads[i], &ws)
+		prec := seq.PackedRecord{ID: reads[i].ID, Seq: seq.Pack(reads[i].Seq)}
+		got, gok := pal.AlignRead(&prec, &gs)
+		if wok != gok || want != got {
+			t.Fatalf("read %d: packed (%+v,%v) vs ascii (%+v,%v)", i, got, gok, want, wok)
+		}
+		if ws != gs {
+			t.Fatalf("read %d: stats %+v vs %+v", i, gs, ws)
+		}
+	}
+}
+
+// TestPackedIndexRejectsFM pins the documented backend restriction.
+func TestPackedIndexRejectsFM(t *testing.T) {
+	if _, err := NewPackedIndex(nil, Options{Backend: FMIndex}); err == nil {
+		t.Fatal("packed index accepted the FM backend")
+	}
+}

@@ -46,6 +46,21 @@ type GFFOptions struct {
 	// communication change, metered via GFFRankProfile.
 	ShardKmers bool
 
+	// Packed runs the welding loops on 2-bit packed contigs
+	// (weld_packed.go): word-wise window compares, packed k-mer
+	// extraction, and packed welds on the wire. Results, work units,
+	// and profiles are byte-identical to the ASCII kernels. Ignored
+	// under ShardKmers — the sharded lookup exchange is byte-slice
+	// based, and its results are identical either way, so normalize
+	// falls back to the ASCII kernels there.
+	Packed bool
+
+	// PackedContigs optionally supplies the contigs already packed
+	// (index-aligned with the contig records), so a pipeline that packs
+	// reads and contigs once can hand them to every stage. When nil and
+	// Packed is set, GraphFromFasta packs internally.
+	PackedContigs []seq.Packed
+
 	// LoopOpWeight is the cost-model weight of one welding-loop
 	// operation relative to one setup operation (default 20). Trinity's
 	// inner loops extract, hash and compare string k-mers with poor
@@ -106,6 +121,9 @@ func (o *GFFOptions) normalize() error {
 	}
 	if o.Replicas <= 0 {
 		o.Replicas = 1
+	}
+	if o.ShardKmers {
+		o.Packed = false
 	}
 	return nil
 }
@@ -175,9 +193,30 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	if readKmers.K != opt.K {
 		return nil, fmt.Errorf("chrysalis: read table k=%d, want %d", readKmers.K, opt.K)
 	}
-	seqs := make([][]byte, len(contigs))
-	for i := range contigs {
-		seqs[i] = contigs[i].Seq
+	// Stage the contig payloads once. Packed mode carries seq.Packed
+	// end-to-end and skips the per-contig []byte staging entirely; the
+	// ASCII kernels keep their byte-slice views.
+	var seqs [][]byte
+	var pseqs []seq.Packed
+	if opt.Packed {
+		pseqs = opt.PackedContigs
+		if len(pseqs) != len(contigs) {
+			pseqs = make([]seq.Packed, len(contigs))
+			for i := range contigs {
+				pseqs[i] = seq.Pack(contigs[i].Seq)
+			}
+		}
+	} else {
+		seqs = make([][]byte, len(contigs))
+		for i := range contigs {
+			seqs[i] = contigs[i].Seq
+		}
+	}
+	contigLen := func(i int) int {
+		if opt.Packed {
+			return pseqs[i].Len()
+		}
+		return len(seqs[i])
 	}
 	// Freeze the read k-mer table once, before the world starts: every
 	// rank goroutine then probes the immutable flat table lock-free.
@@ -204,15 +243,26 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	// partial replica never queried.
 	var ixOnce, widxOnce, pooledOnce sync.Once
 	var ix *contigKmerIndex
+	var pix *packedContigIndex
 	var widx *weldIndex
+	var pwidx *packedWeldIndex
 	var pooledShared []string
+	var pooledPacked []seq.Packed
 	fullIx := func() *contigKmerIndex {
 		ixOnce.Do(func() { ix = buildContigKmerIndex(seqs, opt.K) })
 		return ix
 	}
+	fullPix := func() *packedContigIndex {
+		ixOnce.Do(func() { pix = buildPackedContigIndex(pseqs, opt.K) })
+		return pix
+	}
 	fullWidx := func() *weldIndex {
 		widxOnce.Do(func() { widx = buildWeldIndex(pooledShared, opt.K) })
 		return widx
+	}
+	fullPwidx := func() *packedWeldIndex {
+		widxOnce.Do(func() { pwidx = buildPackedWeldIndex(pooledPacked, opt.K) })
+		return pwidx
 	}
 	// Sharded-lookup shared state: the source data every shard is
 	// rebuilt from, and the per-phase completion ledgers.
@@ -244,11 +294,26 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	// parameters: a rank's normal loops pass its local (replicated or
 	// partial) replicas, while recovery recompute passes the full tables
 	// so a survivor can recompute any dead rank's chunk.
-	weldChunk := func(ch int, kix *contigKmerIndex, reads *jellyfish.Frozen) (welds []string, chCosts []float64, units float64) {
-		sc := weldScratchPool.Get().(*weldScratch)
-		defer weldScratchPool.Put(sc)
+	// In packed mode the weld strings are wire frames (Packed.Encode
+	// bytes); the framing, checkpoint stores, and exchange below are
+	// content-agnostic, so only the kernels differ.
+	weldChunk := func(ch int, kix *contigKmerIndex, pkix *packedContigIndex, reads *jellyfish.Frozen) (welds []string, chCosts []float64, units float64) {
 		lo, hi := dist.ChunkRange(ch)
 		chCosts = make([]float64, hi-lo)
+		if opt.Packed {
+			sc := packedWeldScratchPool.Get().(*packedWeldScratch)
+			defer packedWeldScratchPool.Put(sc)
+			for i := lo; i < hi; i++ {
+				rot := harvestRotation(opt.Seed, i, contigLen(i))
+				ws, u := harvestWeldsPacked(pseqs[i], i, pkix, reads, opt, rot, sc)
+				chCosts[i-lo] = u * opt.LoopOpWeight
+				units += chCosts[i-lo]
+				welds = append(welds, encodeWeldFrames(ws)...)
+			}
+			return welds, chCosts, units
+		}
+		sc := weldScratchPool.Get().(*weldScratch)
+		defer weldScratchPool.Put(sc)
 		for i := lo; i < hi; i++ {
 			rot := harvestRotation(opt.Seed, i, len(seqs[i]))
 			ws, u := harvestWelds(seqs[i], i, kix, reads, opt, rot, sc)
@@ -258,11 +323,24 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		}
 		return welds, chCosts, units
 	}
-	pairChunk := func(ch int, wix *weldIndex) (encs []int64, chCosts []float64, units float64) {
-		sc := weldScratchPool.Get().(*weldScratch)
-		defer weldScratchPool.Put(sc)
+	pairChunk := func(ch int, wix *weldIndex, pwix *packedWeldIndex) (encs []int64, chCosts []float64, units float64) {
 		lo, hi := dist.ChunkRange(ch)
 		chCosts = make([]float64, hi-lo)
+		if opt.Packed {
+			sc := packedWeldScratchPool.Get().(*packedWeldScratch)
+			defer packedWeldScratchPool.Put(sc)
+			for i := lo; i < hi; i++ {
+				pairs, u := scanContigForWeldsPacked(pseqs[i], i, pwix, sc)
+				chCosts[i-lo] = u * opt.LoopOpWeight
+				units += chCosts[i-lo]
+				for _, p := range pairs {
+					encs = append(encs, int64(p[0])<<32|int64(uint32(p[1])))
+				}
+			}
+			return encs, chCosts, units
+		}
+		sc := weldScratchPool.Get().(*weldScratch)
+		defer weldScratchPool.Put(sc)
 		for i := lo; i < hi; i++ {
 			pairs, u := scanContigForWelds(seqs[i], i, wix, sc)
 			chCosts[i-lo] = u * opt.LoopOpWeight
@@ -299,6 +377,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		// partial replica the unchanged loop kernels run on.
 		var rs *rankShards
 		var lIx *contigKmerIndex // loop-1 lookup structures of this rank
+		var lPix *packedContigIndex
 		var lReads *jellyfish.Frozen
 		if opt.ShardKmers {
 			srcOnce.Do(func() { source = buildGFFSource(seqs, opt.K, frozenReads) })
@@ -315,6 +394,9 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 				return berr
 			}
 			prof.SetupUnits = float64(len(source.keys))
+		} else if opt.Packed {
+			lPix, lReads = fullPix(), frozenReads
+			prof.SetupUnits = float64(lPix.buildOps)
 		} else {
 			ixOnce.Do(func() { ix = buildContigKmerIndex(seqs, opt.K) })
 			lIx, lReads = ix, frozenReads
@@ -327,10 +409,19 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		if active {
 			for _, ch := range dist.RankChunks(rank) {
 				c.Probe() // fault point: a rank can die between chunks
-				ws, chCosts, _ := weldChunk(ch, lIx, lReads)
+				ws, chCosts, _ := weldChunk(ch, lIx, lPix, lReads)
 				store1.put(ch, ws, chCosts)
 				myWelds = append(myWelds, ws...)
 			}
+		} else if opt.Packed {
+			sc := packedWeldScratchPool.Get().(*packedWeldScratch)
+			dist.ForEachRankItem(rank, func(i int) {
+				rot := harvestRotation(opt.Seed, i, contigLen(i))
+				welds, units := harvestWeldsPacked(pseqs[i], i, lPix, lReads, opt, rot, sc)
+				costs1[i] = units * opt.LoopOpWeight
+				myWelds = append(myWelds, encodeWeldFrames(welds)...)
+			})
+			packedWeldScratchPool.Put(sc)
 		} else {
 			sc := weldScratchPool.Get().(*weldScratch)
 			dist.ForEachRankItem(rank, func(i int) {
@@ -360,21 +451,33 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 				func(ch int) ([]byte, float64) {
 					// Recompute with the full tables: a dead rank's chunk
 					// probes k-mers outside this rank's partial replica.
-					ws, chCosts, units := weldChunk(ch, fullIx(), frozenReads)
+					var ws []string
+					var chCosts []float64
+					var units float64
+					if opt.Packed {
+						ws, chCosts, units = weldChunk(ch, nil, fullPix(), frozenReads)
+					} else {
+						ws, chCosts, units = weldChunk(ch, fullIx(), nil, frozenReads)
+					}
 					store1.put(ch, ws, chCosts)
 					return packWelds(ws), units
 				}); err != nil {
 				return err
 			}
 			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
-			myCosts := store1.itemCosts(len(seqs), dist.ChunkRange)
+			myCosts := store1.itemCosts(len(contigs), dist.ChunkRange)
 			prof.Loop1Units, prof.Loop1Imbalance = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
 			pooledOnce.Do(func() {
 				chunkParts := make([][]byte, dist.Chunks())
 				for ch := range chunkParts {
 					chunkParts[ch] = packWelds(store1.chunk(ch))
 				}
-				pooledShared = poolWelds(chunkParts)
+				if opt.Packed {
+					pooledPacked = poolWeldsPacked(chunkParts)
+					pooledShared = decodeWelds(pooledPacked)
+				} else {
+					pooledShared = poolWelds(chunkParts)
+				}
 			})
 		} else {
 			c.Barrier() // all per-contig costs visible to every rank
@@ -382,7 +485,14 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			c.AllgatherInt(len(packed))
 			parts := c.Allgatherv(packed)
 			prof.Comm1 = cluster.StatsDelta(before, c.Stats)
-			pooledOnce.Do(func() { pooledShared = poolWelds(parts) })
+			pooledOnce.Do(func() {
+				if opt.Packed {
+					pooledPacked = poolWeldsPacked(parts)
+					pooledShared = decodeWelds(pooledPacked)
+				} else {
+					pooledShared = poolWelds(parts)
+				}
+			})
 		}
 
 		// --- Non-parallel middle: build the pooled weld index. The
@@ -393,6 +503,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		// each weld core).
 		pooled := pooledShared
 		var lWidx *weldIndex
+		var lPwidx *packedWeldIndex
 		if opt.ShardKmers {
 			rs.pooled = pooled
 			rs.ensureLoop2(rank)
@@ -406,6 +517,8 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			if berr != nil {
 				return berr
 			}
+		} else if opt.Packed {
+			lPwidx = fullPwidx()
 		} else {
 			lWidx = fullWidx()
 		}
@@ -417,10 +530,20 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		if active {
 			for _, ch := range dist.RankChunks(rank) {
 				c.Probe()
-				encs, chCosts, _ := pairChunk(ch, lWidx)
+				encs, chCosts, _ := pairChunk(ch, lWidx, lPwidx)
 				store2.put(ch, encs, chCosts)
 				myPairs = append(myPairs, encs...)
 			}
+		} else if opt.Packed {
+			sc := packedWeldScratchPool.Get().(*packedWeldScratch)
+			dist.ForEachRankItem(rank, func(i int) {
+				pairs, units := scanContigForWeldsPacked(pseqs[i], i, lPwidx, sc)
+				costs2[i] = units * opt.LoopOpWeight
+				for _, p := range pairs {
+					myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
+				}
+			})
+			packedWeldScratchPool.Put(sc)
 		} else {
 			sc := weldScratchPool.Get().(*weldScratch)
 			dist.ForEachRankItem(rank, func(i int) {
@@ -443,14 +566,21 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			c.TryAllgathervInt64(myPairs)
 			if err := recoverChunks(c, "graphfromfasta/pairs", ro, rep, opt.Trace, store2.missing,
 				func(ch int) ([]byte, float64) {
-					encs, chCosts, units := pairChunk(ch, fullWidx())
+					var encs []int64
+					var chCosts []float64
+					var units float64
+					if opt.Packed {
+						encs, chCosts, units = pairChunk(ch, nil, fullPwidx())
+					} else {
+						encs, chCosts, units = pairChunk(ch, fullWidx(), nil)
+					}
 					store2.put(ch, encs, chCosts)
 					return packInt64s(encs), units
 				}); err != nil {
 				return err
 			}
 			prof.Comm2 = cluster.StatsDelta(before, c.Stats)
-			myCosts := store2.itemCosts(len(seqs), dist.ChunkRange)
+			myCosts := store2.itemCosts(len(contigs), dist.ChunkRange)
 			prof.Loop2Units, prof.Loop2Imbalance = replicatedMakespan(dist, myCosts, rank, opt.Replicas, opt.ThreadsPerRank, opt.StaticSchedule)
 			allPairs = make([][]int64, dist.Chunks())
 			for ch := range allPairs {
@@ -478,7 +608,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 				total++
 			}
 		}
-		uf := newUnionFind(len(seqs))
+		uf := newUnionFind(len(contigs))
 		for _, members := range byWeld {
 			for i := 1; i < len(members); i++ {
 				uf.union(int(members[0]), int(members[i]))
@@ -494,7 +624,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		}
 		for _, p := range scaffolds {
 			a, b := int(p[0]), int(p[1])
-			if a >= 0 && a < len(seqs) && b >= 0 && b < len(seqs) {
+			if a >= 0 && a < len(contigs) && b >= 0 && b < len(contigs) {
 				uf.union(a, b)
 			}
 		}
@@ -502,8 +632,12 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		for _, g := range uf.groups() {
 			comps = append(comps, Component{ID: len(comps), Contigs: g})
 		}
-		prof.OutputUnits = float64(total) + float64(len(seqs))
-		prof.ResidentKmerBytes = lReads.MemBytes() + lIx.memBytes() + lWidx.memBytes()
+		prof.OutputUnits = float64(total) + float64(len(contigs))
+		if opt.Packed {
+			prof.ResidentKmerBytes = lReads.MemBytes() + lPix.memBytes() + lPwidx.memBytes()
+		} else {
+			prof.ResidentKmerBytes = lReads.MemBytes() + lIx.memBytes() + lWidx.memBytes()
+		}
 		if rs != nil {
 			prof.ResidentKmerBytes += rs.residentBytes()
 			prof.ShardExchangeBytes = rs.exchanged
@@ -529,7 +663,7 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 	if active {
 		res.Recovery = rep.snapshot("graphfromfasta", world.DeadRanks())
 	}
-	traceGFF(opt, dist, profiles, costs1, costs2, store1, store2, len(seqs))
+	traceGFF(opt, dist, profiles, costs1, costs2, store1, store2, len(contigs))
 	return res, nil
 }
 

@@ -1,0 +1,124 @@
+package chrysalis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gotrinity/internal/mpi"
+	"gotrinity/internal/seq"
+)
+
+func sameR2T(t *testing.T, name string, got, want *R2TResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Errorf("%s: assignments differ (%d vs %d)", name, len(got.Assignments), len(want.Assignments))
+	}
+	if len(got.Profiles) != len(want.Profiles) {
+		t.Fatalf("%s: profile count %d vs %d", name, len(got.Profiles), len(want.Profiles))
+	}
+	for r := range want.Profiles {
+		g, w := got.Profiles[r], want.Profiles[r]
+		if g.SetupUnits != w.SetupUnits || g.LoopUnits != w.LoopUnits ||
+			g.StreamUnits != w.StreamUnits || g.ConcatUnits != w.ConcatUnits ||
+			g.LoopImbalance != w.LoopImbalance || g.Chunks != w.Chunks || g.Assigned != w.Assigned {
+			t.Errorf("%s rank %d: profiles differ: packed %+v ascii %+v", name, r, g, w)
+		}
+	}
+}
+
+// TestR2TPackedMatchesASCII pins the packed assignment path to the
+// ASCII reference: identical assignments and metered profiles at every
+// rank count, with and without master-distribute.
+func TestR2TPackedMatchesASCII(t *testing.T) {
+	sc := buildR2TScenario(t, 41, 400)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		for _, master := range []bool{false, true} {
+			opt := R2TOptions{K: sc.k, ThreadsPerRank: 2, MaxMemReads: 64, MasterDistribute: master}
+			base, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, ranks, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Packed = true
+			res, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, ranks, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameR2T(t, "packed", res, base)
+		}
+	}
+}
+
+// TestR2TPackedResidentReads is the external-memory hand-off contract:
+// with PackedReads supplied, the ASCII read payloads are never touched
+// and may be nil.
+func TestR2TPackedResidentReads(t *testing.T) {
+	sc := buildR2TScenario(t, 42, 300)
+	opt := R2TOptions{K: sc.k, ThreadsPerRank: 2, MaxMemReads: 50}
+	base, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preads := seq.PackRecords(sc.reads)
+	hollow := make([]seq.Record, len(sc.reads))
+	for i := range hollow {
+		hollow[i] = seq.Record{ID: sc.reads[i].ID} // no ASCII payload
+	}
+	opt.Packed = true
+	opt.PackedReads = preads
+	res, err := ReadsToTranscripts(hollow, sc.contigs, sc.comps, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameR2T(t, "resident", res, base)
+}
+
+// TestR2TPackedFaults composes the packed path with rank kills: the
+// recovered run must match the fault-free ASCII baseline.
+func TestR2TPackedFaults(t *testing.T) {
+	sc := buildR2TScenario(t, 43, 300)
+	const ranks = 4
+	opt := R2TOptions{K: sc.k, ThreadsPerRank: 2, MaxMemReads: 40}
+	base, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, ranks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		guard(t, 30*time.Second, func() {
+			fopt := opt
+			fopt.Packed = true
+			fopt.Faults = mpi.RandomKillPlan(seed, ranks, 1, 5)
+			res, err := ReadsToTranscripts(sc.reads, sc.contigs, sc.comps, ranks, fopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Assignments, base.Assignments) {
+				t.Errorf("seed %d: recovered packed assignments differ", seed)
+			}
+		})
+	}
+}
+
+// TestAssignReadPackedDifferential pins the kernel pair directly,
+// including reads with N bases that the scenario generator never
+// emits.
+func TestAssignReadPackedDifferential(t *testing.T) {
+	sc := buildR2TScenario(t, 44, 200)
+	table := buildBundleKmerTable(sc.contigs, sc.comps, sc.k)
+	ptable := buildBundleKmerTablePacked(sc.contigs, nil, sc.comps, sc.k)
+	if table.ops != ptable.ops {
+		t.Fatalf("table ops %d vs %d", ptable.ops, table.ops)
+	}
+	asc, psc := new(assignScratch), new(assignScratch)
+	for i := range sc.reads {
+		read := append([]byte(nil), sc.reads[i].Seq...)
+		if i%5 == 0 {
+			read[len(read)/2] = 'N' // break the middle k-mers on both paths
+		}
+		wc, wm, wu := assignRead(read, table, 1, asc)
+		gc, gm, gu := assignReadPacked(seq.Pack(read), ptable, 1, psc)
+		if wc != gc || wm != gm || wu != gu {
+			t.Fatalf("read %d: packed (%d,%d,%v) vs ascii (%d,%d,%v)", i, gc, gm, gu, wc, wm, wu)
+		}
+	}
+}

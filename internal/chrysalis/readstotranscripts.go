@@ -31,6 +31,22 @@ type R2TOptions struct {
 	// replicate.go); timing only, never results. Default 1.
 	Replicas int
 
+	// Packed runs assignment over 2-bit packed reads and builds the
+	// k-mer→bundle table from packed contigs (r2t_packed.go).
+	// Assignments and metered profiles are byte-identical to the ASCII
+	// path; resident sequence bytes shrink 4×.
+	Packed bool
+
+	// PackedReads optionally supplies the reads already packed
+	// (index-aligned with the read records); when nil and Packed is
+	// set, ReadsToTranscripts packs internally. With PackedReads
+	// supplied the ASCII payloads of reads are never touched, so they
+	// may be nil — the external-memory mode's packed-resident hand-off.
+	PackedReads []seq.PackedRecord
+
+	// PackedContigs optionally supplies the contigs already packed.
+	PackedContigs []seq.Packed
+
 	// MasterDistribute uses the paper's *first* strategy — a master
 	// rank reads every chunk and sends it to the processing rank —
 	// instead of the redundant-streaming scheme that replaced it
@@ -177,6 +193,7 @@ type assignScratch struct {
 	counts  []int32 // per component id; zero except for touched entries
 	touched []int32 // component ids with non-zero counts, encounter order
 	rcbuf   []byte
+	rcp     seq.Packed // packed reverse-complement buffer (assignReadPacked)
 }
 
 var assignScratchPool = sync.Pool{New: func() any { return new(assignScratch) }}
@@ -248,6 +265,28 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 	ro := opt.Recovery.withDefaults()
 	active := opt.Faults != nil || opt.Recovery.Enabled
 
+	// Packed staging: the assignment loops and the streaming meters read
+	// only the packed records from here on.
+	var preads []seq.PackedRecord
+	if opt.Packed {
+		preads = opt.PackedReads
+		if len(preads) != len(reads) {
+			preads = seq.PackRecords(reads)
+		}
+	}
+	readLen := func(i int) int {
+		if opt.Packed {
+			return preads[i].Seq.Len()
+		}
+		return len(reads[i].Seq)
+	}
+	assign := func(i int, sc *assignScratch, table *bundleKmerTable) (int32, int32, float64) {
+		if opt.Packed {
+			return assignReadPacked(preads[i].Seq, table, opt.MinKmerMatches, sc)
+		}
+		return assignRead(reads[i].Seq, table, opt.MinKmerMatches, sc)
+	}
+
 	profiles := make([]R2TRankProfile, ranks)
 	perRank := make([][]Assignment, ranks)
 
@@ -288,7 +327,7 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		lo, hi := chunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
-			comp, matches, u := assignRead(reads[i].Seq, table, opt.MinKmerMatches, sc)
+			comp, matches, u := assign(i, sc, table)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			if comp >= 0 {
@@ -317,7 +356,13 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		// rank ("we have not converted this to a hybrid implementation
 		// yet", §V-B) — its cost divides across a node's threads but
 		// not across ranks.
-		tableOnce.Do(func() { table = buildBundleKmerTable(contigs, comps, opt.K) })
+		tableOnce.Do(func() {
+			if opt.Packed {
+				table = buildBundleKmerTablePacked(contigs, opt.PackedContigs, comps, opt.K)
+			} else {
+				table = buildBundleKmerTable(contigs, comps, opt.K)
+			}
+		})
 		prof.SetupUnits = float64(table.ops) / float64(opt.ThreadsPerRank)
 
 		commStart := c.Stats
@@ -332,10 +377,14 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 				// true volume.
 				if rank == 0 {
 					for i := lo; i < hi; i++ {
-						prof.StreamUnits += float64(len(reads[i].Seq))
+						prof.StreamUnits += float64(readLen(i))
 					}
 					if owner != 0 {
-						c.Send(owner, chunk, packReads(reads[lo:hi]))
+						if opt.Packed {
+							c.Send(owner, chunk, packedStreamPayload(preads[lo:hi]))
+						} else {
+							c.Send(owner, chunk, packReads(reads[lo:hi]))
+						}
 					}
 				} else if owner == rank {
 					if active {
@@ -363,7 +412,7 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 			} else {
 				sc := assignScratchPool.Get().(*assignScratch)
 				for i := lo; i < hi; i++ {
-					comp, matches, units := assignRead(reads[i].Seq, table, opt.MinKmerMatches, sc)
+					comp, matches, units := assign(i, sc, table)
 					readCosts[i] = units * opt.LoopOpWeight
 					if comp >= 0 {
 						mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
@@ -391,7 +440,7 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		loop, stream, imbalance := replicatedChunkStream(
 			len(reads), opt.MaxMemReads, ranks, rank, opt.Replicas, opt.ThreadsPerRank,
 			lookupCost,
-			func(i int) float64 { return opt.IOScanFactor * float64(len(reads[i].Seq)) })
+			func(i int) float64 { return opt.IOScanFactor * float64(readLen(i)) })
 		prof.LoopUnits = loop
 		prof.LoopImbalance = imbalance
 		if opt.MasterDistribute && ranks > 1 {

@@ -1,0 +1,531 @@
+package chrysalis
+
+import (
+	"sort"
+	"sync"
+
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+// Packed welding kernels: twins of the ASCII kernels in weld.go that
+// operate on 2-bit packed contigs (seq.Packed) end-to-end. Window
+// comparisons become word compares, reverse complements become the
+// O(log w) word twiddle, and k-mer extraction reads stored codes
+// directly — no ASCII materialisation anywhere in the loops.
+//
+// Byte-identity contract: every kernel mirrors its ASCII twin's
+// control flow and work-unit formulas exactly (units per position,
+// float64(window) per candidate comparison, one unit per support
+// probe), the packed iterators emit the identical k-mer streams, and
+// Packed.Compare reproduces bytes.Compare — so dense ids, CSR row
+// orders, dedup decisions, harvested weld sets, pooled order, and
+// metered profiles all match the ASCII path bit for bit.
+//
+// Welds travel between ranks as wire frames: each harvested window is
+// seq.Packed.Encode()d and the bytes ride as an opaque string through
+// the existing packWelds framing, chunk checkpoint stores, and
+// Allgatherv exchange. Equal sequences have equal canonical encodings,
+// so frame strings double as dedup keys during pooling.
+
+// packedContigIndex is contigKmerIndex over packed contigs: identical
+// FlatSet ids, CSR layout, and occurrence order, because the packed
+// k-mer stream equals the ASCII one.
+type packedContigIndex struct {
+	k        int
+	contigs  []seq.Packed
+	set      *kmer.FlatSet
+	starts   []int32
+	occs     []occurrence
+	buildOps int64
+}
+
+// flattenKmersPacked is flattenKmers over packed sequences: a serial
+// counting pass via the N-run sidecar sizes per-sequence ranges, then
+// the fill pass walks the packed iterators. Layout is deterministic
+// and equal to the ASCII pass.
+func flattenKmersPacked(seqs []seq.Packed, k int) (keys []kmer.Kmer, poss []int32, off []int32) {
+	off = make([]int32, len(seqs)+1)
+	for i := range seqs {
+		off[i+1] = off[i] + int32(kmer.PackedCountOf(seqs[i], k))
+	}
+	total := int(off[len(seqs)])
+	keys = make([]kmer.Kmer, total)
+	poss = make([]int32, total)
+	for i := range seqs {
+		j := off[i]
+		it := kmer.NewPackedIterator(seqs[i], k)
+		for {
+			m, pos, ok := it.Next()
+			if !ok {
+				break
+			}
+			keys[j] = m
+			poss[j] = int32(pos)
+			j++
+		}
+	}
+	return keys, poss, off
+}
+
+func buildPackedContigIndex(contigs []seq.Packed, k int) *packedContigIndex {
+	keys, poss, off := flattenKmersPacked(contigs, k)
+	ix := &packedContigIndex{
+		k:        k,
+		contigs:  contigs,
+		set:      kmer.NewFlatSet(len(keys)),
+		buildOps: int64(len(keys)),
+	}
+	counts := make([]int32, 0, len(keys))
+	for _, m := range keys {
+		id := ix.set.Add(m)
+		if int(id) == len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[id]++
+	}
+	ix.starts = make([]int32, len(counts)+1)
+	for id, c := range counts {
+		ix.starts[id+1] = ix.starts[id] + c
+	}
+	ix.occs = make([]occurrence, len(keys))
+	next := make([]int32, len(counts))
+	copy(next, ix.starts[:len(counts)])
+	ci := 0
+	for j, m := range keys {
+		for int32(j) >= off[ci+1] {
+			ci++
+		}
+		id, _ := ix.set.Lookup(m)
+		ix.occs[next[id]] = occurrence{int32(ci), poss[j]}
+		next[id]++
+	}
+	return ix
+}
+
+func (ix *packedContigIndex) lookup(m kmer.Kmer) []occurrence {
+	id, ok := ix.set.Lookup(m)
+	if !ok {
+		return nil
+	}
+	return ix.occs[ix.starts[id]:ix.starts[id+1]]
+}
+
+// memBytes mirrors contigKmerIndex.memBytes (lookup structures only,
+// contig payload excluded) so ResidentKmerBytes stays comparable
+// between the packed and ASCII paths.
+func (ix *packedContigIndex) memBytes() int64 {
+	return ix.set.MemBytes() + int64(len(ix.starts))*4 + int64(len(ix.occs))*8
+}
+
+// packedWeldScratch extends weldScratch with the packed-window
+// buffers; the dedup table, k-mer precompute, and stamp arrays are
+// shared with the ASCII kernels via the embedded scratch.
+type packedWeldScratch struct {
+	weldScratch
+	win seq.Packed // current candidate window
+	rc  seq.Packed // its reverse complement
+}
+
+var packedWeldScratchPool = sync.Pool{New: func() any { return new(packedWeldScratch) }}
+
+// prepareContigPacked mirrors weldScratch.prepareContig: one rolling
+// packed pass fills the per-position seed array, then the dedup table
+// resets.
+func (sc *packedWeldScratch) prepareContigPacked(contig seq.Packed, k, n, dedupCap int) {
+	if cap(sc.kmers) < n {
+		sc.kmers = make([]kmer.Kmer, n)
+		sc.valid = make([]bool, n)
+	}
+	sc.kmers = sc.kmers[:n]
+	sc.valid = sc.valid[:n]
+	for i := range sc.valid {
+		sc.valid[i] = false
+	}
+	it := kmer.NewPackedIterator(contig, k)
+	for {
+		m, pos, ok := it.Next()
+		if !ok {
+			break
+		}
+		sc.kmers[pos] = m
+		sc.valid[pos] = true
+	}
+	slots := minDedupSlots
+	for slots < 4*dedupCap {
+		slots <<= 1
+	}
+	if len(sc.dedupKeys) != slots {
+		sc.dedupKeys = make([]uint64, slots)
+		sc.dedupIdx = make([]int32, slots)
+	} else {
+		for i := range sc.dedupKeys {
+			sc.dedupKeys[i] = 0
+		}
+	}
+	sc.dedupN = 0
+}
+
+// hashPacked is FNV-1a over the packed words, length, and N runs —
+// collisions are resolved exactly, so it only has to spread.
+func hashPacked(p seq.Packed) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= v >> s & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(p.Len()))
+	for i := 0; i < p.NumWords(); i++ {
+		mix(p.Word(i))
+	}
+	for i := 0; i < p.NumRuns(); i++ {
+		r := p.RunAt(i)
+		mix(uint64(uint32(r.Start))<<32 | uint64(uint32(r.Len)))
+	}
+	return h | 1
+}
+
+// dedupSeenPacked reports whether window w was already emitted for
+// this contig (hash hit verified against the stored packed weld).
+func (sc *packedWeldScratch) dedupSeenPacked(w seq.Packed, welds []seq.Packed) bool {
+	if sc.dedupN == 0 {
+		return false
+	}
+	mask := uint64(len(sc.dedupKeys) - 1)
+	h := hashPacked(w)
+	for i := h & mask; ; i = (i + 1) & mask {
+		k := sc.dedupKeys[i]
+		if k == 0 {
+			return false
+		}
+		if k == h && welds[sc.dedupIdx[i]].Equal(w) {
+			return true
+		}
+	}
+}
+
+// dedupAddPacked records window w as emitted at index idx.
+func (sc *packedWeldScratch) dedupAddPacked(w seq.Packed, idx int32) {
+	mask := uint64(len(sc.dedupKeys) - 1)
+	h := hashPacked(w)
+	i := h & mask
+	for sc.dedupKeys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	sc.dedupKeys[i] = h
+	sc.dedupIdx[i] = idx
+	sc.dedupN++
+}
+
+// weldSupportPacked is weldSupport over a packed window expressed as a
+// contig range: identical probe sequence and probe count.
+func weldSupportPacked(contig seq.Packed, lo, hi, k int, reads *jellyfish.Frozen, minSupport int) (bool, int64) {
+	var probes int64
+	it := kmer.NewPackedRangeIterator(contig, k, lo, hi)
+	for {
+		m, _, ok := it.Next()
+		if !ok {
+			return true, probes
+		}
+		probes++
+		if int(reads.Get(m)) < minSupport {
+			probes++
+			if int(reads.Get(m.ReverseComplement(k))) < minSupport {
+				return false, probes
+			}
+		}
+	}
+}
+
+// harvestWeldsPacked is loop 1's per-contig body over packed contigs —
+// the same rotated scan, dedup, two-strand sub-region matching, read
+// support gate, and per-contig cap as harvestWelds, with identical
+// unit accounting. Emitted welds are fresh packed values (results, not
+// scratch).
+func harvestWeldsPacked(contig seq.Packed, ci int, ix *packedContigIndex, reads *jellyfish.Frozen,
+	opt GFFOptions, rot int, sc *packedWeldScratch) ([]seq.Packed, float64) {
+	k := opt.K
+	flank := k / 2
+	window := 2 * k
+	var units float64
+	n := contig.Len() - k + 1
+	if n <= 0 {
+		return nil, 1
+	}
+	sc.prepareContigPacked(contig, k, n, opt.MaxWeldsPerContig)
+	var welds []seq.Packed
+	for step := 0; step < n; step++ {
+		p := (step + rot) % n
+		units++
+		if !sc.valid[p] {
+			continue
+		}
+		m := sc.kmers[p]
+		lo := p - flank
+		hi := lo + window // length 2k even when k is odd
+		if lo < 0 || hi > contig.Len() {
+			continue // window must fit inside the contig
+		}
+		contig.SliceInto(&sc.win, lo, hi)
+		if sc.dedupSeenPacked(sc.win, welds) {
+			continue
+		}
+		// Same strand first, then the reverse complement — identical
+		// candidate order and unit charges to the ASCII kernel.
+		matched := false
+		for _, o := range ix.lookup(m) {
+			if int(o.contig) == ci {
+				continue
+			}
+			other := ix.contigs[o.contig]
+			olo := int(o.pos) - flank
+			units += float64(window)
+			if olo >= 0 && olo+window <= other.Len() && other.EqualRange(olo, contig, lo, window) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			rcSeed := m.ReverseComplement(k)
+			units++
+			sc.win.ReverseComplementInto(&sc.rc)
+			// Within RC(w), the RC seed starts at offset k-flank.
+			for _, o := range ix.lookup(rcSeed) {
+				if int(o.contig) == ci {
+					continue
+				}
+				other := ix.contigs[o.contig]
+				olo := int(o.pos) - (k - flank)
+				units += float64(window)
+				if olo >= 0 && olo+window <= other.Len() && other.EqualRange(olo, sc.rc, 0, window) {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			continue
+		}
+		supported, probes := weldSupportPacked(contig, lo, hi, k, reads, opt.MinWeldSupport)
+		units += float64(probes)
+		if !supported {
+			continue
+		}
+		w := contig.Slice(lo, hi) // fresh copy: the weld outlives the scratch
+		sc.dedupAddPacked(w, int32(len(welds)))
+		welds = append(welds, w)
+		if len(welds) >= opt.MaxWeldsPerContig {
+			break
+		}
+	}
+	return welds, units
+}
+
+// encodeWeldFrames converts harvested packed welds to wire-frame
+// strings for the exchange/checkpoint plumbing.
+func encodeWeldFrames(welds []seq.Packed) []string {
+	out := make([]string, len(welds))
+	var buf []byte
+	for i := range welds {
+		buf = welds[i].AppendEncode(buf[:0])
+		out[i] = string(buf)
+	}
+	return out
+}
+
+// poolWeldsPacked merges per-rank wire-framed weld sets into a
+// deduplicated global list sorted by Packed.Compare — the exact
+// sort.Strings order of the decoded ASCII, so every downstream dense
+// id matches the ASCII path.
+func poolWeldsPacked(parts [][]byte) []seq.Packed {
+	seen := map[string]bool{}
+	var pool []seq.Packed
+	var rc seq.Packed
+	var keybuf []byte
+	for _, p := range parts {
+		for _, frame := range unpackWelds(p) {
+			w, _, err := seq.DecodePacked([]byte(frame))
+			if err != nil || w.Len() == 0 {
+				continue
+			}
+			w.ReverseComplementInto(&rc)
+			if rc.Compare(w) < 0 {
+				w, rc = rc, w
+				// rc now aliases the decoded value; the kept w aliases the
+				// scratch, so detach it before the next iteration reuses it.
+				w = w.Slice(0, w.Len())
+			}
+			keybuf = w.AppendEncode(keybuf[:0])
+			if seen[string(keybuf)] {
+				continue
+			}
+			seen[string(keybuf)] = true
+			pool = append(pool, w)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Compare(pool[j]) < 0 })
+	return pool
+}
+
+// packedWeldIndex is weldIndex over packed welds: CSR rows keyed by
+// the central core k-mer in both orientations, identical ids and ref
+// order.
+type packedWeldIndex struct {
+	k       int
+	set     *kmer.FlatSet
+	starts  []int32
+	refs    []weldRef
+	welds   []seq.Packed
+	rcWelds []seq.Packed // precomputed reverse complements
+}
+
+func buildPackedWeldIndex(welds []seq.Packed, k int) *packedWeldIndex {
+	flank := k / 2
+	ix := &packedWeldIndex{
+		k:       k,
+		set:     kmer.NewFlatSet(2 * len(welds)),
+		welds:   welds,
+		rcWelds: make([]seq.Packed, len(welds)),
+	}
+	cores := make([]kmer.Kmer, len(welds))
+	ok := make([]bool, len(welds))
+	var counts []int32
+	bump := func(m kmer.Kmer) {
+		id := ix.set.Add(m)
+		if int(id) == len(counts) {
+			counts = append(counts, 0)
+		}
+		counts[id]++
+	}
+	for id := range welds {
+		ix.rcWelds[id] = welds[id].ReverseComplement()
+		if welds[id].Len() < flank+k {
+			continue
+		}
+		core, valid := kmer.PackedEncodeAt(welds[id], flank, k)
+		if !valid {
+			continue
+		}
+		cores[id], ok[id] = core, true
+		bump(core)
+		if rc := core.ReverseComplement(k); rc != core {
+			bump(rc)
+		}
+	}
+	ix.starts = make([]int32, len(counts)+1)
+	for id, c := range counts {
+		ix.starts[id+1] = ix.starts[id] + c
+	}
+	ix.refs = make([]weldRef, ix.starts[len(counts)])
+	next := make([]int32, len(counts))
+	copy(next, ix.starts[:len(counts)])
+	place := func(m kmer.Kmer, ref weldRef) {
+		id, _ := ix.set.Lookup(m)
+		ix.refs[next[id]] = ref
+		next[id]++
+	}
+	for id := range welds {
+		if !ok[id] {
+			continue
+		}
+		core := cores[id]
+		place(core, weldRef{int32(id), false})
+		if rc := core.ReverseComplement(k); rc != core {
+			place(rc, weldRef{int32(id), true})
+		}
+	}
+	return ix
+}
+
+func (ix *packedWeldIndex) lookup(m kmer.Kmer) []weldRef {
+	id, ok := ix.set.Lookup(m)
+	if !ok {
+		return nil
+	}
+	return ix.refs[ix.starts[id]:ix.starts[id+1]]
+}
+
+// memBytes mirrors weldIndex.memBytes (lookup structures plus the RC
+// materialisations; the pooled welds themselves are stage output) —
+// the RC side is where packing shrinks the resident set.
+func (ix *packedWeldIndex) memBytes() int64 {
+	n := ix.set.MemBytes() + int64(len(ix.starts))*4 + int64(len(ix.refs))*8
+	for i := range ix.rcWelds {
+		n += int64(ix.rcWelds[i].MemBytes())
+	}
+	return n
+}
+
+// scanContigForWeldsPacked is loop 2's per-contig body over packed
+// data: identical probe order, window verification, per-weld stamping,
+// and unit accounting to scanContigForWelds.
+func scanContigForWeldsPacked(contig seq.Packed, ci int, ix *packedWeldIndex, sc *packedWeldScratch) ([][2]int32, float64) {
+	k := ix.k
+	flank := k / 2
+	window := 2 * k
+	out := sc.pairs[:0]
+	var units float64
+	if len(sc.stamp) < len(ix.welds) {
+		sc.stamp = make([]uint32, len(ix.welds))
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: clear stale stamps once, then restart
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	it := kmer.NewPackedIterator(contig, k)
+	for {
+		m, pos, ok := it.Next()
+		if !ok {
+			break
+		}
+		units++
+		refs := ix.lookup(m)
+		if len(refs) == 0 {
+			continue
+		}
+		for _, ref := range refs {
+			if sc.stamp[ref.id] == sc.epoch {
+				continue
+			}
+			var lo int
+			var want seq.Packed
+			if !ref.rc {
+				// The weld occurs forward: its core sits at offset flank.
+				lo = pos - flank
+				want = ix.welds[ref.id]
+			} else {
+				// The contig contains the weld's reverse complement: the
+				// RC core sits at offset k-flank within RC(weld).
+				lo = pos - (k - flank)
+				want = ix.rcWelds[ref.id]
+			}
+			if lo < 0 || lo+window > contig.Len() {
+				continue
+			}
+			units += float64(window)
+			if contig.EqualRange(lo, want, 0, window) {
+				sc.stamp[ref.id] = sc.epoch
+				out = append(out, [2]int32{ref.id, int32(ci)})
+			}
+		}
+	}
+	sc.pairs = out
+	return out, units
+}
+
+// decodeWelds materialises the pooled packed welds as ASCII strings —
+// the output boundary of GraphFromFasta; order is preserved.
+func decodeWelds(welds []seq.Packed) []string {
+	out := make([]string, len(welds))
+	for i := range welds {
+		out[i] = string(welds[i].Decode()) // ascii-ok: GFFResult.Welds output boundary, once per pooled weld
+	}
+	return out
+}

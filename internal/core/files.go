@@ -49,14 +49,31 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		Transcripts: filepath.Join(workDir, "transcripts.fa"),
 	}
 
-	// jellyfish: reads -> k-mer dump.
+	// jellyfish: reads -> k-mer dump. The packed default counts from
+	// the 2-bit reads; External counts through dsk's disk partitions.
+	// Either way the dump file is byte-identical to the ASCII path's.
 	reads, err := seq.ReadFastaFile(readsPath)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading %s: %w", readsPath, err)
 	}
-	table, err := jellyfish.Count(reads, jellyfish.Options{K: cfg.K})
-	if err != nil {
-		return nil, err
+	var preads []seq.PackedRecord
+	if !cfg.ASCIISeq {
+		preads = seq.PackRecords(reads)
+	}
+	var table *jellyfish.CountTable
+	switch {
+	case cfg.External.Enabled:
+		if table, _, err = externalCount(reads, preads, &cfg); err != nil {
+			return nil, err
+		}
+	case preads != nil:
+		if table, err = jellyfish.CountPacked(preads, jellyfish.Options{K: cfg.K}); err != nil {
+			return nil, err
+		}
+	default:
+		if table, err = jellyfish.Count(reads, jellyfish.Options{K: cfg.K}); err != nil {
+			return nil, err
+		}
 	}
 	if err := jellyfish.DumpFile(art.Kmers, table, 1); err != nil {
 		return nil, err
@@ -75,16 +92,38 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		return nil, err
 	}
 
-	// bowtie: reads + contigs -> SAM.
+	// bowtie: reads + contigs -> SAM. The packed default indexes and
+	// verifies the 2-bit forms (HashSeeds only; the FM backend keeps
+	// the ASCII text it operates on).
 	contigs, err = seq.ReadFastaFile(art.Contigs)
 	if err != nil {
 		return nil, err
 	}
-	ix, err := bowtie.NewIndex(contigs, cfg.Bowtie)
-	if err != nil {
-		return nil, err
+	var pcontigs []seq.Packed
+	if preads != nil {
+		pcontigs = make([]seq.Packed, len(contigs))
+		for i := range contigs {
+			pcontigs[i] = seq.Pack(contigs[i].Seq)
+		}
 	}
-	als, _ := bowtie.NewAligner(ix).AlignAll(reads)
+	var als []bowtie.Alignment
+	if preads != nil && cfg.Bowtie.Backend == bowtie.HashSeeds {
+		prec := make([]seq.PackedRecord, len(contigs))
+		for i := range contigs {
+			prec[i] = seq.PackedRecord{ID: contigs[i].ID, Seq: pcontigs[i]}
+		}
+		pix, err := bowtie.NewPackedIndex(prec, cfg.Bowtie)
+		if err != nil {
+			return nil, err
+		}
+		als, _ = bowtie.NewPackedAligner(pix).AlignAll(preads)
+	} else {
+		ix, err := bowtie.NewIndex(contigs, cfg.Bowtie)
+		if err != nil {
+			return nil, err
+		}
+		als, _ = bowtie.NewAligner(ix).AlignAll(reads)
+	}
 	als = bowtie.BestPerRead(als)
 	refs := make([]bowtie.SAMHeaderEntry, len(contigs))
 	for i, c := range contigs {
@@ -126,6 +165,8 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		ThreadsPerRank:    cfg.ThreadsPerRank,
 		Seed:              cfg.Seed,
 		ShardKmers:        cfg.ShardKmers,
+		Packed:            preads != nil,
+		PackedContigs:     pcontigs,
 		ScaffoldPairs:     ScaffoldPairs(samAls),
 	})
 	if err != nil {
@@ -144,6 +185,9 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		K:              cfg.K,
 		MaxMemReads:    cfg.MaxMemReads,
 		ThreadsPerRank: cfg.ThreadsPerRank,
+		Packed:         preads != nil,
+		PackedReads:    preads,
+		PackedContigs:  pcontigs,
 	})
 	if err != nil {
 		return nil, err

@@ -38,6 +38,21 @@ type Config struct {
 	Replicas       int // timing-replay replicas for the cost model (default 1)
 	MinPairSupport int // drop transcripts spanned by fewer mate pairs (0 = keep all)
 
+	// ASCIISeq falls back to byte-per-base ASCII sequences on the hot
+	// paths. The default (false) runs 2-bit packed sequences end-to-end:
+	// reads are packed once after ingest, contigs once after Inchworm,
+	// and Jellyfish counting, the Bowtie seed/verify loops, and the
+	// Chrysalis weld/assign kernels all consume the packed forms — ASCII
+	// exists only at file boundaries. Output is byte-identical either
+	// way; only resident sequence bytes change (4× smaller packed).
+	ASCIISeq bool
+
+	// External selects the external-memory assembly mode: k-mer
+	// counting runs through dsk's disk partitions and the sequence
+	// state stays packed-resident, bounding peak memory below the full
+	// in-memory working set. See ExternalConfig.
+	External ExternalConfig
+
 	// ShardKmers partitions GraphFromFasta's k-mer lookup state (read
 	// counts, contig occurrence index, weld index) across the ranks by
 	// owner rank instead of replicating it on every rank; remote rows
@@ -133,7 +148,8 @@ type Result struct {
 	SplitStats    pyfasta.Stats
 	Tail          TailStats // deterministic work units of the parallel tail
 
-	Faults *FaultReport // non-nil when the fault layer was active
+	External *ExternalReport // non-nil when External.Enabled
+	Faults   *FaultReport    // non-nil when the fault layer was active
 }
 
 // FaultReport summarises what the fault layer injected and recovered
@@ -148,6 +164,31 @@ type FaultReport struct {
 // TranscriptRecords returns the final transcripts as FASTA records.
 func (r *Result) TranscriptRecords() []seq.Record {
 	return butterfly.Records(r.Transcripts)
+}
+
+// packedPipe carries the packed twins of the pipeline's resident
+// sequences — reads packed once before counting, contigs once after
+// Inchworm — shared by every downstream stage. nil selects the ASCII
+// fallback everywhere.
+type packedPipe struct {
+	reads   []seq.PackedRecord
+	contigs []seq.Packed // parallel to Result.Contigs
+}
+
+// readRecs/contigSeqs are nil-safe accessors so option structs can be
+// filled without branching on the mode.
+func (pp *packedPipe) readRecs() []seq.PackedRecord {
+	if pp == nil {
+		return nil
+	}
+	return pp.reads
+}
+
+func (pp *packedPipe) contigSeqs() []seq.Packed {
+	if pp == nil {
+		return nil
+	}
+	return pp.contigs
 }
 
 // Run executes the full pipeline over the given reads.
@@ -192,11 +233,26 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 		return err
 	}
 
-	// --- Jellyfish: k-mer counting over the reads.
+	// Pack the reads once; every downstream consumer (counting, Bowtie,
+	// ReadsToTranscripts) works from the 2-bit forms.
+	var pp *packedPipe
+	if !cfg.ASCIISeq {
+		pp = &packedPipe{reads: seq.PackRecords(reads)}
+	}
+
+	// --- Jellyfish: k-mer counting over the reads — in-memory by
+	// default, dsk's disk-partitioned pass under External.
 	var table *jellyfish.CountTable
 	err := stage("jellyfish", func() error {
 		var err error
-		table, err = jellyfish.Count(reads, jellyfish.Options{K: cfg.K})
+		switch {
+		case cfg.External.Enabled:
+			table, res.External, err = externalCount(reads, pp.readRecs(), &cfg)
+		case pp != nil:
+			table, err = jellyfish.CountPacked(pp.reads, jellyfish.Options{K: cfg.K})
+		default:
+			table, err = jellyfish.Count(reads, jellyfish.Options{K: cfg.K})
+		}
 		return err
 	})
 	if err != nil {
@@ -218,6 +274,14 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 	if len(res.Contigs) == 0 {
 		return nil, fmt.Errorf("core: inchworm produced no contigs (too few reads?)")
 	}
+	// Pack the contigs once for the tail's seed index, weld kernels and
+	// bundle tables.
+	if pp != nil {
+		pp.contigs = make([]seq.Packed, len(res.Contigs))
+		for i := range res.Contigs {
+			pp.contigs[i] = seq.Pack(res.Contigs[i].Seq)
+		}
+	}
 
 	// --- The pipeline tail (Bowtie → GraphFromFasta →
 	// ReadsToTranscripts → FastaToDebruijn/Quantify → Butterfly):
@@ -225,10 +289,10 @@ func Run(reads []seq.Record, cfg Config) (*Result, error) {
 	// overlapping stages when Streaming.Enabled — both byte-identical
 	// for a fixed seed.
 	if cfg.Streaming.Enabled {
-		if err := runStreamingTail(reads, res, &cfg, table, plan, recovery, meter, sampler, runStart); err != nil {
+		if err := runStreamingTail(reads, pp, res, &cfg, table, plan, recovery, meter, sampler, runStart); err != nil {
 			return nil, err
 		}
-	} else if err := runBarrierTail(reads, res, &cfg, table, plan, recovery, runStart, stage); err != nil {
+	} else if err := runBarrierTail(reads, pp, res, &cfg, table, plan, recovery, runStart, stage); err != nil {
 		return nil, err
 	}
 

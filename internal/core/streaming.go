@@ -262,7 +262,7 @@ type compOut struct {
 // runStreamingTail executes bowtie → butterfly as the streaming DAG.
 // It owns the collector (final fan-in consumer) on the calling
 // goroutine and returns once every node has exited.
-func runStreamingTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfish.CountTable,
+func runStreamingTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Config, table *jellyfish.CountTable,
 	plan *mpi.FaultPlan, recovery chrysalis.RecoveryOptions,
 	meter *collectl.Meter, sampler *collectl.Sampler, runStart time.Time) error {
 
@@ -376,7 +376,7 @@ func runStreamingTail(reads []seq.Record, res *Result, cfg *Config, table *jelly
 							return
 						}
 						t0 := time.Now()
-						als, st, bases, err := alignPartition(reads, res.Contigs, idx[p], cfg, inner)
+						als, st, bases, err := alignPartition(reads, pp, res.Contigs, idx[p], cfg, inner)
 						pool.Release()
 						if err != nil {
 							errsByPart[p] = err
@@ -449,6 +449,8 @@ func runStreamingTail(reads []seq.Record, res *Result, cfg *Config, table *jelly
 			Seed:              cfg.Seed,
 			ShardKmers:        cfg.ShardKmers,
 			Replicas:          cfg.Replicas,
+			Packed:            pp != nil,
+			PackedContigs:     pp.contigSeqs(),
 			Faults:            plan,
 			Recovery:          recovery,
 			Trace:             cfg.Trace,
@@ -494,6 +496,9 @@ func runStreamingTail(reads []seq.Record, res *Result, cfg *Config, table *jelly
 				MaxMemReads:    cfg.MaxMemReads,
 				ThreadsPerRank: cfg.ThreadsPerRank,
 				Replicas:       cfg.Replicas,
+				Packed:         pp != nil,
+				PackedReads:    pp.readRecs(),
+				PackedContigs:  pp.contigSeqs(),
 				Faults:         plan,
 				Recovery:       recovery,
 				Trace:          cfg.Trace,

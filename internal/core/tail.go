@@ -68,7 +68,7 @@ func (c *Config) tailWorkers() int {
 // stage → barrier → stage sequence: each phase drains completely
 // before the next begins. This is the reference path whose output the
 // streaming DAG reproduces byte-for-byte.
-func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfish.CountTable,
+func runBarrierTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Config, table *jellyfish.CountTable,
 	plan *mpi.FaultPlan, recovery chrysalis.RecoveryOptions, runStart time.Time,
 	stage func(string, func() error) error) error {
 
@@ -77,7 +77,7 @@ func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfi
 	// tail worker pool (serially when TailWorkers=1), merged in
 	// partition order.
 	err := stage("bowtie", func() error {
-		if err := runBowtiePartitions(reads, res, cfg, runStart); err != nil {
+		if err := runBowtiePartitions(reads, pp, res, cfg, runStart); err != nil {
 			return err
 		}
 		cfg.Trace.RealEvent("omp", "bowtie_alignall", trace.RealRank,
@@ -104,6 +104,8 @@ func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfi
 			ShardKmers:        cfg.ShardKmers,
 			ScaffoldPairs:     res.Scaffolds,
 			Replicas:          cfg.Replicas,
+			Packed:            pp != nil,
+			PackedContigs:     pp.contigSeqs(),
 			Faults:            plan,
 			Recovery:          recovery,
 			Trace:             cfg.Trace,
@@ -123,6 +125,9 @@ func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfi
 				MaxMemReads:    cfg.MaxMemReads,
 				ThreadsPerRank: cfg.ThreadsPerRank,
 				Replicas:       cfg.Replicas,
+				Packed:         pp != nil,
+				PackedReads:    pp.readRecs(),
+				PackedContigs:  pp.contigSeqs(),
 				Faults:         plan,
 				Recovery:       recovery,
 				Trace:          cfg.Trace,
@@ -212,7 +217,7 @@ func runBarrierTail(reads []seq.Record, res *Result, cfg *Config, table *jellyfi
 // order. Per-alignment contig renumbering uses the partition's offset
 // table (local index → global index, a slice lookup) instead of a
 // name-keyed map probe per alignment.
-func runBowtiePartitions(reads []seq.Record, res *Result, cfg *Config, runStart time.Time) error {
+func runBowtiePartitions(reads []seq.Record, pp *packedPipe, res *Result, cfg *Config, runStart time.Time) error {
 	var idx [][]int
 	if cfg.Ranks > 1 {
 		var st pyfasta.Stats
@@ -267,7 +272,7 @@ func runBowtiePartitions(reads []seq.Record, res *Result, cfg *Config, runStart 
 			return
 		}
 		t0 := time.Now()
-		als, st, bases, err := alignPartition(reads, res.Contigs, ids, cfg, inner)
+		als, st, bases, err := alignPartition(reads, pp, res.Contigs, ids, cfg, inner)
 		if err != nil {
 			outs[p].err = err
 			return
@@ -310,21 +315,39 @@ func runBowtiePartitions(reads []seq.Record, res *Result, cfg *Config, runStart 
 // alignPartition aligns all reads against one contig partition and
 // renumbers the hits to global contig indices via the partition's
 // offset table — the per-partition unit shared by the barrier and
-// streaming bowtie stages.
-func alignPartition(reads, contigs []seq.Record, ids []int, cfg *Config, inner int) ([]bowtie.Alignment, bowtie.Stats, int, error) {
-	part := make([]seq.Record, len(ids))
+// streaming bowtie stages. With a packed pipe and the HashSeeds
+// backend the partition is indexed and verified 2-bit packed (the
+// FM-index operates on ASCII text, so that backend keeps the ASCII
+// path); alignments and stats are byte-identical either way.
+func alignPartition(reads []seq.Record, pp *packedPipe, contigs []seq.Record, ids []int, cfg *Config, inner int) ([]bowtie.Alignment, bowtie.Stats, int, error) {
 	bases := 0
-	for j, ci := range ids {
-		part[j] = contigs[ci]
-		bases += len(contigs[ci].Seq)
-	}
 	opt := cfg.Bowtie
 	opt.Threads = inner
-	ix, err := bowtie.NewIndex(part, opt)
-	if err != nil {
-		return nil, bowtie.Stats{}, bases, err
+	var als []bowtie.Alignment
+	var st bowtie.Stats
+	if pp != nil && cfg.Bowtie.Backend == bowtie.HashSeeds {
+		part := make([]seq.PackedRecord, len(ids))
+		for j, ci := range ids {
+			part[j] = seq.PackedRecord{ID: contigs[ci].ID, Seq: pp.contigs[ci]}
+			bases += pp.contigs[ci].Len()
+		}
+		ix, err := bowtie.NewPackedIndex(part, opt)
+		if err != nil {
+			return nil, bowtie.Stats{}, bases, err
+		}
+		als, st = bowtie.NewPackedAligner(ix).AlignAll(pp.reads)
+	} else {
+		part := make([]seq.Record, len(ids))
+		for j, ci := range ids {
+			part[j] = contigs[ci]
+			bases += len(contigs[ci].Seq)
+		}
+		ix, err := bowtie.NewIndex(part, opt)
+		if err != nil {
+			return nil, bowtie.Stats{}, bases, err
+		}
+		als, st = bowtie.NewAligner(ix).AlignAll(reads)
 	}
-	als, st := bowtie.NewAligner(ix).AlignAll(reads)
 	for i := range als {
 		als[i].Contig = ids[als[i].Contig] // offset table: local → global
 	}

@@ -66,6 +66,33 @@ func mix(x uint64) uint64 {
 // partition independently, returning entries sorted by k-mer value
 // (the same order jellyfish.CountTable.Entries uses).
 func Count(reads []seq.Record, opt Options) ([]jellyfish.Entry, Stats, error) {
+	return countWith(opt, len(reads), func(i int) kmerIter {
+		return kmer.NewIterator(reads[i].Seq, opt.K)
+	})
+}
+
+// CountPacked is Count over 2-bit packed reads: the same two-pass
+// disk-partitioned counting, fed by the packed rolling iterator so no
+// ASCII decode happens on the streaming pass. The packed iterator
+// emits the exact k-mer stream of the ASCII one, so the entries and
+// stats are identical to Count over the decoded records.
+func CountPacked(reads []seq.PackedRecord, opt Options) ([]jellyfish.Entry, Stats, error) {
+	return countWith(opt, len(reads), func(i int) kmerIter {
+		it := kmer.NewPackedIterator(reads[i].Seq, opt.K)
+		return &it
+	})
+}
+
+// kmerIter is the common surface of the ASCII and packed rolling
+// iterators.
+type kmerIter interface {
+	Next() (kmer.Kmer, int, bool)
+}
+
+// countWith runs both passes over the reads' k-mer streams. opt must
+// be normalized by the caller's Options value semantics; it is
+// normalized here once for both entry points.
+func countWith(opt Options, n int, iterOf func(i int) kmerIter) ([]jellyfish.Entry, Stats, error) {
 	var st Stats
 	if err := opt.normalize(); err != nil {
 		return nil, st, err
@@ -90,8 +117,8 @@ func Count(reads []seq.Record, opt Options) ([]jellyfish.Entry, Stats, error) {
 		writers[p] = bufio.NewWriterSize(f, 1<<16)
 	}
 	var buf [8]byte
-	for i := range reads {
-		it := kmer.NewIterator(reads[i].Seq, opt.K)
+	for i := 0; i < n; i++ {
+		it := iterOf(i)
 		for {
 			m, _, ok := it.Next()
 			if !ok {

@@ -1,0 +1,151 @@
+package dsk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gotrinity/internal/jellyfish"
+	"gotrinity/internal/seq"
+)
+
+// noisyReads builds an adversarial corpus: random ACGT reads with N
+// poisoning at the start, middle and end, plus degenerate records
+// (empty, shorter than k, exactly k, all-N).
+func noisyReads(seed int64, n, length int) []seq.Record {
+	rng := rand.New(rand.NewSource(seed))
+	reads := make([]seq.Record, 0, n+4)
+	for i := 0; i < n; i++ {
+		s := make([]byte, length)
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		switch i % 5 {
+		case 1:
+			s[0] = 'N'
+		case 2:
+			s[len(s)/2] = 'N'
+		case 3:
+			s[len(s)-1] = 'N'
+		case 4:
+			s[rng.Intn(len(s))] = 'N'
+			s[rng.Intn(len(s))] = 'N'
+		}
+		reads = append(reads, seq.Record{Seq: s})
+	}
+	allN := make([]byte, length)
+	for j := range allN {
+		allN[j] = 'N'
+	}
+	reads = append(reads,
+		seq.Record{Seq: nil},                           // empty
+		seq.Record{Seq: []byte("ACGTACG")},             // shorter than k
+		seq.Record{Seq: []byte("ACGTACGTACGTACGTACG")}, // around k
+		seq.Record{Seq: allN},                          // no valid k-mer
+	)
+	return reads
+}
+
+// TestCountPackedMatchesCount pins the packed streaming pass to the
+// ASCII one over the adversarial corpus, both strandings.
+func TestCountPackedMatchesCount(t *testing.T) {
+	reads := noisyReads(11, 60, 90)
+	preads := seq.PackRecords(reads)
+	for _, canonical := range []bool{false, true} {
+		opt := Options{K: 21, Partitions: 4, TmpDir: t.TempDir(), Canonical: canonical}
+		want, wantSt, err := Count(reads, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotSt, err := CountPacked(preads, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("canonical=%v: packed entries differ (%d vs %d)", canonical, len(got), len(want))
+		}
+		if gotSt != wantSt {
+			t.Fatalf("canonical=%v: stats differ: packed %+v ascii %+v", canonical, gotSt, wantSt)
+		}
+	}
+}
+
+// TestCountAmbiguousCorpus is the library-promotion differential: over
+// the N-poisoned corpus, dsk must agree with in-memory Jellyfish
+// entry-for-entry — the ambiguity handling (skipped k-mers spanning an
+// N) has to match exactly.
+func TestCountAmbiguousCorpus(t *testing.T) {
+	reads := noisyReads(12, 80, 70)
+	for _, canonical := range []bool{false, true} {
+		jf, err := jellyfish.Count(reads, jellyfish.Options{K: 15, Canonical: canonical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := jf.Entries(1)
+		got, st, err := Count(reads, Options{K: 15, Partitions: 5, TmpDir: t.TempDir(), Canonical: canonical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("canonical=%v: dsk entries differ from jellyfish (%d vs %d)", canonical, len(got), len(want))
+		}
+		if st.DistinctKmers != len(want) {
+			t.Errorf("canonical=%v: distinct %d, want %d", canonical, st.DistinctKmers, len(want))
+		}
+	}
+}
+
+// TestCountChunkBoundary pushes each partition file across the 64KiB
+// writer-buffer boundary, so k-mer frames straddle flushed chunks; the
+// counts must still match Jellyfish exactly.
+func TestCountChunkBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	reads := make([]seq.Record, 300)
+	for i := range reads {
+		s := make([]byte, 100)
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		reads[i] = seq.Record{Seq: s}
+	}
+	jf, err := jellyfish.Count(reads, jellyfish.Options{K: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jf.Entries(1)
+	got, st, err := Count(reads, Options{K: 25, Partitions: 2, TmpDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The point of the test: the streamed volume exceeds both
+	// partitions' 64KiB buffers, so pass 2 reads across flush chunks.
+	if st.PartitionBytes <= 2*(1<<16) {
+		t.Fatalf("corpus too small to cross the writer buffer: %d bytes", st.PartitionBytes)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chunk-boundary entries differ from jellyfish (%d vs %d)", len(got), len(want))
+	}
+}
+
+// TestFromEntriesRoundTrip pins the dsk → CountTable bridge: a table
+// rebuilt from dsk entries must dump the same entries Jellyfish's
+// in-memory table does.
+func TestFromEntriesRoundTrip(t *testing.T) {
+	reads := noisyReads(14, 40, 80)
+	const k = 17
+	jf, err := jellyfish.Count(reads, jellyfish.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := Count(reads, Options{K: k, Partitions: 3, TmpDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := jellyfish.FromEntries(k, entries)
+	if !reflect.DeepEqual(rebuilt.Entries(1), jf.Entries(1)) {
+		t.Fatal("rebuilt table entries differ from in-memory count")
+	}
+	if rebuilt.K != k {
+		t.Errorf("rebuilt k = %d", rebuilt.K)
+	}
+}

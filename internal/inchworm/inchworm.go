@@ -166,7 +166,7 @@ func (a *Assembler) extend(seedKmer kmer.Kmer) []byte {
 	for i := len(left) - 1; i >= 0; i-- {
 		contig = append(contig, left[i])
 	}
-	contig = append(contig, seedKmer.Decode(k)...)
+	contig = append(contig, seedKmer.Decode(k)...) // ascii-ok: contig record assembly, once per contig
 	contig = append(contig, right...)
 	return contig
 }

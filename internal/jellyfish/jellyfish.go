@@ -293,6 +293,18 @@ func (t *CountTable) Entries(minCount int) []Entry {
 	return out
 }
 
+// FromEntries rebuilds a count table from dumped entries — the bridge
+// from external counters (dsk's disk-partitioned pass, LoadFile) into
+// the stages that consume a CountTable. The rebuilt table is
+// indistinguishable from one filled by Count over the same k-mers.
+func FromEntries(k int, entries []Entry) *CountTable {
+	t := NewCountTable(k, nextPow2(4*runtime.GOMAXPROCS(0)))
+	for _, e := range entries {
+		t.Add(e.Kmer, e.Count)
+	}
+	return t
+}
+
 // Count tallies the k-mers of every record into a fresh table.
 func Count(recs []seq.Record, opt Options) (*CountTable, error) {
 	if err := opt.normalize(); err != nil {
@@ -344,7 +356,7 @@ func Dump(w io.Writer, t *CountTable, minCount int) error {
 	})
 	bw := bufio.NewWriterSize(w, 1<<16)
 	for _, e := range entries {
-		if _, err := fmt.Fprintf(bw, "%d\t%s\n", e.Count, e.Kmer.Decode(t.K)); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", e.Count, e.Kmer.Decode(t.K)); err != nil { // ascii-ok: dump-file boundary
 			return err
 		}
 	}

@@ -1,0 +1,138 @@
+// Rolling k-mer extraction over 2-bit packed sequences. The iterator
+// reads stored codes directly — no ASCII decode — and consults the
+// N-run sidecar instead of testing every byte, so the per-base work is
+// one word load, one shift, and the same AppendBase roll as the ASCII
+// iterator. The emitted (k-mer, position) stream is identical to
+// NewIterator over the decoded sequence, which is what keeps the
+// packed pipeline byte-compatible with the ASCII reference.
+
+package kmer
+
+import "gotrinity/internal/seq"
+
+// PackedIterator walks every valid (ambiguity-free) k-mer of a packed
+// sequence with a rolling update, restarting after each N run.
+type PackedIterator struct {
+	p    seq.Packed
+	k    int
+	pos  int // index of the base that will extend the current window
+	end  int
+	have int // number of valid bases currently in the window
+	cur  Kmer
+	ri   int // next unconsumed N-run index
+	rs   int // current N interval [rs, re); rs == maxInt when exhausted
+	re   int
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// NewPackedIterator prepares iteration over all k-mers of p. The
+// iterator is returned by value so hot loops can keep it on the
+// stack; iterate via a local (`it := NewPackedIterator(...)`).
+func NewPackedIterator(p seq.Packed, k int) PackedIterator {
+	return NewPackedRangeIterator(p, k, 0, p.Len())
+}
+
+// NewPackedRangeIterator prepares iteration over the k-mers of bases
+// [start, end) of p. Positions reported by Next are absolute within p,
+// and k-mers never straddle the range boundary — the stream equals
+// iterating the decoded sub-sequence with start added to each
+// position.
+func NewPackedRangeIterator(p seq.Packed, k, start, end int) PackedIterator {
+	it := PackedIterator{p: p, k: k, pos: start, end: end, rs: maxInt, re: maxInt}
+	// Position the run cursor at the first interval that can still
+	// overlap [start, end).
+	for it.ri < p.NumRuns() {
+		r := p.RunAt(it.ri)
+		it.ri++
+		if int(r.Start+r.Len) > start {
+			it.rs, it.re = int(r.Start), int(r.Start+r.Len)
+			return it
+		}
+	}
+	return it
+}
+
+// advanceRun moves the cached N interval forward until it ends after i
+// (or the runs are exhausted).
+func (it *PackedIterator) advanceRun(i int) {
+	for i >= it.re {
+		if it.ri >= it.p.NumRuns() {
+			it.rs, it.re = maxInt, maxInt
+			return
+		}
+		r := it.p.RunAt(it.ri)
+		it.ri++
+		it.rs, it.re = int(r.Start), int(r.Start+r.Len)
+	}
+}
+
+// Next returns the next k-mer and its start offset within the
+// sequence. ok=false signals exhaustion.
+func (it *PackedIterator) Next() (m Kmer, pos int, ok bool) {
+	for it.pos < it.end {
+		i := it.pos
+		it.pos++
+		if i >= it.re {
+			it.advanceRun(i)
+		}
+		if i >= it.rs && i < it.re {
+			it.have = 0
+			continue
+		}
+		it.cur = it.cur.AppendBase(it.p.CodeAt(i), it.k)
+		if it.have < it.k {
+			it.have++
+		}
+		if it.have == it.k {
+			return it.cur, i + 1 - it.k, true
+		}
+	}
+	return 0, 0, false
+}
+
+// PackedCountOf returns the number of valid k-mers in p (what a full
+// iteration would yield) straight from the N-run sidecar: each maximal
+// solid interval of length L contributes max(0, L-k+1) k-mers.
+func PackedCountOf(p seq.Packed, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	n, solid := 0, 0
+	add := func(l int) {
+		if l >= k {
+			n += l - k + 1
+		}
+	}
+	for i := 0; i < p.NumRuns(); i++ {
+		r := p.RunAt(i)
+		add(int(r.Start) - solid)
+		solid = int(r.Start + r.Len)
+	}
+	add(p.Len() - solid)
+	return n
+}
+
+// PackedEncodeAt packs bases [pos, pos+k) of p into a Kmer, returning
+// ok=false if the window overlaps an N run or the sequence end — the
+// packed counterpart of Encode(s[pos:], k).
+func PackedEncodeAt(p seq.Packed, pos, k int) (Kmer, bool) {
+	if k <= 0 || k > MaxK || pos < 0 || pos+k > p.Len() {
+		return 0, false
+	}
+	var v uint64
+	for i := pos; i < pos+k; i++ {
+		v = v<<2 | p.CodeAt(i)
+	}
+	// One sidecar check for the whole window beats per-base IsN.
+	for i := 0; i < p.NumRuns(); i++ {
+		r := p.RunAt(i)
+		if int(r.Start) >= pos+k {
+			break
+		}
+		if int(r.Start+r.Len) > pos {
+			return 0, false
+		}
+	}
+	return Kmer(v), true
+}

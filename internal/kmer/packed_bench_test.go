@@ -1,0 +1,80 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+// benchSeqs is the shared k-mer-extraction corpus: 500 × 300bp with
+// sparse Ns so both iterators exercise their ambiguity restarts.
+func benchSeqs() [][]byte {
+	rng := rand.New(rand.NewSource(41))
+	seqs := make([][]byte, 500)
+	for i := range seqs {
+		s := make([]byte, 300)
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		if i%10 == 0 {
+			s[rng.Intn(len(s))] = 'N'
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+// BenchmarkKmerIterASCII / BenchmarkKmerIterPacked are the
+// no-regression pin of BENCH_seq.json: k-mer extraction from the
+// packed form (rolling 2-bit window over the words, no ASCII decode)
+// must not run slower than the byte-at-a-time ASCII iterator.
+func BenchmarkKmerIterASCII(b *testing.B) {
+	seqs := benchSeqs()
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	var sink Kmer
+	for i := 0; i < b.N; i++ {
+		for _, s := range seqs {
+			it := NewIterator(s, 25)
+			for {
+				m, _, ok := it.Next()
+				if !ok {
+					break
+				}
+				sink ^= m
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkKmerIterPacked(b *testing.B) {
+	seqs := benchSeqs()
+	packed := make([]seq.Packed, len(seqs))
+	total := 0
+	for i, s := range seqs {
+		packed[i] = seq.Pack(s)
+		total += len(s)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	var sink Kmer
+	for i := 0; i < b.N; i++ {
+		for _, p := range packed {
+			it := NewPackedIterator(p, 25)
+			for {
+				m, _, ok := it.Next()
+				if !ok {
+					break
+				}
+				sink ^= m
+			}
+		}
+	}
+	_ = sink
+}

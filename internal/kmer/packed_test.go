@@ -1,0 +1,109 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+// randDNA draws a sequence over ACGTN with the given N probability (in
+// percent).
+func randDNA(rng *rand.Rand, n, nPct int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		if rng.Intn(100) < nPct {
+			s[i] = 'N'
+		} else {
+			s[i] = "ACGT"[rng.Intn(4)]
+		}
+	}
+	return s
+}
+
+// TestPackedIteratorDifferential pins the packed iterator to the ASCII
+// iterator: identical k-mer values, positions, and stream length across
+// lengths, k values, and N densities.
+func TestPackedIteratorDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 24, 25, 31, 32, 33, 64, 65, 200, 1000} {
+		for _, k := range []int{1, 2, 15, 25, 31} {
+			for _, nPct := range []int{0, 4, 35, 100} {
+				s := randDNA(rng, n, nPct)
+				ref := NewIterator(s, k)
+				got := NewPackedIterator(seq.Pack(s), k)
+				for step := 0; ; step++ {
+					wm, wp, wok := ref.Next()
+					gm, gp, gok := got.Next()
+					if wm != gm || wp != gp || wok != gok {
+						t.Fatalf("n=%d k=%d N%d%% step %d: packed (%v,%d,%v) vs ascii (%v,%d,%v)",
+							n, k, nPct, step, gm, gp, gok, wm, wp, wok)
+					}
+					if !wok {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedRangeIterator pins range iteration to iterating the decoded
+// sub-sequence with shifted positions.
+func TestPackedRangeIterator(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := randDNA(rng, 300, 6)
+	p := seq.Pack(s)
+	const k = 7
+	for trial := 0; trial < 400; trial++ {
+		i := rng.Intn(len(s) + 1)
+		j := i + rng.Intn(len(s)-i+1)
+		ref := NewIterator(s[i:j], k)
+		got := NewPackedRangeIterator(p, k, i, j)
+		for {
+			wm, wp, wok := ref.Next()
+			gm, gp, gok := got.Next()
+			if wok != gok || (wok && (wm != gm || wp+i != gp)) {
+				t.Fatalf("range [%d,%d): packed (%v,%d,%v) vs ascii (%v,%d,%v)",
+					i, j, gm, gp, gok, wm, wp+i, wok)
+			}
+			if !wok {
+				break
+			}
+		}
+	}
+}
+
+func TestPackedCountOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 5, 25, 100, 333} {
+		for _, nPct := range []int{0, 10, 100} {
+			s := randDNA(rng, n, nPct)
+			for _, k := range []int{1, 8, 25} {
+				if want, got := CountOf(s, k), PackedCountOf(seq.Pack(s), k); want != got {
+					t.Fatalf("CountOf(n=%d,k=%d,N%d%%): packed %d, ascii %d", n, k, nPct, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackedEncodeAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	s := randDNA(rng, 120, 8)
+	p := seq.Pack(s)
+	const k = 9
+	for pos := 0; pos+k <= len(s); pos++ {
+		want, wok := Encode(s[pos:], k)
+		got, gok := PackedEncodeAt(p, pos, k)
+		if wok != gok || (wok && want != got) {
+			t.Fatalf("EncodeAt(%d): packed (%v,%v) vs ascii (%v,%v)", pos, got, gok, want, wok)
+		}
+	}
+	if _, ok := PackedEncodeAt(p, len(s)-k+1, k); ok {
+		t.Fatal("EncodeAt past end accepted")
+	}
+	if _, ok := PackedEncodeAt(p, -1, k); ok {
+		t.Fatal("EncodeAt negative accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCorpus is a fixed read set shared by the packed benchmarks:
+// 2000 × 150bp with sparse Ns, the shape of a laptop-scale RNA-seq
+// slice.
+func benchCorpus() []Record {
+	rng := rand.New(rand.NewSource(99))
+	reads := make([]Record, 2000)
+	for i := range reads {
+		s := make([]byte, 150)
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		if i%20 == 0 {
+			s[rng.Intn(len(s))] = 'N'
+		}
+		reads[i] = Record{Seq: s}
+	}
+	return reads
+}
+
+// BenchmarkSeqPackedResidentBytes is the memory-ceiling pin of
+// BENCH_seq.json: it reports the resident bytes of the corpus in both
+// representations and their ratio. The packed form must stay ≥2×
+// smaller (it is ~4× minus the N-run sidecars).
+func BenchmarkSeqPackedResidentBytes(b *testing.B) {
+	reads := benchCorpus()
+	var packed []PackedRecord
+	for i := 0; i < b.N; i++ {
+		packed = PackRecords(reads)
+	}
+	ascii, resident := 0, 0
+	for i := range reads {
+		ascii += len(reads[i].Seq)
+	}
+	for i := range packed {
+		resident += packed[i].Seq.MemBytes()
+	}
+	b.ReportMetric(float64(ascii), "ascii-B")
+	b.ReportMetric(float64(resident), "packed-B")
+	b.ReportMetric(float64(ascii)/float64(resident), "ascii/packed")
+}
+
+// BenchmarkSeqPack measures the one-time ingest packing cost.
+func BenchmarkSeqPack(b *testing.B) {
+	reads := benchCorpus()
+	total := 0
+	for i := range reads {
+		total += len(reads[i].Seq)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reads {
+			Pack(reads[j].Seq)
+		}
+	}
+}
+
+// BenchmarkSeqRevCompASCII / BenchmarkSeqRevCompPacked compare the
+// byte-loop reverse complement against the word-wise packed kernel
+// over the same corpus.
+func BenchmarkSeqRevCompASCII(b *testing.B) {
+	reads := benchCorpus()
+	total := 0
+	for i := range reads {
+		total += len(reads[i].Seq)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reads {
+			ReverseComplementInPlace(reads[j].Seq)
+			ReverseComplementInPlace(reads[j].Seq) // restore
+		}
+	}
+}
+
+func BenchmarkSeqRevCompPacked(b *testing.B) {
+	packed := PackRecords(benchCorpus())
+	total := 0
+	for i := range packed {
+		total += packed[i].Seq.Len()
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range packed {
+			packed[j].Seq.ReverseComplementInPlace()
+			packed[j].Seq.ReverseComplementInPlace() // restore
+		}
+	}
+}
