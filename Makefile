@@ -81,11 +81,12 @@ bench-pipeline:
 	       END { printf("\n}\n") }' > $(BENCH_PIPELINE_JSON)
 	@cat $(BENCH_PIPELINE_JSON)
 
-# Sharded k-mer state snapshot: per-rank resident bytes and lookup
-# exchange bytes for the replicated vs ShardKmers GraphFromFasta at
-# ranks {1,4,16}, recorded as BENCH_shard.json so the memory-vs-bytes
-# trade shows up in review diffs. Same awk JSON conversion as
-# bench-chrysalis.
+# Sharded k-mer state snapshot: per-rank resident bytes, lookup
+# exchange bytes and the overlapped tile pipeline's hidden-fetch
+# fraction for the replicated vs ShardKmers GraphFromFasta and
+# ReadsToTranscripts at ranks {1,4,16}, recorded as BENCH_shard.json
+# so the memory-vs-bytes trade shows up in review diffs. Same awk JSON
+# conversion as bench-chrysalis.
 BENCH_SHARD_JSON ?= BENCH_shard.json
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardScaling' -benchtime 3x -timeout 30m . \
@@ -136,11 +137,13 @@ verify: build lint-ascii
 	$(GO) test -race ./...
 	$(GO) test -race ./internal/core/...
 	$(GO) test -race ./internal/shard/... ./internal/mpi/...
+	$(GO) test -race ./internal/chrysalis/...
 	$(GO) test -race ./internal/seq/... ./internal/dsk/...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStreaming' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkShardScaling' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSeq(PackedResidentBytes|RevComp)|BenchmarkKmerIter' -benchtime 1x ./internal/seq/ ./internal/kmer/
 
 clean:

@@ -177,8 +177,10 @@ func BenchmarkHeadlineSpeedups(b *testing.B) {
 
 // BenchmarkShardScaling records the ShardKmers memory-vs-traffic
 // trade at ranks {1,4,16}: per-rank resident k-mer bytes for the
-// replicated and sharded paths plus the addressed lookup-exchange
-// bytes, with output verified identical (see DESIGN.md §11).
+// replicated and sharded paths, the addressed lookup-exchange bytes,
+// the fraction of fetch wall-time the overlapped tile pipeline hid
+// under compute, and the same residency trade for the sharded R2T
+// bundle tables — with outputs verified identical (DESIGN.md §11/§13).
 func BenchmarkShardScaling(b *testing.B) {
 	l := lab(b)
 	for i := 0; i < b.N; i++ {
@@ -190,8 +192,12 @@ func BenchmarkShardScaling(b *testing.B) {
 			reportSpeedup(b, fmt.Sprintf("replicated_bytes_rank_r%d", r.Ranks), float64(r.ReplicatedBytes))
 			reportSpeedup(b, fmt.Sprintf("sharded_mean_bytes_rank_r%d", r.Ranks), float64(r.ShardedMeanBytes))
 			reportSpeedup(b, fmt.Sprintf("exchange_bytes_r%d", r.Ranks), float64(r.ExchangeBytes))
+			reportSpeedup(b, fmt.Sprintf("overlap_hidden_frac_r%d", r.Ranks), r.OverlapHiddenFrac)
+			reportSpeedup(b, fmt.Sprintf("r2t_sharded_mean_bytes_r%d", r.Ranks), float64(r.R2TShardedMeanBytes))
 		}
-		reportSpeedup(b, "resident_reduction_r16", rows[len(rows)-1].ResidentReduction)
+		last := rows[len(rows)-1]
+		reportSpeedup(b, "resident_reduction_r16", last.ResidentReduction)
+		reportSpeedup(b, "r2t_resident_reduction_r16", last.R2TReduction)
 	}
 }
 

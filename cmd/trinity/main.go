@@ -34,6 +34,8 @@ func main() {
 	k := flag.Int("k", 25, "k-mer length")
 	seed := flag.Int64("seed", 0, "run seed (perturbs weld harvest order)")
 	shardKmers := flag.Bool("shard-kmers", false, "partition Chrysalis k-mer lookup state across ranks (distributed hash table; byte-identical output)")
+	noOverlapFetch := flag.Bool("no-overlap-fetch", false, "with --shard-kmers, keep lookup rounds blocking instead of the double-buffered tile pipeline")
+	fetchTileChunks := flag.Int("fetch-tile-chunks", 0, "with --shard-kmers, chunks per overlapped lookup round (0 = default 8)")
 	asciiSeq := flag.Bool("ascii-seq", false, "keep sequences byte-per-base ASCII on the hot paths (default: 2-bit packed end-to-end; byte-identical output)")
 	external := flag.Bool("external", false, "external-memory mode: disk-partitioned k-mer counting (DSK) + packed-resident sequences for larger-than-RAM datasets")
 	externalBudget := flag.Int("external-budget-mb", 0, "advisory resident-memory budget for --external in MiB (0 = unbudgeted; reported, not enforced)")
@@ -79,8 +81,10 @@ func main() {
 		Ranks:          *nprocs,
 		ThreadsPerRank: *threads,
 		Seed:           *seed,
-		ShardKmers:     *shardKmers,
-		ASCIISeq:       *asciiSeq,
+		ShardKmers:      *shardKmers,
+		NoOverlapFetch:  *noOverlapFetch,
+		FetchTileChunks: *fetchTileChunks,
+		ASCIISeq:        *asciiSeq,
 		External: core.ExternalConfig{
 			Enabled:      *external,
 			MemoryBudget: int64(*externalBudget) << 20,

@@ -46,6 +46,20 @@ type GFFOptions struct {
 	// communication change, metered via GFFRankProfile.
 	ShardKmers bool
 
+	// OverlapFetch selects how a sharded run's lookup rounds interact
+	// with compute: the default pipelines them — the rank's chunks are
+	// cut into tiles and tile t+1's round is in flight over nonblocking
+	// sends while tile t computes (overlap.go) — while OverlapOff keeps
+	// the blocking barrier-stepped reference path. Results are
+	// byte-identical either way. Ignored without ShardKmers.
+	OverlapFetch OverlapMode
+
+	// FetchTileChunks is the tile granularity of the overlapped
+	// pipeline: how many of the rank's chunks share one lookup round
+	// (default 8). Smaller tiles overlap more fetch with compute but
+	// re-fetch more duplicate k-mers across tile boundaries.
+	FetchTileChunks int
+
 	// Packed runs the welding loops on 2-bit packed contigs
 	// (weld_packed.go): word-wise window compares, packed k-mer
 	// extraction, and packed welds on the wire. Results, work units,
@@ -125,7 +139,15 @@ func (o *GFFOptions) normalize() error {
 	if o.ShardKmers {
 		o.Packed = false
 	}
+	if o.FetchTileChunks <= 0 {
+		o.FetchTileChunks = 8
+	}
 	return nil
+}
+
+// overlapOn reports whether the run pipelines its sharded lookups.
+func (o *GFFOptions) overlapOn() bool {
+	return o.ShardKmers && o.OverlapFetch != OverlapOff
 }
 
 // Component is one cluster of welded Inchworm contigs — an "Inchworm
@@ -152,11 +174,18 @@ type GFFRankProfile struct {
 
 	// ResidentKmerBytes is the rank's peak resident k-mer lookup state:
 	// the full replicated tables, or — under ShardKmers — the rank's
-	// shards plus the partial replicas its loops queried.
+	// shards plus the partial replicas its loops queried (under an
+	// overlapped fetch, the largest single tile's replica).
 	ResidentKmerBytes int64
 	// ShardExchangeBytes counts the addressed bytes this rank moved
 	// through sharded lookup rounds (0 unless ShardKmers).
 	ShardExchangeBytes int64
+
+	// Overlap1/Overlap2 meter the overlapped fetch pipeline's tiles for
+	// the two welding loops (nil unless the run overlapped); the
+	// experiments layer replays them to estimate hidden fetch time.
+	Overlap1 []TileMeter
+	Overlap2 []TileMeter
 }
 
 // GFFResult is the full GraphFromFasta output.
@@ -379,20 +408,18 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		var lIx *contigKmerIndex // loop-1 lookup structures of this rank
 		var lPix *packedContigIndex
 		var lReads *jellyfish.Frozen
+		var myWelds []string
+		var peakTile int64 // largest per-tile partial replica (overlapped runs)
+		overlapped := opt.overlapOn()
+		myChunks := dist.RankChunks(rank)
+		tiles := 0
+		if overlapped {
+			tiles = tileCount(func(r int) int { return len(dist.RankChunks(r)) }, ranks, opt.FetchTileChunks)
+		}
 		if opt.ShardKmers {
 			srcOnce.Do(func() { source = buildGFFSource(seqs, opt.K, frozenReads) })
 			rs = newRankShards(source, ranks, rank, rep, opt.Trace)
 			rs.ensureLoop1(rank)
-			queries := collectQueryKmers(seqs, dist, rank, opt.K, true)
-			bodies, ferr := fetchShardAnswers(c, "graphfromfasta/loop1", rs, led1, queries, rs.answerLoop1, ro)
-			if ferr != nil {
-				return ferr
-			}
-			var berr error
-			lIx, lReads, berr = buildLoop1Cache(seqs, opt.K, queries, bodies)
-			if berr != nil {
-				return berr
-			}
 			prof.SetupUnits = float64(len(source.keys))
 		} else if opt.Packed {
 			lPix, lReads = fullPix(), frozenReads
@@ -402,11 +429,81 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			lIx, lReads = ix, frozenReads
 			prof.SetupUnits = float64(ix.buildOps)
 		}
+		if opt.ShardKmers && !overlapped {
+			queries := collectQueryKmers(seqs, dist, rank, opt.K, true)
+			bodies, ferr := fetchShardAnswers(c, "graphfromfasta/loop1", rep, opt.Trace, &rs.exchanged,
+				led1, queries, rs.answerLoop1, ro, false)
+			if ferr != nil {
+				return ferr
+			}
+			var berr error
+			lIx, lReads, berr = buildLoop1Cache(seqs, opt.K, queries, bodies)
+			if berr != nil {
+				return berr
+			}
+		}
 
 		// --- Loop 1: harvest welds over this rank's chunks, dividing
 		// each chunk across the logical OpenMP threads dynamically.
-		var myWelds []string
-		if active {
+		// Under an overlapped sharded run the fetch and the harvest fuse
+		// into the tile pipeline: tile t+1's lookup round is in flight
+		// while tile t's chunks weld on its just-built partial replica.
+		if overlapped {
+			var sc *weldScratch
+			if !active {
+				sc = weldScratchPool.Get().(*weldScratch)
+			}
+			f := &overlapFetcher{
+				c: c, stage: "graphfromfasta/loop1", rep: rep, rec: opt.Trace,
+				exchanged: &rs.exchanged, led: led1, ro: ro,
+				tagBase: overlapTagLoop1, tiles: tiles,
+				collect: func(t int) []kmer.Kmer {
+					return collectTileQueryKmers(seqs, dist, tileSlice(myChunks, opt.FetchTileChunks, t), opt.K, true)
+				},
+				answer: rs.answerLoop1,
+				compute: func(t int, queries []kmer.Kmer, bodies [][]byte) (float64, error) {
+					chunks := tileSlice(myChunks, opt.FetchTileChunks, t)
+					if len(chunks) == 0 {
+						return 0, nil
+					}
+					tIx, tReads, berr := buildLoop1Cache(seqs, opt.K, queries, bodies)
+					if berr != nil {
+						return 0, berr
+					}
+					if m := tReads.MemBytes() + tIx.memBytes(); m > peakTile {
+						peakTile = m
+					}
+					var units float64
+					for _, ch := range chunks {
+						if active {
+							c.Probe() // fault point: a rank can die between chunks
+							ws, chCosts, u := weldChunk(ch, tIx, nil, tReads)
+							store1.put(ch, ws, chCosts)
+							myWelds = append(myWelds, ws...)
+							units += u
+						} else {
+							lo, hi := dist.ChunkRange(ch)
+							for i := lo; i < hi; i++ {
+								rot := harvestRotation(opt.Seed, i, len(seqs[i]))
+								ws, u := harvestWelds(seqs[i], i, tIx, tReads, opt, rot, sc)
+								costs1[i] = u * opt.LoopOpWeight
+								units += costs1[i]
+								myWelds = append(myWelds, ws...)
+							}
+						}
+					}
+					return units, nil
+				},
+			}
+			meters, ferr := f.run()
+			prof.Overlap1 = meters
+			if sc != nil {
+				weldScratchPool.Put(sc)
+			}
+			if ferr != nil {
+				return ferr
+			}
+		} else if active {
 			for _, ch := range dist.RankChunks(rank) {
 				c.Probe() // fault point: a rank can die between chunks
 				ws, chCosts, _ := weldChunk(ch, lIx, lPix, lReads)
@@ -507,15 +604,18 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		if opt.ShardKmers {
 			rs.pooled = pooled
 			rs.ensureLoop2(rank)
-			queries := collectQueryKmers(seqs, dist, rank, opt.K, false)
-			bodies, ferr := fetchShardAnswers(c, "graphfromfasta/loop2", rs, led2, queries, rs.answerLoop2, ro)
-			if ferr != nil {
-				return ferr
-			}
-			var berr error
-			lWidx, berr = buildLoop2Cache(pooled, opt.K, queries, bodies)
-			if berr != nil {
-				return berr
+			if !overlapped {
+				queries := collectQueryKmers(seqs, dist, rank, opt.K, false)
+				bodies, ferr := fetchShardAnswers(c, "graphfromfasta/loop2", rep, opt.Trace, &rs.exchanged,
+					led2, queries, rs.answerLoop2, ro, false)
+				if ferr != nil {
+					return ferr
+				}
+				var berr error
+				lWidx, berr = buildLoop2Cache(pooled, opt.K, queries, bodies)
+				if berr != nil {
+					return berr
+				}
 			}
 		} else if opt.Packed {
 			lPwidx = fullPwidx()
@@ -525,9 +625,67 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 		prof.MidUnits = float64(len(pooled)) * 2 // core + rc-core hash inserts
 
 		// --- Loop 2: find (weld, contig) incidences over this rank's
-		// chunks with the same chunked round-robin distribution.
+		// chunks with the same chunked round-robin distribution. The
+		// overlapped run pipelines its weld-index fetches exactly like
+		// loop 1, on the loop-2 tag range.
 		var myPairs []int64
-		if active {
+		if overlapped {
+			var sc *weldScratch
+			if !active {
+				sc = weldScratchPool.Get().(*weldScratch)
+			}
+			f := &overlapFetcher{
+				c: c, stage: "graphfromfasta/loop2", rep: rep, rec: opt.Trace,
+				exchanged: &rs.exchanged, led: led2, ro: ro,
+				tagBase: overlapTagLoop2, tiles: tiles,
+				collect: func(t int) []kmer.Kmer {
+					return collectTileQueryKmers(seqs, dist, tileSlice(myChunks, opt.FetchTileChunks, t), opt.K, false)
+				},
+				answer: rs.answerLoop2,
+				compute: func(t int, queries []kmer.Kmer, bodies [][]byte) (float64, error) {
+					chunks := tileSlice(myChunks, opt.FetchTileChunks, t)
+					if len(chunks) == 0 {
+						return 0, nil
+					}
+					tWidx, berr := buildLoop2Cache(pooled, opt.K, queries, bodies)
+					if berr != nil {
+						return 0, berr
+					}
+					if m := tWidx.memBytes(); m > peakTile {
+						peakTile = m
+					}
+					var units float64
+					for _, ch := range chunks {
+						if active {
+							c.Probe()
+							encs, chCosts, u := pairChunk(ch, tWidx, nil)
+							store2.put(ch, encs, chCosts)
+							myPairs = append(myPairs, encs...)
+							units += u
+						} else {
+							lo, hi := dist.ChunkRange(ch)
+							for i := lo; i < hi; i++ {
+								pairs, u := scanContigForWelds(seqs[i], i, tWidx, sc)
+								costs2[i] = u * opt.LoopOpWeight
+								units += costs2[i]
+								for _, p := range pairs {
+									myPairs = append(myPairs, int64(p[0])<<32|int64(uint32(p[1])))
+								}
+							}
+						}
+					}
+					return units, nil
+				},
+			}
+			meters, ferr := f.run()
+			prof.Overlap2 = meters
+			if sc != nil {
+				weldScratchPool.Put(sc)
+			}
+			if ferr != nil {
+				return ferr
+			}
+		} else if active {
 			for _, ch := range dist.RankChunks(rank) {
 				c.Probe()
 				encs, chCosts, _ := pairChunk(ch, lWidx, lPwidx)
@@ -633,7 +791,11 @@ func GraphFromFasta(contigs []seq.Record, readKmers *jellyfish.CountTable,
 			comps = append(comps, Component{ID: len(comps), Contigs: g})
 		}
 		prof.OutputUnits = float64(total) + float64(len(contigs))
-		if opt.Packed {
+		if overlapped {
+			// Tile replicas are transient — only the largest one was ever
+			// resident at once.
+			prof.ResidentKmerBytes = peakTile
+		} else if opt.Packed {
 			prof.ResidentKmerBytes = lReads.MemBytes() + lPix.memBytes() + lPwidx.memBytes()
 		} else {
 			prof.ResidentKmerBytes = lReads.MemBytes() + lIx.memBytes() + lWidx.memBytes()
@@ -719,6 +881,27 @@ func traceGFF(opt GFFOptions, dist Distribution, profiles []GFFRankProfile,
 			rec.Observe("gff_shard_resident_bytes", float64(profiles[rank].ResidentKmerBytes))
 			rec.Observe("gff_shard_exchange_bytes", float64(profiles[rank].ShardExchangeBytes))
 		}
+	}
+	// Overlap lanes: the modelled double-buffered schedule of each
+	// rank's tile pipeline, in its own category so the phase spans
+	// above are untouched. Gated on the meters, so blocking-path traces
+	// are byte-identical to earlier versions.
+	for rank := range profiles {
+		p := &profiles[rank]
+		if len(p.Overlap1) == 0 {
+			continue
+		}
+		lane := func(meters []TileMeter) (fetch, comp []float64) {
+			for _, m := range meters {
+				fetch = append(fetch, rec.CommSeconds(m.Fetch))
+				comp = append(comp, rec.WorkSeconds(m.ComputeUnits/float64(opt.ThreadsPerRank)))
+			}
+			return fetch, comp
+		}
+		f1, c1 := lane(p.Overlap1)
+		cur := rec.OverlapLanes("gff-overlap", "loop1", rank, base, f1, c1)
+		f2, c2 := lane(p.Overlap2)
+		rec.OverlapLanes("gff-overlap", "loop2", rank, cur, f2, c2)
 	}
 	rec.AdvanceBase()
 }

@@ -1,0 +1,244 @@
+package chrysalis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gotrinity/internal/mpi"
+)
+
+// Determinism battery for the overlapped fetch pipeline (ISSUE 9
+// satellite): tile sizes × rank counts × clean and faulted seeds, each
+// compared against the blocking sharded reference AND the replicated
+// baseline. The pipeline reorders only the arrival of answers, so any
+// divergence is a bug in the overlap layer, not the workload.
+
+var overlapTileSizes = []int{1, 8, 64}
+
+// TestGFFOverlapDeterminismBattery: clean runs over every tile size and
+// rank count. Ranks whose chunk lists are shorter than others' (16
+// ranks over 20 chunks) exercise the empty-tile padding.
+func TestGFFOverlapDeterminismBattery(t *testing.T) {
+	sc := buildFaultScenario(t)
+	for _, ranks := range []int{1, 4, 16} {
+		baseline := runGFF(t, sc, ranks, gffOpts(sc))
+		blocking := func() GFFOptions {
+			opt := gffOpts(sc)
+			opt.ShardKmers = true
+			opt.OverlapFetch = OverlapOff
+			return opt
+		}()
+		ref := runGFF(t, sc, ranks, blocking)
+		sameGFF(t, "blocking-vs-replicated", ref, baseline)
+		for _, tile := range overlapTileSizes {
+			opt := gffOpts(sc)
+			opt.ShardKmers = true
+			opt.OverlapFetch = OverlapOn
+			opt.FetchTileChunks = tile
+			res := runGFF(t, sc, ranks, opt)
+			sameGFF(t, "overlap-vs-replicated", res, baseline)
+			sameGFF(t, "overlap-vs-blocking", res, ref)
+			for r, p := range res.Profiles {
+				if len(p.Overlap1) == 0 || len(p.Overlap2) == 0 {
+					t.Errorf("ranks=%d tile=%d rank=%d: overlap meters missing (%d, %d tiles)",
+						ranks, tile, r, len(p.Overlap1), len(p.Overlap2))
+				}
+				for _, m := range append(append([]TileMeter{}, p.Overlap1...), p.Overlap2...) {
+					if m.Deferred {
+						t.Errorf("ranks=%d tile=%d rank=%d: clean run deferred a tile", ranks, tile, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGFFOverlapFaultedBattery: seeded one-rank kill plans over the
+// overlapped pipeline — deaths landing on the nonblocking tile ops must
+// defer through the cleanup pass and still match the fault-free
+// replicated baseline.
+func TestGFFOverlapFaultedBattery(t *testing.T) {
+	sc := buildFaultScenario(t)
+	for _, ranks := range []int{4, 16} {
+		baseline := runGFF(t, sc, ranks, gffOpts(sc))
+		for _, tile := range []int{1, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				guard(t, 60*time.Second, func() {
+					opt := gffOpts(sc)
+					opt.ShardKmers = true
+					opt.OverlapFetch = OverlapOn
+					opt.FetchTileChunks = tile
+					opt.Faults = mpi.RandomKillPlan(seed, ranks, 1, 12)
+					res := runGFF(t, sc, ranks, opt)
+					sameGFF(t, "overlap faulted", res, baseline)
+					if res.Recovery == nil || len(res.Recovery.DeadRanks) != 1 {
+						t.Errorf("ranks=%d tile=%d seed=%d: recovery report %+v, want one dead rank",
+							ranks, tile, seed, res.Recovery)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestR2TOverlapDeterminismBattery mirrors the GFF battery for the
+// sharded ReadsToTranscripts bundle tables: blocking sharded and every
+// overlapped tile size must reproduce the replicated assignments.
+func TestR2TOverlapDeterminismBattery(t *testing.T) {
+	sc := buildFaultScenario(t)
+	gff := runGFF(t, sc, 4, gffOpts(sc))
+	for _, ranks := range []int{1, 4, 16} {
+		baseline := runR2T(t, sc, gff.Components, ranks, r2tOpts(sc))
+		if len(baseline.Assignments) == 0 {
+			t.Fatal("baseline assigned no reads")
+		}
+		blocking := r2tOpts(sc)
+		blocking.ShardKmers = true
+		blocking.OverlapFetch = OverlapOff
+		ref := runR2T(t, sc, gff.Components, ranks, blocking)
+		if !reflect.DeepEqual(ref.Assignments, baseline.Assignments) {
+			t.Errorf("ranks=%d: blocking sharded assignments differ from replicated", ranks)
+		}
+		full := baseline.Profiles[0].ResidentKmerBytes
+		if full <= 0 {
+			t.Fatalf("ranks=%d: replicated resident = %d", ranks, full)
+		}
+		for _, tile := range overlapTileSizes {
+			opt := r2tOpts(sc)
+			opt.ShardKmers = true
+			opt.OverlapFetch = OverlapOn
+			opt.FetchTileChunks = tile
+			res := runR2T(t, sc, gff.Components, ranks, opt)
+			if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+				t.Errorf("ranks=%d tile=%d: overlapped assignments differ from replicated", ranks, tile)
+			}
+			for r, p := range res.Profiles {
+				if len(p.Overlap) == 0 {
+					t.Errorf("ranks=%d tile=%d rank=%d: no overlap meters", ranks, tile, r)
+				}
+				// The sharded rank holds its ~1/R shard plus one transient
+				// tile replica; from 4 ranks up that must undercut the
+				// replicated full table.
+				if ranks >= 4 && p.ResidentKmerBytes >= full {
+					t.Errorf("ranks=%d tile=%d rank=%d: sharded resident %d >= replicated %d",
+						ranks, tile, r, p.ResidentKmerBytes, full)
+				}
+				if ranks > 1 && p.ShardExchangeBytes == 0 {
+					t.Errorf("ranks=%d tile=%d rank=%d: no exchange bytes metered", ranks, tile, r)
+				}
+			}
+		}
+	}
+}
+
+// TestR2TOverlapFaultedBattery: seeded kills over the overlapped
+// sharded R2T path.
+func TestR2TOverlapFaultedBattery(t *testing.T) {
+	sc := buildFaultScenario(t)
+	gff := runGFF(t, sc, 4, gffOpts(sc))
+	for _, ranks := range []int{4, 16} {
+		baseline := runR2T(t, sc, gff.Components, ranks, r2tOpts(sc))
+		for _, tile := range []int{1, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				guard(t, 60*time.Second, func() {
+					opt := r2tOpts(sc)
+					opt.ShardKmers = true
+					opt.OverlapFetch = OverlapOn
+					opt.FetchTileChunks = tile
+					opt.Faults = mpi.RandomKillPlan(seed, ranks, 1, 12)
+					res := runR2T(t, sc, gff.Components, ranks, opt)
+					if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+						t.Errorf("ranks=%d tile=%d seed=%d: assignments differ from fault-free baseline",
+							ranks, tile, seed)
+					}
+					if res.Recovery == nil || len(res.Recovery.DeadRanks) != 1 {
+						t.Errorf("ranks=%d tile=%d seed=%d: recovery report %+v, want one dead rank",
+							ranks, tile, seed, res.Recovery)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestR2TShardKmersBlockingFaults re-runs the R2T fault table over the
+// blocking sharded path (fault call indices are keyed to its op
+// sequence, so OverlapOff).
+func TestR2TShardKmersBlockingFaults(t *testing.T) {
+	sc := buildFaultScenario(t)
+	const ranks = 4
+	gff := runGFF(t, sc, ranks, gffOpts(sc))
+	baseline := runR2T(t, sc, gff.Components, ranks, r2tOpts(sc))
+	for _, tc := range []struct {
+		name string
+		plan *mpi.FaultPlan
+	}{
+		{"kill at first fetch agreement",
+			mpi.NewFaultPlan(mpi.Fault{Kind: mpi.FaultKill, Rank: 1, AtCall: 0})},
+		{"kill mid fetch round",
+			mpi.NewFaultPlan(mpi.Fault{Kind: mpi.FaultKill, Rank: 2, AtCall: 1})},
+		{"kill after fetch",
+			mpi.NewFaultPlan(mpi.Fault{Kind: mpi.FaultKill, Rank: 3, AtCall: 6})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			guard(t, 30*time.Second, func() {
+				opt := r2tOpts(sc)
+				opt.ShardKmers = true
+				opt.OverlapFetch = OverlapOff
+				opt.Faults = tc.plan
+				res := runR2T(t, sc, gff.Components, ranks, opt)
+				if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+					t.Errorf("assignments differ from fault-free baseline")
+				}
+				if res.Recovery == nil {
+					t.Fatal("no recovery report")
+				}
+			})
+		})
+	}
+}
+
+// TestTileHelpers pins the tile arithmetic the pipeline's world-wide
+// alignment depends on.
+func TestTileHelpers(t *testing.T) {
+	n := func(counts ...int) func(int) int { return func(r int) int { return counts[r] } }
+	if got := tileCount(n(0, 0), 2, 8); got != 1 {
+		t.Errorf("tileCount all-empty = %d, want 1", got)
+	}
+	if got := tileCount(n(3, 17, 8), 3, 8); got != 3 {
+		t.Errorf("tileCount = %d, want 3 (ceil(17/8))", got)
+	}
+	chunks := []int{2, 5, 8, 11}
+	if got := tileSlice(chunks, 3, 0); !reflect.DeepEqual(got, []int{2, 5, 8}) {
+		t.Errorf("tile 0 = %v", got)
+	}
+	if got := tileSlice(chunks, 3, 1); !reflect.DeepEqual(got, []int{11}) {
+		t.Errorf("tile 1 = %v", got)
+	}
+	if got := tileSlice(chunks, 3, 2); got != nil {
+		t.Errorf("tile 2 = %v, want nil", got)
+	}
+}
+
+// TestOverlapHiddenSeconds pins the hidden-fetch model: tile 0 is
+// always exposed, later fetches hide up to the previous tile's compute,
+// and deferred tiles hide nothing.
+func TestOverlapHiddenSeconds(t *testing.T) {
+	comm := func(s mpi.Stats) float64 { return float64(s.BytesSent) }
+	work := func(u float64) float64 { return u }
+	meters := []TileMeter{
+		{Fetch: mpi.Stats{BytesSent: 10}, ComputeUnits: 8},
+		{Fetch: mpi.Stats{BytesSent: 6}, ComputeUnits: 100, Deferred: true},
+		{Fetch: mpi.Stats{BytesSent: 9}, ComputeUnits: 1},
+	}
+	hidden, total := OverlapHiddenSeconds(meters, comm, work)
+	if total != 25 {
+		t.Errorf("total = %v, want 25", total)
+	}
+	// Tile 1's fetch (6) hides under tile 0's compute (8) → min = 6.
+	// Tile 2 follows a deferred tile → exposed.
+	if hidden != 6 {
+		t.Errorf("hidden = %v, want 6", hidden)
+	}
+}

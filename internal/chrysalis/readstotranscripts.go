@@ -52,8 +52,30 @@ type R2TOptions struct {
 	// instead of the redundant-streaming scheme that replaced it
 	// because the master became a bottleneck (§III-C). Kept for the
 	// ablation benchmarks; results are identical, only the metered
-	// communication and streaming costs change.
+	// communication and streaming costs change. Forced off under
+	// ShardKmers (the shard rounds assume the redundant-streaming
+	// scheme where every rank holds the read set).
 	MasterDistribute bool
+
+	// ShardKmers partitions the k-mer→bundle table across the ranks by
+	// kmer.OwnerRank instead of replicating it on every rank: each rank
+	// holds ~1/ranks of the table and fetches the owners of the k-mers
+	// its kept chunks' reads will probe in batched shard lookup rounds
+	// (r2t_sharded.go). Assignments are byte-identical to the
+	// replicated path — only per-rank memory and communication change,
+	// metered via R2TRankProfile.
+	ShardKmers bool
+
+	// OverlapFetch selects how a sharded run's lookup rounds interact
+	// with compute, exactly as in GFFOptions: the default pipelines
+	// tiles of kept chunks with one round of lookahead; OverlapOff
+	// keeps the blocking barrier-stepped reference. Ignored without
+	// ShardKmers.
+	OverlapFetch OverlapMode
+
+	// FetchTileChunks is the tile granularity of the overlapped
+	// pipeline — kept chunks per lookup round (default 8).
+	FetchTileChunks int
 
 	// Faults injects a deterministic failure schedule into the run's
 	// MPI world (see mpi.FaultPlan). A non-nil plan implies the
@@ -93,6 +115,12 @@ func (o *R2TOptions) normalize() error {
 	if o.Replicas <= 0 {
 		o.Replicas = 1
 	}
+	if o.ShardKmers {
+		o.MasterDistribute = false
+	}
+	if o.FetchTileChunks <= 0 {
+		o.FetchTileChunks = 8
+	}
 	return nil
 }
 
@@ -113,6 +141,18 @@ type R2TRankProfile struct {
 	Comm          mpi.Stats // gather of per-rank outputs
 	Chunks        int       // chunks this rank kept
 	Assigned      int       // reads this rank assigned
+
+	// ResidentKmerBytes is the rank's peak resident k-mer→bundle state:
+	// the full replicated table, or — under ShardKmers — the rank's
+	// shards plus the partial table its kept chunks queried (under an
+	// overlapped fetch, the largest single tile's).
+	ResidentKmerBytes int64
+	// ShardExchangeBytes counts the addressed bytes this rank moved
+	// through shard lookup rounds (0 unless ShardKmers).
+	ShardExchangeBytes int64
+	// Overlap meters the overlapped fetch pipeline's tiles (nil unless
+	// the run overlapped).
+	Overlap []TileMeter
 }
 
 // R2TResult is the full ReadsToTranscripts output.
@@ -292,9 +332,21 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 
 	// Every rank builds the identical read-only k-mer→bundle table on a
 	// real cluster; here it is built once and shared while each rank is
-	// charged its full (thread-divided) cost.
+	// charged its full (thread-divided) cost. Under ShardKmers the full
+	// table is built lazily — only if chunk recovery must recompute a
+	// foreign chunk whose k-mers the local partial table never queried.
 	var tableOnce sync.Once
 	var table *bundleKmerTable
+	fullTable := func() *bundleKmerTable {
+		tableOnce.Do(func() {
+			if opt.Packed {
+				table = buildBundleKmerTablePacked(contigs, opt.PackedContigs, comps, opt.K)
+			} else {
+				table = buildBundleKmerTable(contigs, comps, opt.K)
+			}
+		})
+		return table
+	}
 	// Per-read assignment costs, written by the owning rank and read by
 	// every rank (after a barrier) for the replicated timing replay.
 	// The fault layer keeps costs in the checkpoint store instead, so
@@ -311,23 +363,69 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		return lo, hi
 	}
 
+	// Sharded-table shared state: the source every shard is rebuilt from
+	// (stands in for the contig set on the shared filesystem) and the
+	// world-shared fetch completion ledger.
+	var r2tSrcOnce sync.Once
+	var r2tSrc *r2tSource
+	var r2tLed *fetchLedger
+	if opt.ShardKmers {
+		r2tLed = newFetchLedger(ranks)
+	}
+	// keptChunks lists the chunks rank r keeps under the redundant
+	// streaming scheme (ordinal congruent to the rank).
+	keptChunks := func(r int) []int {
+		var out []int
+		for ch := r; ch < nChunks; ch += ranks {
+			out = append(out, ch)
+		}
+		return out
+	}
+	// iterateRead emits read i's forward k-mers and their reverse
+	// complements — exactly the probes both strands of the assignment
+	// tally make (the RC read's valid windows mirror the forward ones).
+	iterateRead := func(i int, add func(kmer.Kmer)) {
+		if opt.Packed {
+			it := kmer.NewPackedIterator(preads[i].Seq, opt.K)
+			for {
+				m, _, ok := it.Next()
+				if !ok {
+					return
+				}
+				add(m)
+				add(m.ReverseComplement(opt.K))
+			}
+		}
+		it := kmer.NewIterator(reads[i].Seq, opt.K)
+		for {
+			m, _, ok := it.Next()
+			if !ok {
+				return
+			}
+			add(m)
+			add(m.ReverseComplement(opt.K))
+		}
+	}
+
 	var store *chunkStore[Assignment] // checkpointed assignments per chunk
 	rep := &recReport{}
 	if active {
 		store = newChunkStore[Assignment](nChunks)
 	}
 
-	// assignChunk computes one chunk's assignments — the checkpoint
-	// unit of the recovery layer. Every rank holds the full read set
-	// (the redundant-streaming scheme), so any rank can recompute any
-	// chunk.
-	assignChunk := func(ch int) (asg []Assignment, chCosts []float64, units float64) {
+	// assignChunk computes one chunk's assignments against the given
+	// table — the checkpoint unit of the recovery layer. Every rank
+	// holds the full read set (the redundant-streaming scheme), so any
+	// rank can recompute any chunk; recovery recomputes run against the
+	// full table (a foreign chunk's reads probe k-mers a sharded rank's
+	// partial table never fetched).
+	assignChunk := func(ch int, t *bundleKmerTable) (asg []Assignment, chCosts []float64, units float64) {
 		sc := assignScratchPool.Get().(*assignScratch)
 		defer assignScratchPool.Put(sc)
 		lo, hi := chunkRange(ch)
 		chCosts = make([]float64, hi-lo)
 		for i := lo; i < hi; i++ {
-			comp, matches, u := assign(i, sc, table)
+			comp, matches, u := assign(i, sc, t)
 			chCosts[i-lo] = u * opt.LoopOpWeight
 			units += chCosts[i-lo]
 			if comp >= 0 {
@@ -355,70 +453,165 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 		// OpenMP-enabled k-mer→bundle assignment, replicated on every
 		// rank ("we have not converted this to a hybrid implementation
 		// yet", §V-B) — its cost divides across a node's threads but
-		// not across ranks.
-		tableOnce.Do(func() {
-			if opt.Packed {
-				table = buildBundleKmerTablePacked(contigs, opt.PackedContigs, comps, opt.K)
-			} else {
-				table = buildBundleKmerTable(contigs, comps, opt.K)
+		// not across ranks. Under ShardKmers the rank instead builds
+		// only its shard and fetches the k-mers its kept chunks will
+		// probe through shard lookup rounds — blocking, or the
+		// overlapped tile pipeline; the scan of the shared contig set
+		// is still charged in full.
+		overlapped := opt.ShardKmers && opt.OverlapFetch != OverlapOff
+		var srs *r2tShards
+		var myTable *bundleKmerTable
+		var peakTile int64
+		myKept := keptChunks(rank)
+		if opt.ShardKmers {
+			r2tSrcOnce.Do(func() {
+				r2tSrc = buildR2TSource(contigs, opt.PackedContigs, comps, opt.K, opt.Packed)
+			})
+			srs = newR2TShards(r2tSrc, ranks, rank, rep, opt.Trace)
+			srs.ensure(rank)
+			prof.SetupUnits = float64(len(r2tSrc.keys)) / float64(opt.ThreadsPerRank)
+		} else {
+			myTable = fullTable()
+			prof.SetupUnits = float64(myTable.ops) / float64(opt.ThreadsPerRank)
+		}
+		if opt.ShardKmers && !overlapped {
+			// Blocking reference: fetch every k-mer the kept chunks will
+			// probe in barrier-stepped rounds, then compute on the partial
+			// replica.
+			queries := collectR2TQueryKmers(myKept, chunkRange, iterateRead)
+			bodies, ferr := fetchShardAnswers(c, "readstotranscripts/table", rep, opt.Trace,
+				&srs.exchanged, r2tLed, queries, srs.answer, ro, false)
+			if ferr != nil {
+				return ferr
 			}
-		})
-		prof.SetupUnits = float64(table.ops) / float64(opt.ThreadsPerRank)
+			var berr error
+			myTable, berr = buildR2TCache(opt.K, r2tSrc.ncomp, queries, bodies)
+			if berr != nil {
+				return berr
+			}
+		}
 
-		commStart := c.Stats
+		var commStart mpi.Stats
 		var mine []Assignment
-		for chunk := 0; chunk < nChunks; chunk++ {
-			lo, hi := chunkRange(chunk)
-			owner := chunk % ranks
-			if opt.MasterDistribute && ranks > 1 {
-				// Paper's first strategy: rank 0 reads the chunk and
-				// ships it to the owner; the owner receives it. The
-				// payload is real read bytes so the comm meter sees the
-				// true volume.
-				if rank == 0 {
-					for i := lo; i < hi; i++ {
-						prof.StreamUnits += float64(readLen(i))
+		if overlapped {
+			// Double-buffered tile pipeline: tile t+1's lookup round is in
+			// flight while tile t's chunks assign on its partial replica.
+			tiles := tileCount(func(r int) int { return len(keptChunks(r)) }, ranks, opt.FetchTileChunks)
+			var sc *assignScratch
+			if !active {
+				sc = assignScratchPool.Get().(*assignScratch)
+			}
+			f := &overlapFetcher{
+				c: c, stage: "readstotranscripts/table", rep: rep, rec: opt.Trace,
+				exchanged: &srs.exchanged, led: r2tLed, ro: ro,
+				tagBase: overlapTagR2T, tiles: tiles,
+				collect: func(t int) []kmer.Kmer {
+					return collectR2TQueryKmers(tileSlice(myKept, opt.FetchTileChunks, t),
+						chunkRange, iterateRead)
+				},
+				answer: srs.answer,
+				compute: func(t int, queries []kmer.Kmer, bodies [][]byte) (float64, error) {
+					chunks := tileSlice(myKept, opt.FetchTileChunks, t)
+					if len(chunks) == 0 {
+						return 0, nil
 					}
-					if owner != 0 {
-						if opt.Packed {
-							c.Send(owner, chunk, packedStreamPayload(preads[lo:hi]))
+					tTable, berr := buildR2TCache(opt.K, r2tSrc.ncomp, queries, bodies)
+					if berr != nil {
+						return 0, berr
+					}
+					if m := tTable.memBytes(); m > peakTile {
+						peakTile = m
+					}
+					var units float64
+					for _, ch := range chunks {
+						prof.Chunks++
+						if active {
+							c.Probe() // fault point: a rank can die between chunks
+							asg, chCosts, u := assignChunk(ch, tTable)
+							store.put(ch, asg, chCosts)
+							mine = append(mine, asg...)
+							units += u
 						} else {
-							c.Send(owner, chunk, packReads(reads[lo:hi]))
+							lo, hi := chunkRange(ch)
+							for i := lo; i < hi; i++ {
+								comp, matches, u := assign(i, sc, tTable)
+								readCosts[i] = u * opt.LoopOpWeight
+								units += readCosts[i]
+								if comp >= 0 {
+									mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
+								}
+							}
 						}
 					}
-				} else if owner == rank {
-					if active {
-						// A dead master cannot ship the chunk; tolerable,
-						// because every rank holds the read set anyway.
-						c.TryRecv(0, chunk, 0) //nolint:errcheck
-					} else {
-						c.Recv(0, chunk)
-					}
-				}
+					return units, nil
+				},
 			}
-			if owner != rank {
-				// "the MPI process simply discards the uploaded input
-				// reads" — charged as streaming I/O in the replay below.
-				continue
-			}
-			prof.Chunks++
-			// The kept chunk's reads are distributed over the OpenMP
-			// threads.
-			if active {
-				c.Probe() // fault point: a rank can die between chunks
-				asg, chCosts, _ := assignChunk(chunk)
-				store.put(chunk, asg, chCosts)
-				mine = append(mine, asg...)
-			} else {
-				sc := assignScratchPool.Get().(*assignScratch)
-				for i := lo; i < hi; i++ {
-					comp, matches, units := assign(i, sc, table)
-					readCosts[i] = units * opt.LoopOpWeight
-					if comp >= 0 {
-						mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
-					}
-				}
+			meters, ferr := f.run()
+			prof.Overlap = meters
+			if sc != nil {
 				assignScratchPool.Put(sc)
+			}
+			if ferr != nil {
+				return ferr
+			}
+			// The pipeline's traffic is metered per tile; the gather meter
+			// below starts after it.
+			commStart = c.Stats
+		} else {
+			commStart = c.Stats
+			for chunk := 0; chunk < nChunks; chunk++ {
+				lo, hi := chunkRange(chunk)
+				owner := chunk % ranks
+				if opt.MasterDistribute && ranks > 1 {
+					// Paper's first strategy: rank 0 reads the chunk and
+					// ships it to the owner; the owner receives it. The
+					// payload is real read bytes so the comm meter sees the
+					// true volume.
+					if rank == 0 {
+						for i := lo; i < hi; i++ {
+							prof.StreamUnits += float64(readLen(i))
+						}
+						if owner != 0 {
+							if opt.Packed {
+								c.Send(owner, chunk, packedStreamPayload(preads[lo:hi]))
+							} else {
+								c.Send(owner, chunk, packReads(reads[lo:hi]))
+							}
+						}
+					} else if owner == rank {
+						if active {
+							// A dead master cannot ship the chunk; tolerable,
+							// because every rank holds the read set anyway.
+							c.TryRecv(0, chunk, 0) //nolint:errcheck
+						} else {
+							c.Recv(0, chunk)
+						}
+					}
+				}
+				if owner != rank {
+					// "the MPI process simply discards the uploaded input
+					// reads" — charged as streaming I/O in the replay below.
+					continue
+				}
+				prof.Chunks++
+				// The kept chunk's reads are distributed over the OpenMP
+				// threads.
+				if active {
+					c.Probe() // fault point: a rank can die between chunks
+					asg, chCosts, _ := assignChunk(chunk, myTable)
+					store.put(chunk, asg, chCosts)
+					mine = append(mine, asg...)
+				} else {
+					sc := assignScratchPool.Get().(*assignScratch)
+					for i := lo; i < hi; i++ {
+						comp, matches, units := assign(i, sc, myTable)
+						readCosts[i] = units * opt.LoopOpWeight
+						if comp >= 0 {
+							mine = append(mine, Assignment{Read: int32(i), Component: comp, Matches: matches})
+						}
+					}
+					assignScratchPool.Put(sc)
+				}
 			}
 		}
 		lookupCost := func(i int) float64 { return readCosts[i] }
@@ -426,7 +619,7 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 			c.TryBarrier() //nolint:errcheck — dead ranks are recovered below
 			if err := recoverChunks(c, "readstotranscripts", ro, rep, opt.Trace, store.missing,
 				func(ch int) ([]byte, float64) {
-					asg, chCosts, units := assignChunk(ch)
+					asg, chCosts, units := assignChunk(ch, fullTable())
 					store.put(ch, asg, chCosts)
 					return encodeAssignments(asg), units
 				}); err != nil {
@@ -451,6 +644,20 @@ func ReadsToTranscripts(reads []seq.Record, contigs []seq.Record, comps []Compon
 			prof.StreamUnits = stream
 		}
 		prof.Assigned = len(mine)
+		if opt.ShardKmers {
+			// Peak resident table state: the shard store plus the partial
+			// replica — the full kept-chunk cache on the blocking path, the
+			// largest single tile's under the overlapped pipeline (tile
+			// replicas are transient).
+			partial := peakTile
+			if myTable != nil {
+				partial = myTable.memBytes()
+			}
+			prof.ResidentKmerBytes = partial + srs.residentBytes()
+			prof.ShardExchangeBytes = srs.exchanged
+		} else {
+			prof.ResidentKmerBytes = myTable.memBytes()
+		}
 
 		// Gather per-rank output files at root; root concatenates
 		// ("a simple cat command", §III-C). Under the fault layer the
@@ -550,6 +757,24 @@ func traceR2T(opt R2TOptions, ranks, nChunks int, chunkRange func(ch int) (lo, h
 			rec.Span("readstotranscripts", ph.name, rank, cursor[rank], ph.dur, ph.arg)
 			cursor[rank] += ph.dur
 		}
+		if p.ResidentKmerBytes > 0 && opt.ShardKmers {
+			rec.Observe("r2t_shard_resident_bytes", float64(p.ResidentKmerBytes))
+			rec.Observe("r2t_shard_exchange_bytes", float64(p.ShardExchangeBytes))
+		}
+	}
+	// Overlapped runs additionally get the pipeline's fetch/compute
+	// lanes in their own category, so blocking traces stay byte-stable.
+	for rank := range profiles {
+		p := &profiles[rank]
+		if len(p.Overlap) == 0 {
+			continue
+		}
+		var fetch, comp []float64
+		for _, m := range p.Overlap {
+			fetch = append(fetch, rec.CommSeconds(m.Fetch))
+			comp = append(comp, rec.WorkSeconds(m.ComputeUnits/float64(opt.ThreadsPerRank)))
+		}
+		rec.OverlapLanes("r2t-overlap", "assign", rank, base, fetch, comp)
 	}
 	rec.AdvanceBase()
 }

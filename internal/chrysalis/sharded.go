@@ -342,9 +342,14 @@ func (l *fetchLedger) totalAlive(dead []int) int {
 // inputs (ledger + agreed dead set) are phase-consistent — which keeps
 // the world's collectives aligned. Returned bodies are parallel to
 // queries and all non-nil on success.
-func fetchShardAnswers(c *Comm, stage string, rs *rankShards, led *fetchLedger,
-	queries []kmer.Kmer, answer func(kmer.Kmer, []byte) []byte,
-	ro RecoveryOptions) ([][]byte, error) {
+//
+// retried marks the call as the cleanup pass of an overlapped tile
+// pipeline: its queries were already attempted once over the
+// nonblocking rounds, so even the first blocking round here is a
+// retry and is recorded as one.
+func fetchShardAnswers(c *Comm, stage string, rep *recReport, rec *trace.Recorder, exchanged *int64,
+	led *fetchLedger, queries []kmer.Kmer, answer func(kmer.Kmer, []byte) []byte,
+	ro RecoveryOptions, retried bool) ([][]byte, error) {
 	size := c.Size()
 	bodies := make([][]byte, len(queries))
 	remaining := len(queries)
@@ -366,8 +371,8 @@ func fetchShardAnswers(c *Comm, stage string, rs *rankShards, led *fetchLedger,
 			return bodies, &UnrecoverableError{Stage: stage, Rounds: round, Dead: dead}
 		}
 		owners := shard.Owners(size, dead)
-		if round > 0 && c.Rank() == firstAlive(owners) {
-			rs.rep.addShardRound() // one retry round, recorded once
+		if (round > 0 || retried) && c.Rank() == firstAlive(owners) {
+			rep.addShardRound() // one retry round, recorded once
 		}
 		qs := make([][]kmer.Kmer, size)
 		idxs := make([][]int, size)
@@ -384,7 +389,7 @@ func fetchShardAnswers(c *Comm, stage string, rs *rankShards, led *fetchLedger,
 		}
 		before := c.Stats
 		resps, rerr := shard.Round(c, qs, answer)
-		rs.exchanged += (c.Stats.BytesSent - before.BytesSent) + (c.Stats.BytesRecv - before.BytesRecv)
+		*exchanged += (c.Stats.BytesSent - before.BytesSent) + (c.Stats.BytesRecv - before.BytesRecv)
 		if rerr != nil {
 			if fe, ok := mpi.AsFault(rerr); !ok || fe.Evicted {
 				return bodies, rerr
@@ -400,7 +405,7 @@ func fetchShardAnswers(c *Comm, stage string, rs *rankShards, led *fetchLedger,
 				}
 			}
 		}
-		rs.rec.Event("shard", "lookup_round", c.Rank(),
+		rec.Event("shard", "lookup_round", c.Rank(),
 			fmt.Sprintf("stage=%s round=%d answered=%d remaining=%d", stage, round, answered, remaining))
 	}
 }

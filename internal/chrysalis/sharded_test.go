@@ -142,6 +142,10 @@ func TestGFFShardKmersFaultScenarios(t *testing.T) {
 			guard(t, 30*time.Second, func() {
 				opt := gffOpts(sc)
 				opt.ShardKmers = true
+				// The fault call indices above are keyed to the blocking
+				// reference path's MPI op sequence; the overlapped pipeline
+				// has its own battery in overlap_test.go.
+				opt.OverlapFetch = OverlapOff
 				opt.Faults = tc.plan
 				res := runGFF(t, sc, ranks, opt)
 				sameGFF(t, tc.name, res, baseline)
@@ -170,6 +174,9 @@ func TestGFFShardKmersSeededKills(t *testing.T) {
 		guard(t, 30*time.Second, func() {
 			opt := gffOpts(sc)
 			opt.ShardKmers = true
+			// Seeded call indices land on the blocking path's op sequence;
+			// the overlapped pipeline's seeded kills run in overlap_test.go.
+			opt.OverlapFetch = OverlapOff
 			opt.Faults = mpi.RandomKillPlan(seed, ranks, 1, 12)
 			res := runGFF(t, sc, ranks, opt)
 			sameGFF(t, "sharded seeded kill", res, baseline)

@@ -165,6 +165,8 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		ThreadsPerRank:    cfg.ThreadsPerRank,
 		Seed:              cfg.Seed,
 		ShardKmers:        cfg.ShardKmers,
+		OverlapFetch:      cfg.overlapFetch(),
+		FetchTileChunks:   cfg.FetchTileChunks,
 		Packed:            preads != nil,
 		PackedContigs:     pcontigs,
 		ScaffoldPairs:     ScaffoldPairs(samAls),
@@ -182,12 +184,15 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		return nil, err
 	}
 	r2t, err := chrysalis.ReadsToTranscripts(reads, contigs, comps, cfg.Ranks, chrysalis.R2TOptions{
-		K:              cfg.K,
-		MaxMemReads:    cfg.MaxMemReads,
-		ThreadsPerRank: cfg.ThreadsPerRank,
-		Packed:         preads != nil,
-		PackedReads:    preads,
-		PackedContigs:  pcontigs,
+		K:               cfg.K,
+		MaxMemReads:     cfg.MaxMemReads,
+		ThreadsPerRank:  cfg.ThreadsPerRank,
+		ShardKmers:      cfg.ShardKmers,
+		OverlapFetch:    cfg.overlapFetch(),
+		FetchTileChunks: cfg.FetchTileChunks,
+		Packed:          preads != nil,
+		PackedReads:     preads,
+		PackedContigs:   pcontigs,
 	})
 	if err != nil {
 		return nil, err

@@ -53,13 +53,25 @@ type Config struct {
 	// in-memory working set. See ExternalConfig.
 	External ExternalConfig
 
-	// ShardKmers partitions GraphFromFasta's k-mer lookup state (read
-	// counts, contig occurrence index, weld index) across the ranks by
-	// owner rank instead of replicating it on every rank; remote rows
-	// are fetched in batched Alltoallv lookup rounds. Output is
+	// ShardKmers partitions the Chrysalis k-mer lookup state —
+	// GraphFromFasta's read counts, contig occurrence index and weld
+	// index, and ReadsToTranscripts' k-mer→bundle table — across the
+	// ranks by owner rank instead of replicating it on every rank;
+	// remote rows are fetched in batched lookup rounds. Output is
 	// byte-identical either way — only per-rank memory and
 	// communication change.
 	ShardKmers bool
+
+	// NoOverlapFetch keeps a ShardKmers run's lookup rounds on the
+	// blocking barrier-stepped reference path instead of the default
+	// double-buffered tile pipeline that overlaps each round with the
+	// previous tile's compute. Results are identical either way.
+	NoOverlapFetch bool
+
+	// FetchTileChunks is the overlapped pipeline's tile granularity —
+	// chunks per lookup round (default 8). Smaller tiles overlap more
+	// at the price of more rounds.
+	FetchTileChunks int
 
 	// TailWorkers bounds the pipeline-tail worker pool: the concurrent
 	// Bowtie partition alignments and the component-parallel
@@ -127,6 +139,15 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: k=%d out of range", c.K)
 	}
 	return nil
+}
+
+// overlapFetch maps the NoOverlapFetch escape hatch onto the
+// chrysalis mode (the zero value overlaps whenever sharding is on).
+func (c *Config) overlapFetch() chrysalis.OverlapMode {
+	if c.NoOverlapFetch {
+		return chrysalis.OverlapOff
+	}
+	return chrysalis.OverlapDefault
 }
 
 // Result carries every intermediate and final product of a run.

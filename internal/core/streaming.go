@@ -448,6 +448,8 @@ func runStreamingTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Conf
 			ThreadsPerRank:    cfg.ThreadsPerRank,
 			Seed:              cfg.Seed,
 			ShardKmers:        cfg.ShardKmers,
+			OverlapFetch:      cfg.overlapFetch(),
+			FetchTileChunks:   cfg.FetchTileChunks,
 			Replicas:          cfg.Replicas,
 			Packed:            pp != nil,
 			PackedContigs:     pp.contigSeqs(),
@@ -492,16 +494,19 @@ func runStreamingTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Conf
 		defer markEnd(iR2T)
 		r2t, err := chrysalis.ReadsToTranscripts(reads, res.Contigs, res.GFF.Components,
 			cfg.Ranks, chrysalis.R2TOptions{
-				K:              cfg.K,
-				MaxMemReads:    cfg.MaxMemReads,
-				ThreadsPerRank: cfg.ThreadsPerRank,
-				Replicas:       cfg.Replicas,
-				Packed:         pp != nil,
-				PackedReads:    pp.readRecs(),
-				PackedContigs:  pp.contigSeqs(),
-				Faults:         plan,
-				Recovery:       recovery,
-				Trace:          cfg.Trace,
+				K:               cfg.K,
+				MaxMemReads:     cfg.MaxMemReads,
+				ThreadsPerRank:  cfg.ThreadsPerRank,
+				ShardKmers:      cfg.ShardKmers,
+				OverlapFetch:    cfg.overlapFetch(),
+				FetchTileChunks: cfg.FetchTileChunks,
+				Replicas:        cfg.Replicas,
+				Packed:          pp != nil,
+				PackedReads:     pp.readRecs(),
+				PackedContigs:   pp.contigSeqs(),
+				Faults:          plan,
+				Recovery:        recovery,
+				Trace:           cfg.Trace,
 			})
 		if err == nil {
 			res.R2T = r2t

@@ -102,6 +102,8 @@ func runBarrierTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Config
 			ThreadsPerRank:    cfg.ThreadsPerRank,
 			Seed:              cfg.Seed,
 			ShardKmers:        cfg.ShardKmers,
+			OverlapFetch:      cfg.overlapFetch(),
+			FetchTileChunks:   cfg.FetchTileChunks,
 			ScaffoldPairs:     res.Scaffolds,
 			Replicas:          cfg.Replicas,
 			Packed:            pp != nil,
@@ -121,16 +123,19 @@ func runBarrierTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Config
 		var err error
 		res.R2T, err = chrysalis.ReadsToTranscripts(reads, res.Contigs, res.GFF.Components,
 			cfg.Ranks, chrysalis.R2TOptions{
-				K:              cfg.K,
-				MaxMemReads:    cfg.MaxMemReads,
-				ThreadsPerRank: cfg.ThreadsPerRank,
-				Replicas:       cfg.Replicas,
-				Packed:         pp != nil,
-				PackedReads:    pp.readRecs(),
-				PackedContigs:  pp.contigSeqs(),
-				Faults:         plan,
-				Recovery:       recovery,
-				Trace:          cfg.Trace,
+				K:               cfg.K,
+				MaxMemReads:     cfg.MaxMemReads,
+				ThreadsPerRank:  cfg.ThreadsPerRank,
+				ShardKmers:      cfg.ShardKmers,
+				OverlapFetch:    cfg.overlapFetch(),
+				FetchTileChunks: cfg.FetchTileChunks,
+				Replicas:        cfg.Replicas,
+				Packed:          pp != nil,
+				PackedReads:     pp.readRecs(),
+				PackedContigs:   pp.contigSeqs(),
+				Faults:          plan,
+				Recovery:        recovery,
+				Trace:           cfg.Trace,
 			})
 		return err
 	})

@@ -1,16 +1,31 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Nonblocking point-to-point operations and the remaining collectives
 // (Scatterv, communicator split). The paper's Chrysalis only needs the
-// blocking collectives, but a usable MPI analog without Isend/Irecv
-// would force busy layouts on any downstream user of the runtime.
+// blocking collectives, but the sharded fetch pipeline overlaps lookup
+// rounds with compute through Isend/Irecv, so the nonblocking path
+// carries real traffic and must compose with the fault layer.
 
-// Request is a handle on an outstanding nonblocking operation.
-type Request struct {
-	done chan []byte
+// waitResult is what an outstanding operation resolves to: the payload
+// for receives, plus the failure (dead source, timeout) the operation
+// observed, if any.
+type waitResult struct {
 	data []byte
+	err  *FaultError
+}
+
+// Request is a handle on an outstanding nonblocking operation. A
+// request completes at most once: after Wait or a successful TryWait
+// returns, further waits on the same request block forever (matching
+// MPI's use-once request semantics). A TryWait that timed out may be
+// retried.
+type Request struct {
+	done chan waitResult
 	recv bool
 	comm *Comm
 }
@@ -18,7 +33,10 @@ type Request struct {
 // Isend starts a nonblocking send. The payload is copied immediately,
 // so the caller may reuse the buffer. The returned request completes
 // when the message has been delivered to the destination mailbox (or
-// discarded, if the destination is dead).
+// discarded, if the destination is dead). Bytes are metered and the
+// observer notified at post time, and per-message faults
+// (dropmsg/delaymsg) apply to nonblocking sends exactly as they do to
+// the blocking segments, consuming the same per-destination ordinal.
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	c.opCheck("Isend")
 	if dst < 0 || dst >= c.world.size {
@@ -26,19 +44,44 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	r := &Request{done: make(chan []byte, 1), comm: c}
+	r := &Request{done: make(chan waitResult, 1), comm: c}
 	c.Stats.BytesSent += int64(len(data))
 	c.Stats.Messages++
+	if obs := c.world.obs; obs != nil {
+		obs.Message(c.rank, dst, tag, len(data))
+	}
+	if p := c.world.plan; p != nil {
+		ord := c.sentTo[dst]
+		c.sentTo[dst]++
+		if f, ok := p.takeMsg(c.rank, dst, ord); ok {
+			switch f.Kind {
+			case FaultDropMsg:
+				r.done <- waitResult{} // lost on the wire
+				return r
+			case FaultDelayMsg:
+				go func() {
+					time.Sleep(f.Delay)
+					c.world.deliver(c.rank, dst, message{tag: tag, data: buf})
+					r.done <- waitResult{}
+				}()
+				return r
+			}
+		}
+	}
 	go func() {
 		c.world.deliver(c.rank, dst, message{tag: tag, data: buf})
-		r.done <- nil
+		r.done <- waitResult{}
 	}()
 	return r
 }
 
 // Irecv starts a nonblocking receive for a message with the given tag
 // from src. Wait returns its payload, or nil if src died before the
-// message arrived.
+// message arrived; TryWait additionally surfaces the death (or a
+// timeout) as a typed *FaultError. The matcher is death-aware even in
+// worlds without a fault plan, because a rank whose body returns an
+// error is killed through the same path as an injected fault — a
+// pending Irecv must not block forever in either case.
 //
 // Note: Irecv consumes from the same mailbox as Recv; do not mix a
 // blocking Recv with an outstanding Irecv from the same source, as
@@ -49,49 +92,58 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: irecv from invalid rank %d", src))
 	}
-	r := &Request{done: make(chan []byte, 1), recv: true, comm: c}
-	go func() {
-		// Tag matching against the pending queue is owned by the comm's
-		// goroutine; nonblocking receives bypass the queue and match
-		// directly from the mailbox stream.
-		box := c.world.boxes[src][c.rank]
-		for {
-			if c.world.faulty() {
-				deaths := c.world.deathChan()
-				select {
-				case m := <-box:
-					if m.tag == tag {
-						r.done <- m.data
-						return
-					}
-					c.world.requeue(src, c.rank, m)
-					continue
-				default:
-				}
-				if c.world.isDead(src) {
-					r.done <- nil // source died; the message will never come
+	r := &Request{done: make(chan waitResult, 1), recv: true, comm: c}
+	go c.world.matchRecv(src, c.rank, tag, r.done)
+	return r
+}
+
+// matchRecv consumes the src→dst mailbox until a message with the tag
+// arrives, requeueing mismatches to the tail. Several matchers may
+// share one mailbox (the overlap pipeline keeps a query-leg and a
+// reply-leg receive outstanding per peer); a matcher that only finds
+// foreign tags backs off briefly instead of re-draining its own
+// requeues in a hot spin.
+func (w *World) matchRecv(src, dst, tag int, done chan<- waitResult) {
+	box := w.boxes[src][dst]
+	for {
+		requeued := false
+		for n := len(box); n > 0; n-- {
+			select {
+			case m := <-box:
+				if m.tag == tag {
+					done <- waitResult{data: m.data}
 					return
 				}
-				select {
-				case m := <-box:
-					if m.tag == tag {
-						r.done <- m.data
-						return
-					}
-					c.world.requeue(src, c.rank, m)
-				case <-deaths:
-				}
-				continue
+				w.requeue(src, dst, m)
+				requeued = true
+			default:
+				n = 1
 			}
-			m := <-box
+		}
+		if w.isDead(src) {
+			done <- waitResult{err: &FaultError{Op: "Irecv", Rank: dst, Dead: []int{src}}}
+			return
+		}
+		deaths := w.deathChan()
+		if requeued {
+			// The mailbox holds only tags we bounced back; selecting on it
+			// again would wake instantly on our own requeue. Poll instead.
+			select {
+			case <-deaths:
+			case <-time.After(100 * time.Microsecond):
+			}
+			continue
+		}
+		select {
+		case m := <-box:
 			if m.tag == tag {
-				r.done <- m.data
+				done <- waitResult{data: m.data}
 				return
 			}
-			c.world.requeue(src, c.rank, m)
+			w.requeue(src, dst, m)
+		case <-deaths:
 		}
-	}()
-	return r
+	}
 }
 
 // requeue puts an unmatched message back on the mailbox (tail order;
@@ -101,13 +153,57 @@ func (w *World) requeue(src, dst int, m message) {
 }
 
 // Wait blocks until the request completes and returns the received
-// payload for receives (nil for sends).
+// payload for receives (nil for sends, and nil if the source died
+// before sending — use TryWait to distinguish a dead source from an
+// empty payload).
 func (r *Request) Wait() []byte {
-	data := <-r.done
+	res := <-r.done
 	if r.recv && r.comm != nil {
-		r.comm.Stats.BytesRecv += int64(len(data))
+		r.comm.Stats.BytesRecv += int64(len(res.data))
 	}
-	return data
+	return res.data
+}
+
+// TryWait is Wait with an explicit timeout (0 = the world default) and
+// a fault-aware result: if the source rank is agreed dead before its
+// message arrives it returns a *FaultError naming the dead rank, and
+// if the timeout expires first it returns a timeout *FaultError with
+// the dead set observed at expiry. A timed-out request remains
+// outstanding and may be waited again; the late message (if it ever
+// arrives) completes that retry.
+func (r *Request) TryWait(timeout time.Duration) ([]byte, error) {
+	if timeout == 0 && r.comm != nil {
+		timeout = r.comm.world.recvTimeout
+	}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case res := <-r.done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if r.recv && r.comm != nil {
+			r.comm.Stats.BytesRecv += int64(len(res.data))
+		}
+		return res.data, nil
+	case <-deadline:
+		var dead []int
+		if r.comm != nil {
+			dead = r.comm.world.DeadRanks()
+		}
+		return nil, &FaultError{Op: "Irecv", Rank: r.rank(), Timeout: true, Dead: dead}
+	}
+}
+
+func (r *Request) rank() int {
+	if r.comm != nil {
+		return r.comm.rank
+	}
+	return -1
 }
 
 // Waitall completes every request, returning receive payloads in
@@ -118,6 +214,27 @@ func Waitall(reqs []*Request) [][]byte {
 		out[i] = r.Wait()
 	}
 	return out
+}
+
+// TryWaitall completes every request through TryWait, returning the
+// payloads in request order alongside the first failure observed.
+// Requests whose source died or timed out contribute nil payloads; the
+// remaining requests are still drained so no message is left to steal
+// a later receive.
+func TryWaitall(reqs []*Request, timeout time.Duration) ([][]byte, error) {
+	out := make([][]byte, len(reqs))
+	var first error
+	for i, r := range reqs {
+		data, err := r.TryWait(timeout)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		out[i] = data
+	}
+	return out, first
 }
 
 // Scatterv distributes root's per-rank payloads: rank i receives

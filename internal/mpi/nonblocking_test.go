@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestIsendIrecv(t *testing.T) {
@@ -188,6 +189,116 @@ func TestAlltoallvSelf(t *testing.T) {
 		got := c.Alltoallv([][]byte{{9, 9}})
 		if len(got) != 1 || string(got[0]) != string([]byte{9, 9}) {
 			t.Errorf("self alltoallv = %v", got)
+		}
+	})
+}
+
+// TestTryWaitKillMidRound is the regression for the fault-unaware
+// Wait: rank 1 dies (injected kill) before sending the payload rank 0
+// is waiting on. TryWait must surface the death as a typed *FaultError
+// naming the dead rank instead of blocking forever.
+func TestTryWaitKillMidRound(t *testing.T) {
+	w := NewWorld(2)
+	plan := NewFaultPlan()
+	plan.Add(Fault{Kind: FaultKill, Rank: 1, AtCall: 0})
+	w.SetFaults(plan)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Isend(0, 7, []byte("never")) // killed at this call; payload never sent
+			return
+		}
+		req := c.Irecv(1, 7)
+		data, err := req.TryWait(2 * time.Second)
+		fe, ok := AsFault(err)
+		if !ok {
+			t.Fatalf("TryWait error = %v, want *FaultError", err)
+		}
+		if fe.Timeout {
+			t.Errorf("TryWait timed out; want agreed-dead error")
+		}
+		if len(fe.Dead) != 1 || fe.Dead[0] != 1 {
+			t.Errorf("dead set = %v, want [1]", fe.Dead)
+		}
+		if data != nil {
+			t.Errorf("payload = %v, want nil", data)
+		}
+	})
+}
+
+// TestTryWaitBodyErrorDeath pins the no-fault-plan case: a rank whose
+// body returns an error is killed through the same death machinery, so
+// a pending Irecv in a world with no fault plan must still resolve.
+func TestTryWaitBodyErrorDeath(t *testing.T) {
+	w := NewWorld(2)
+	errs := make(chan error, 1)
+	w.RunE(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("simulated crash before send")
+		}
+		req := c.Irecv(1, 3)
+		_, err := req.TryWait(2 * time.Second)
+		errs <- err
+		return nil
+	})
+	err := <-errs
+	fe, ok := AsFault(err)
+	if !ok {
+		t.Fatalf("TryWait error = %v, want *FaultError", err)
+	}
+	if fe.Timeout || len(fe.Dead) != 1 || fe.Dead[0] != 1 {
+		t.Errorf("fault = %+v, want dead=[1] without timeout", fe)
+	}
+}
+
+// TestTryWaitTimeout pins the timeout path: nobody sends, nobody dies,
+// the explicit deadline fires with Timeout set — and a retry after the
+// message finally arrives completes normally.
+func TestTryWaitTimeout(t *testing.T) {
+	w := NewWorld(2)
+	release := make(chan struct{})
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			<-release
+			c.Isend(0, 9, []byte("late")).Wait()
+			return
+		}
+		req := c.Irecv(1, 9)
+		_, err := req.TryWait(30 * time.Millisecond)
+		fe, ok := AsFault(err)
+		if !ok || !fe.Timeout {
+			t.Errorf("first TryWait = %v, want timeout fault", err)
+		}
+		close(release)
+		data, err := req.TryWait(2 * time.Second)
+		if err != nil || string(data) != "late" {
+			t.Errorf("retry = %q, %v; want \"late\"", data, err)
+		}
+	})
+}
+
+// TestTryWaitallPartial drains every request even when one source is
+// dead: the live payload arrives, the dead slot is nil, and the first
+// failure is reported.
+func TestTryWaitallPartial(t *testing.T) {
+	w := NewWorld(3)
+	plan := NewFaultPlan()
+	plan.Add(Fault{Kind: FaultKill, Rank: 2, AtCall: 0})
+	w.SetFaults(plan)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 1:
+			c.Isend(0, 4, []byte("alive")).Wait()
+		case 2:
+			c.Isend(0, 4, []byte("dead")) // killed at this call
+		default:
+			reqs := []*Request{c.Irecv(1, 4), c.Irecv(2, 4)}
+			out, err := TryWaitall(reqs, 2*time.Second)
+			if err == nil {
+				t.Error("TryWaitall err = nil, want fault for rank 2")
+			}
+			if string(out[0]) != "alive" || out[1] != nil {
+				t.Errorf("payloads = %q, %q", out[0], out[1])
+			}
 		}
 	})
 }

@@ -15,6 +15,7 @@ package shard
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"gotrinity/internal/kmer"
 	"gotrinity/internal/mpi"
@@ -181,29 +182,62 @@ func Round(c *mpi.Comm, queries [][]kmer.Kmer, answer func(m kmer.Kmer, dst []by
 			return nil, rerr
 		}
 	}
+	var decErr error
 	resps = make([][][]byte, size)
 	for d := 0; d < size; d++ {
-		resps[d] = decodeFrames(out[d], len(queries[d]))
+		frames, ferr := decodeFrames(out[d], len(queries[d]))
+		resps[d] = frames
+		if ferr != nil && decErr == nil {
+			decErr = fmt.Errorf("shard: reply from rank %d: %w", d, ferr)
+		}
 	}
-	if err = qerr; err == nil {
-		err = rerr
+	// A malformed blob from a live peer is corruption, not a fault the
+	// retry loop can route around — it outranks the collective errors.
+	if err = decErr; err == nil {
+		if err = qerr; err == nil {
+			err = rerr
+		}
 	}
 	return resps, err
 }
 
-// decodeFrames splits a reply blob into want uvarint-framed answers;
-// frames the blob does not cover decode as nil (lost).
-func decodeFrames(blob []byte, want int) [][]byte {
+// decodeFrames splits a reply blob into want uvarint-framed answers.
+// An empty blob is a lost or dropped segment: every frame decodes as
+// nil (the caller's retry loop re-requests them) and there is no
+// error. A non-empty blob must frame exactly want answers covering the
+// whole payload — anything else is a malformed reply and returns an
+// explicit error alongside the frames decoded so far, instead of
+// silently truncating.
+func decodeFrames(blob []byte, want int) ([][]byte, error) {
 	frames := make([][]byte, want)
+	if len(blob) == 0 {
+		return frames, nil
+	}
 	off := 0
 	for i := 0; i < want; i++ {
 		n, w := binary.Uvarint(blob[off:])
-		if w <= 0 || off+w+int(n) > len(blob) {
-			break
+		// Replies are framed with AppendUvarint, so a non-minimal length
+		// prefix is corruption too: accepted blobs are exactly the
+		// canonical wire form (decode∘encode is the identity).
+		if w <= 0 || w != uvarintLen(n) || n > uint64(len(blob)) || off+w+int(n) > len(blob) {
+			return frames, fmt.Errorf("malformed frame %d/%d at offset %d of %d-byte blob", i, want, off, len(blob))
 		}
 		off += w
 		frames[i] = blob[off : off+int(n) : off+int(n)]
 		off += int(n)
 	}
-	return frames
+	if off != len(blob) {
+		return frames, fmt.Errorf("%d trailing bytes after %d frames", len(blob)-off, want)
+	}
+	return frames, nil
+}
+
+// uvarintLen is the canonical encoded width of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }

@@ -184,6 +184,47 @@ func (r *Recorder) Span(cat, name string, rank int, start, dur float64, arg stri
 	r.mu.Unlock()
 }
 
+// OverlapLanes renders one rank's double-buffered fetch/compute
+// schedule as paired spans: tile 0's fetch is exposed, then each
+// tile's compute starts when its fetch has landed while the next
+// tile's fetch flies underneath it — "fetch <name> tile t" and
+// "compute <name> tile t" spans in the given category. fetch and
+// compute are per-tile virtual durations (fetch has one entry per
+// tile; compute may be shorter). Returns the schedule's end time, so
+// phases can be chained. Deterministic: derived purely from metered
+// durations.
+func (r *Recorder) OverlapLanes(cat, name string, rank int, start float64, fetch, compute []float64) float64 {
+	if r == nil {
+		return start
+	}
+	if len(fetch) == 0 {
+		return start
+	}
+	// waitDone: when tile t's answers are in hand.
+	waitDone := start + fetch[0]
+	r.Span(cat, fmt.Sprintf("fetch %s tile 0", name), rank, start, fetch[0], "")
+	for t := 0; t < len(fetch); t++ {
+		var c float64
+		if t < len(compute) {
+			c = compute[t]
+		}
+		computeEnd := waitDone + c
+		r.Span(cat, fmt.Sprintf("compute %s tile %d", name, t), rank, waitDone, c, "")
+		if t+1 < len(fetch) {
+			// The next tile's round was posted when this compute started.
+			r.Span(cat, fmt.Sprintf("fetch %s tile %d", name, t+1), rank, waitDone, fetch[t+1], "")
+			next := waitDone + fetch[t+1]
+			if computeEnd > next {
+				next = computeEnd
+			}
+			waitDone = next
+		} else {
+			waitDone = computeEnd
+		}
+	}
+	return waitDone
+}
+
 // RealSpan records one wall-clock interval (a pipeline stage).
 func (r *Recorder) RealSpan(cat, name string, start, dur float64, arg string) {
 	if r == nil {
