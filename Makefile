@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline bench-shard bench-seq lint-ascii verify clean
+.PHONY: build test race fuzz bench bench-chrysalis bench-kernels bench-pipeline bench-shard bench-seq bench-fm lint-ascii verify clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAlignDegenerateReads -fuzztime 10s ./internal/bowtie/
 	$(GO) test -run '^$$' -fuzz FuzzFlatSet -fuzztime 10s ./internal/kmer/
 	$(GO) test -run '^$$' -fuzz FuzzStreamingMerge -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzPackedBackwardSearch -fuzztime 10s ./internal/fm/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -117,12 +118,29 @@ bench-seq:
 	       END { printf("\n}\n") }' > $(BENCH_SEQ_JSON)
 	@cat $(BENCH_SEQ_JSON)
 
+# Packed FM-index snapshot: backward-search and locate throughput of
+# the 2-bit packed index vs the ASCII index over the same text (the
+# searchx/residentx ratios must stay ≥ 3), plus the parallel
+# suffix-array construction sweep (workers=4 must stay > 1.5x faster
+# than workers=1), recorded as BENCH_fm.json so index regressions show
+# up in review diffs. Same awk JSON conversion as bench-chrysalis.
+BENCH_FM_JSON ?= BENCH_fm.json
+bench-fm:
+	$(GO) test -run '^$$' -bench 'BenchmarkFM(Search|Locate|Resident|Build)' -benchmem -benchtime 1s -timeout 30m ./internal/fm/ \
+	| awk 'BEGIN { printf("{\n") } \
+	       /^Benchmark/ { if (n++) printf(",\n"); \
+	         printf("  \"%s\": {\"iterations\": %s", $$1, $$2); \
+	         for (i = 3; i < NF; i += 2) printf(", \"%s\": %s", $$(i+1), $$i); \
+	         printf("}") } \
+	       END { printf("\n}\n") }' > $(BENCH_FM_JSON)
+	@cat $(BENCH_FM_JSON)
+
 # ASCII-decode gate for the packed hot paths: sequence payloads in the
 # Chrysalis/Inchworm/Jellyfish/Bowtie packages must stay 2-bit packed —
 # any .Decode()/.AppendDecode materialisation needs an explicit
 # `ascii-ok: <why>` annotation naming the file/result boundary it
 # serves. New unannotated conversions fail the build.
-LINT_ASCII_PKGS = internal/chrysalis internal/inchworm internal/jellyfish internal/bowtie
+LINT_ASCII_PKGS = internal/chrysalis internal/inchworm internal/jellyfish internal/bowtie internal/fm
 lint-ascii:
 	@bad=$$(grep -nE '\.Decode\(|\.AppendDecode\(' $$(find $(LINT_ASCII_PKGS) -name '*.go' ! -name '*_test.go') /dev/null | grep -v 'ascii-ok:'; true); \
 	if [ -n "$$bad" ]; then \
@@ -139,12 +157,14 @@ verify: build lint-ascii
 	$(GO) test -race ./internal/shard/... ./internal/mpi/...
 	$(GO) test -race ./internal/chrysalis/...
 	$(GO) test -race ./internal/seq/... ./internal/dsk/...
+	$(GO) test -race ./internal/fm/... ./internal/bowtie/...
 	$(GO) test -run '^$$' -bench 'Chrysalis(WithFaultLayer|TraceRecorder)' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'Benchmark($(KERNEL_BENCH))' -benchtime 1x ./internal/chrysalis/ ./internal/jellyfish/
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTail' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStreaming' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkShardScaling' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSeq(PackedResidentBytes|RevComp)|BenchmarkKmerIter' -benchtime 1x ./internal/seq/ ./internal/kmer/
+	$(GO) test -run '^$$' -bench 'BenchmarkFM(Search|Locate|Resident|Build)' -benchtime 1x ./internal/fm/
 
 clean:
 	rm -rf bin

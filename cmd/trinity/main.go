@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"gotrinity/internal/bowtie"
 	"gotrinity/internal/chrysalis"
 	"gotrinity/internal/cluster"
 	"gotrinity/internal/core"
@@ -37,6 +38,7 @@ func main() {
 	noOverlapFetch := flag.Bool("no-overlap-fetch", false, "with --shard-kmers, keep lookup rounds blocking instead of the double-buffered tile pipeline")
 	fetchTileChunks := flag.Int("fetch-tile-chunks", 0, "with --shard-kmers, chunks per overlapped lookup round (0 = default 8)")
 	asciiSeq := flag.Bool("ascii-seq", false, "keep sequences byte-per-base ASCII on the hot paths (default: 2-bit packed end-to-end; byte-identical output)")
+	bowtieBackend := flag.String("bowtie-backend", "hash", "bowtie seed location backend: hash (seed table) or fm (packed FM-index; byte-identical output)")
 	external := flag.Bool("external", false, "external-memory mode: disk-partitioned k-mer counting (DSK) + packed-resident sequences for larger-than-RAM datasets")
 	externalBudget := flag.Int("external-budget-mb", 0, "advisory resident-memory budget for --external in MiB (0 = unbudgeted; reported, not enforced)")
 	externalTmp := flag.String("external-tmp", "", "directory for --external partition files (default: system temp dir)")
@@ -76,6 +78,16 @@ func main() {
 		rec.Meta(fmt.Sprintf("nprocs: %d threads: %d k: %d seed: %d", *nprocs, *threads, *k, *seed))
 	}
 
+	var backend bowtie.Backend
+	switch *bowtieBackend {
+	case "hash":
+		backend = bowtie.HashSeeds
+	case "fm":
+		backend = bowtie.FMIndex
+	default:
+		log.Fatalf("unknown bowtie backend %q (use hash or fm)", *bowtieBackend)
+	}
+
 	res, err := core.Run(reads, core.Config{
 		K:              *k,
 		Ranks:          *nprocs,
@@ -85,6 +97,7 @@ func main() {
 		NoOverlapFetch:  *noOverlapFetch,
 		FetchTileChunks: *fetchTileChunks,
 		ASCIISeq:        *asciiSeq,
+		Bowtie:          bowtie.Options{Backend: backend},
 		External: core.ExternalConfig{
 			Enabled:      *external,
 			MemoryBudget: int64(*externalBudget) << 20,

@@ -95,3 +95,98 @@ func TestUnknownBackendRejected(t *testing.T) {
 		t.Error("accepted unknown backend")
 	}
 }
+
+// alignFourWays runs the same contigs and reads through every
+// index/aligner combination and returns alignments plus work stats:
+// ASCII hash, ASCII FM, packed hash, packed FM.
+func alignFourWays(t *testing.T, contigs []seq.Record, reads []seq.Record, opt Options) ([4][]Alignment, [4]Stats) {
+	t.Helper()
+	var als [4][]Alignment
+	var sts [4]Stats
+	for i, backend := range []Backend{HashSeeds, FMIndex} {
+		ix, err := NewIndex(contigs, Options{SeedLen: opt.SeedLen, SeedStride: opt.SeedStride,
+			MaxMismatch: opt.MaxMismatch, Threads: opt.Threads, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		als[i], sts[i] = NewAligner(ix).AlignAll(reads)
+		pix, err := NewPackedIndex(seq.PackRecords(contigs), Options{SeedLen: opt.SeedLen,
+			SeedStride: opt.SeedStride, MaxMismatch: opt.MaxMismatch, Threads: opt.Threads, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		als[2+i], sts[2+i] = NewPackedAligner(pix).AlignAll(seq.PackRecords(reads))
+	}
+	return als, sts
+}
+
+// TestPackedFMBackendDifferential is the tentpole identity battery:
+// hash-packed, FM-packed, hash-ASCII and FM-ASCII must emit identical
+// alignments and work stats over contigs with N runs, word-aligned
+// lengths (len%32 == 0), all-N reads, and the usual adversarial mix.
+func TestPackedFMBackendDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	contigs := makeContigs(rng, 10, 400)
+	// Force word-boundary lengths on some contigs and N runs on others.
+	contigs[1].Seq = contigs[1].Seq[:len(contigs[1].Seq)/32*32]
+	contigs[2].Seq = contigs[2].Seq[:256]
+	for j := 40; j < 56; j++ {
+		contigs[3].Seq[j] = 'N'
+	}
+	for j := 0; j < 8; j++ {
+		contigs[4].Seq[j] = 'N' // leading N run
+	}
+	reads := makeReads(rng, contigs, 300)
+	// All-N and N-poisoned reads must fall through identically.
+	reads = append(reads,
+		seq.Record{ID: "allN", Seq: bytesRepeat('N', 60)},
+		seq.Record{ID: "allN32", Seq: bytesRepeat('N', 64)},
+		seq.Record{ID: "wordExact", Seq: append([]byte(nil), contigs[2].Seq[0:64]...)},
+	)
+	opt := Options{SeedLen: 12, SeedStride: 5, MaxMismatch: 3, Threads: 4}
+	als, sts := alignFourWays(t, contigs, reads, opt)
+	names := [4]string{"ascii-hash", "ascii-fm", "packed-hash", "packed-fm"}
+	for i := 1; i < 4; i++ {
+		if len(als[i]) != len(als[0]) {
+			t.Fatalf("%s: %d alignments vs %s %d", names[i], len(als[i]), names[0], len(als[0]))
+		}
+		for j := range als[0] {
+			if als[i][j] != als[0][j] {
+				t.Fatalf("%s alignment %d differs:\n%+v\nvs %s:\n%+v", names[i], j, als[i][j], names[0], als[0][j])
+			}
+		}
+		if sts[i].Reads != sts[0].Reads || sts[i].Aligned != sts[0].Aligned ||
+			sts[i].SeedProbes != sts[0].SeedProbes || sts[i].BasesCompared != sts[0].BasesCompared {
+			t.Fatalf("%s stats %+v vs %s %+v", names[i], sts[i], names[0], sts[0])
+		}
+	}
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+// TestPackedFMFootprintAdvantage pins the tentpole resident claim at
+// the bowtie layer: the packed FM index must be >= 3x smaller than the
+// ASCII FM index over the same contigs.
+func TestPackedFMFootprintAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	contigs := makeContigs(rng, 8, 4000)
+	asciiIx, err := NewIndex(contigs, Options{SeedLen: 14, Backend: FMIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedIx, err := NewPackedIndex(seq.PackRecords(contigs), Options{SeedLen: 14, Backend: FMIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(asciiIx.MemoryFootprint()) / float64(packedIx.MemoryFootprint())
+	if ratio < 3 {
+		t.Errorf("resident ratio ascii-fm/packed-fm = %.2f (ascii %d, packed %d), want >= 3",
+			ratio, asciiIx.MemoryFootprint(), packedIx.MemoryFootprint())
+	}
+}

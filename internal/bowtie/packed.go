@@ -5,9 +5,11 @@
 // counter mirror the ASCII aligner exactly, so alignments and metered
 // work are byte-identical — only resident sequence bytes shrink 4×.
 //
-// Only the HashSeeds backend is provided: the FM-index operates on the
-// ASCII text by construction, so callers wanting that backend use the
-// ASCII index (the pipeline falls back automatically).
+// Both backends are provided. HashSeeds keeps a seed-kmer hash table;
+// FMIndex builds a packed FM-index (fm.PackedIndex) over the same
+// contig-plus-separator text layout as the ASCII FM backend and
+// backward-searches seed k-mers directly from their packed form —
+// no ASCII text is ever materialised on this path.
 
 package bowtie
 
@@ -15,48 +17,100 @@ import (
 	"fmt"
 	"sort"
 
+	"gotrinity/internal/fm"
 	"gotrinity/internal/kmer"
 	"gotrinity/internal/omp"
 	"gotrinity/internal/seq"
 )
 
-// PackedIndex maps seed k-mers to their occurrences in packed target
-// contigs.
+// PackedIndex locates seed k-mers in packed target contigs through
+// either the seed hash table or the packed FM-index.
 type PackedIndex struct {
 	opt     Options
 	contigs []seq.PackedRecord
-	seeds   map[kmer.Kmer][]hit
+	seeds   map[kmer.Kmer][]hit // HashSeeds backend
+	fmix    *fm.PackedIndex     // FMIndex backend
+	offsets []int               // contig start in the FM text
 	// Bases is the total indexed bases, used by cost models.
 	Bases int
 }
 
-// NewPackedIndex builds a seed index over packed contigs. The FMIndex
-// backend is ASCII-only and is rejected here.
+// NewPackedIndex builds a seed-location index over packed contigs with
+// the configured backend.
 func NewPackedIndex(contigs []seq.PackedRecord, opt Options) (*PackedIndex, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
-	if opt.Backend != HashSeeds {
-		return nil, fmt.Errorf("bowtie: packed index supports HashSeeds only")
-	}
-	ix := &PackedIndex{opt: opt, contigs: contigs, seeds: make(map[kmer.Kmer][]hit)}
+	ix := &PackedIndex{opt: opt, contigs: contigs}
 	for ci := range contigs {
 		ix.Bases += contigs[ci].Seq.Len()
-		it := kmer.NewPackedIterator(contigs[ci].Seq, opt.SeedLen)
-		for {
-			m, pos, ok := it.Next()
-			if !ok {
-				break
+	}
+	switch opt.Backend {
+	case HashSeeds:
+		ix.seeds = make(map[kmer.Kmer][]hit)
+		for ci := range contigs {
+			it := kmer.NewPackedIterator(contigs[ci].Seq, opt.SeedLen)
+			for {
+				m, pos, ok := it.Next()
+				if !ok {
+					break
+				}
+				ix.seeds[m] = append(ix.seeds[m], hit{contig: int32(ci), pos: int32(pos)})
 			}
-			ix.seeds[m] = append(ix.seeds[m], hit{contig: int32(ci), pos: int32(pos)})
 		}
+	case FMIndex:
+		// Same text layout as the ASCII FM backend: every contig is
+		// followed by one separator, so global position = offset + local.
+		segs := make([]seq.Packed, len(contigs))
+		ix.offsets = make([]int, len(contigs))
+		off := 0
+		for ci := range contigs {
+			segs[ci] = contigs[ci].Seq
+			ix.offsets[ci] = off
+			off += contigs[ci].Seq.Len() + 1
+		}
+		fmix, err := fm.NewPacked(segs, fm.BuildOptions{Workers: opt.Threads})
+		if err != nil {
+			return nil, fmt.Errorf("bowtie: packed fm build: %w", err)
+		}
+		ix.fmix = fmix
+	default:
+		return nil, fmt.Errorf("bowtie: unknown backend %d", opt.Backend)
 	}
 	return ix, nil
 }
 
-// MemoryFootprint estimates the index's resident bytes (seed table
-// only, matching the ASCII accounting).
+// lookupSeed appends the hits of seed m to dst. posBuf is the caller's
+// reusable position scratch for the FM path, so a warm lookup performs
+// no allocations on either backend.
+func (ix *PackedIndex) lookupSeed(m kmer.Kmer, dst []hit, posBuf *[]int) []hit {
+	if ix.seeds != nil {
+		return append(dst, ix.seeds[m]...)
+	}
+	*posBuf = ix.fmix.AppendLocateKmer((*posBuf)[:0], m, ix.opt.SeedLen)
+	for _, p := range *posBuf {
+		// Owning contig: greatest ci with offsets[ci] <= p. Matches can
+		// never straddle the separator, so p maps inside one contig.
+		lo, hi := 0, len(ix.offsets)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if ix.offsets[mid] <= p {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		dst = append(dst, hit{contig: int32(lo), pos: int32(p - ix.offsets[lo])})
+	}
+	return dst
+}
+
+// MemoryFootprint estimates the index's resident bytes (seed table or
+// FM structures, matching the ASCII accounting).
 func (ix *PackedIndex) MemoryFootprint() int {
+	if ix.fmix != nil {
+		return ix.fmix.MemoryFootprint() + 8*len(ix.offsets)
+	}
 	n := 0
 	for _, hits := range ix.seeds {
 		n += 8 + 8*len(hits)
@@ -107,6 +161,8 @@ func (a *PackedAligner) alignOneStrand(read seq.Packed, reverse bool, st *Stats)
 	votes := make(map[diagonal]int)
 	it := kmer.NewPackedIterator(read, opt.SeedLen)
 	nextAccept := 0
+	var hitBuf []hit
+	var posBuf []int
 	for {
 		m, pos, ok := it.Next()
 		if !ok {
@@ -119,7 +175,8 @@ func (a *PackedAligner) alignOneStrand(read seq.Packed, reverse bool, st *Stats)
 		if st != nil {
 			st.SeedProbes++
 		}
-		for _, h := range a.ix.seeds[m] {
+		hitBuf = a.ix.lookupSeed(m, hitBuf[:0], &posBuf)
+		for _, h := range hitBuf {
 			votes[diagonal{h.contig, h.pos - int32(pos)}]++
 		}
 	}

@@ -97,9 +97,17 @@ func TestPackedAlignerPerRead(t *testing.T) {
 	}
 }
 
-// TestPackedIndexRejectsFM pins the documented backend restriction.
-func TestPackedIndexRejectsFM(t *testing.T) {
-	if _, err := NewPackedIndex(nil, Options{Backend: FMIndex}); err == nil {
-		t.Fatal("packed index accepted the FM backend")
+// TestPackedIndexBackends pins backend selection: both named backends
+// build, anything else is rejected.
+func TestPackedIndexBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	contigs := seq.PackRecords(makeContigs(rng, 2, 100))
+	for _, backend := range []Backend{HashSeeds, FMIndex} {
+		if _, err := NewPackedIndex(contigs, Options{Backend: backend}); err != nil {
+			t.Fatalf("backend %d: %v", backend, err)
+		}
+	}
+	if _, err := NewPackedIndex(contigs, Options{Backend: Backend(99)}); err == nil {
+		t.Fatal("packed index accepted an unknown backend")
 	}
 }

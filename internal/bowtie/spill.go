@@ -1,0 +1,122 @@
+// External-memory partition spill: a compact binary codec for
+// alignment batches so the pipeline's Bowtie stage can write each
+// partition's results to the dsk-style temp layout instead of holding
+// every partition resident until the merge. The format is
+// varint-framed and self-describing per record, so round-trips are
+// exact and decoding validates truncation.
+package bowtie
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SpillStats meters one alignment spill: how many partitions were
+// written, the bytes that went to disk instead of staying resident,
+// and the largest single partition (the resident high-water mark of a
+// spilling run — only one partition's alignments are in memory at a
+// time on each rank).
+type SpillStats struct {
+	Partitions              int
+	SpillBytes              int64
+	PeakPartitionBytes      int64
+	PeakPartitionAlignments int
+}
+
+// Accumulate folds another spill's counters into st.
+func (st *SpillStats) Accumulate(o SpillStats) {
+	st.Partitions += o.Partitions
+	st.SpillBytes += o.SpillBytes
+	st.PeakPartitionBytes = max(st.PeakPartitionBytes, o.PeakPartitionBytes)
+	st.PeakPartitionAlignments = max(st.PeakPartitionAlignments, o.PeakPartitionAlignments)
+}
+
+// AppendAlignments encodes als onto dst: a uvarint count, then per
+// alignment the length-prefixed ReadID and ContigID strings, the
+// uvarint ReadLen/Contig/Pos/Mismatches, and a Reverse flag byte.
+func AppendAlignments(dst []byte, als []Alignment) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(als)))
+	for i := range als {
+		al := &als[i]
+		dst = binary.AppendUvarint(dst, uint64(len(al.ReadID)))
+		dst = append(dst, al.ReadID...)
+		dst = binary.AppendUvarint(dst, uint64(al.ReadLen))
+		dst = binary.AppendUvarint(dst, uint64(al.Contig))
+		dst = binary.AppendUvarint(dst, uint64(len(al.ContigID)))
+		dst = append(dst, al.ContigID...)
+		dst = binary.AppendUvarint(dst, uint64(al.Pos))
+		if al.Reverse {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, uint64(al.Mismatches))
+	}
+	return dst
+}
+
+// DecodeAlignments decodes one AppendAlignments batch, verifying the
+// buffer is fully and exactly consumed.
+func DecodeAlignments(b []byte) ([]Alignment, error) {
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("bowtie: truncated spill varint")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	str := func() (string, error) {
+		l, err := u()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(b)) < l {
+			return "", fmt.Errorf("bowtie: truncated spill string")
+		}
+		s := string(b[:l])
+		b = b[l:]
+		return s, nil
+	}
+	count, err := u()
+	if err != nil {
+		return nil, err
+	}
+	als := make([]Alignment, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var al Alignment
+		if al.ReadID, err = str(); err != nil {
+			return nil, err
+		}
+		v, err := u()
+		if err != nil {
+			return nil, err
+		}
+		al.ReadLen = int(v)
+		if v, err = u(); err != nil {
+			return nil, err
+		}
+		al.Contig = int(v)
+		if al.ContigID, err = str(); err != nil {
+			return nil, err
+		}
+		if v, err = u(); err != nil {
+			return nil, err
+		}
+		al.Pos = int(v)
+		if len(b) == 0 {
+			return nil, fmt.Errorf("bowtie: truncated spill flag")
+		}
+		al.Reverse = b[0] != 0
+		b = b[1:]
+		if v, err = u(); err != nil {
+			return nil, err
+		}
+		al.Mismatches = int(v)
+		als = append(als, al)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("bowtie: %d trailing spill bytes", len(b))
+	}
+	return als, nil
+}

@@ -1,0 +1,72 @@
+package bowtie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSpillRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		als := make([]Alignment, rng.Intn(50))
+		for i := range als {
+			als[i] = Alignment{
+				ReadID:     contigID(rng.Intn(100)) + "r",
+				ReadLen:    rng.Intn(200),
+				Contig:     rng.Intn(1000),
+				ContigID:   contigID(rng.Intn(100)),
+				Pos:        rng.Intn(1 << 20),
+				Reverse:    rng.Intn(2) == 0,
+				Mismatches: rng.Intn(4),
+			}
+		}
+		got, err := DecodeAlignments(AppendAlignments(nil, als))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(als) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty batch decoded to %d", len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, als) {
+			t.Fatalf("round trip differs: %+v vs %+v", got, als)
+		}
+	}
+}
+
+func TestSpillEdgeCases(t *testing.T) {
+	// Empty IDs and zero fields survive.
+	als := []Alignment{{}, {ReadID: "", ContigID: "", Reverse: true}}
+	got, err := DecodeAlignments(AppendAlignments(nil, als))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, als) {
+		t.Fatalf("round trip differs: %+v", got)
+	}
+	// Batches concatenate via the caller's framing, not this codec:
+	// trailing bytes are an error.
+	b := AppendAlignments(nil, als)
+	if _, err := DecodeAlignments(append(b, 0)); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+	// Truncations at every prefix length fail, never panic.
+	for i := 0; i < len(b); i++ {
+		if _, err := DecodeAlignments(b[:i]); err == nil && i > 1 {
+			t.Fatalf("accepted truncation at %d", i)
+		}
+	}
+}
+
+func TestSpillStatsAccumulate(t *testing.T) {
+	var st SpillStats
+	st.Accumulate(SpillStats{Partitions: 2, SpillBytes: 100, PeakPartitionBytes: 60, PeakPartitionAlignments: 5})
+	st.Accumulate(SpillStats{Partitions: 1, SpillBytes: 50, PeakPartitionBytes: 40, PeakPartitionAlignments: 9})
+	want := SpillStats{Partitions: 3, SpillBytes: 150, PeakPartitionBytes: 60, PeakPartitionAlignments: 9}
+	if st != want {
+		t.Fatalf("accumulated %+v, want %+v", st, want)
+	}
+}

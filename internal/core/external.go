@@ -10,6 +10,7 @@
 package core
 
 import (
+	"gotrinity/internal/bowtie"
 	"gotrinity/internal/dsk"
 	"gotrinity/internal/jellyfish"
 	"gotrinity/internal/seq"
@@ -66,6 +67,24 @@ type ExternalReport struct {
 	// WithinBudget reports ResidentPeakBytes <= BudgetBytes (true when
 	// unbudgeted).
 	WithinBudget bool
+
+	// BowtieSpill meters the Bowtie partition spill when the tail wrote
+	// per-partition alignments to the temp layout instead of holding
+	// every partition resident until the merge (nil when the stage did
+	// not spill — e.g. a single partition).
+	BowtieSpill *bowtie.SpillStats
+}
+
+// addBowtieSpill folds the Bowtie stage's partition spill into the
+// report: the spilled bytes join the avoided in-memory working set,
+// and the counting peak competes with the largest resident partition
+// for the run's true peak (the two passes never overlap in time).
+func (rep *ExternalReport) addBowtieSpill(st bowtie.SpillStats) {
+	sc := st
+	rep.BowtieSpill = &sc
+	rep.ResidentPeakBytes = rep.PackedSeqBytes + max(rep.CountingPeakBytes, st.PeakPartitionBytes)
+	rep.InMemoryBytes = rep.ASCIISeqBytes + rep.InMemoryCountBytes + st.SpillBytes
+	rep.WithinBudget = rep.BudgetBytes == 0 || rep.ResidentPeakBytes <= rep.BudgetBytes
 }
 
 // countEntryBytes approximates one resident count-table entry: an

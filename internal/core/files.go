@@ -93,8 +93,8 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 	}
 
 	// bowtie: reads + contigs -> SAM. The packed default indexes and
-	// verifies the 2-bit forms (HashSeeds only; the FM backend keeps
-	// the ASCII text it operates on).
+	// verifies the 2-bit forms on either backend (the packed FM-index
+	// searches seed k-mers straight from their packed form).
 	contigs, err = seq.ReadFastaFile(art.Contigs)
 	if err != nil {
 		return nil, err
@@ -107,7 +107,7 @@ func RunFiles(readsPath, workDir string, cfg Config) (*FileArtifacts, error) {
 		}
 	}
 	var als []bowtie.Alignment
-	if preads != nil && cfg.Bowtie.Backend == bowtie.HashSeeds {
+	if preads != nil {
 		prec := make([]seq.PackedRecord, len(contigs))
 		for i := range contigs {
 			prec[i] = seq.PackedRecord{ID: contigs[i].ID, Seq: pcontigs[i]}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"gotrinity/internal/bowtie"
+	"gotrinity/internal/rnaseq"
+)
+
+// TestRunFMBackendsIdentical is the tentpole end-to-end pin: selecting
+// the packed FM seed-location backend must reproduce the hash-backend
+// run byte-for-byte at every rank count, on both tails.
+func TestRunFMBackendsIdentical(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(31))
+	for _, ranks := range []int{1, 4, 16} {
+		for _, streaming := range []bool{false, true} {
+			cfg := tinyConfig()
+			cfg.Ranks = ranks
+			cfg.Seed = 5
+			cfg.Streaming.Enabled = streaming
+			want, err := Run(d.Reads, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Bowtie.Backend = bowtie.FMIndex
+			got, err := Run(d.Reads, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := "fm-backend"
+			if streaming {
+				name = "fm-backend/streaming"
+			}
+			sameRunOutput(t, name, got, want)
+		}
+	}
+}
+
+// TestRunFMBackendFaults composes the FM backend with injected rank
+// kills and recovery, barrier and streaming alike.
+func TestRunFMBackendFaults(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(36))
+	base := tinyConfig()
+	base.Ranks = 4
+	base.Seed = 5
+	want, err := Run(d.Reads, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, streaming := range []bool{false, true} {
+		cfg := base
+		cfg.Bowtie.Backend = bowtie.FMIndex
+		cfg.Streaming.Enabled = streaming
+		cfg.FaultSeed = 2
+		got, err := Run(d.Reads, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Faults == nil || len(got.Faults.Injected) == 0 {
+			t.Fatalf("streaming=%v: no fault fired", streaming)
+		}
+		sameRunOutput(t, "fm-backend/faulted", got, want)
+	}
+}
+
+// TestRunExternalBowtieSpill pins the external Bowtie partition spill:
+// with External.Enabled the per-partition alignments round-trip
+// through the temp layout without changing any output, the report
+// meters the spill, and the budget arithmetic folds the largest
+// resident partition into the run peak.
+func TestRunExternalBowtieSpill(t *testing.T) {
+	d := rnaseq.Generate(rnaseq.Tiny(33))
+	for _, streaming := range []bool{false, true} {
+		for _, backend := range []bowtie.Backend{bowtie.HashSeeds, bowtie.FMIndex} {
+			cfg := tinyConfig()
+			cfg.Ranks = 4
+			cfg.Seed = 5
+			cfg.Streaming.Enabled = streaming
+			cfg.Bowtie.Backend = backend
+			want, err := Run(d.Reads, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.External = ExternalConfig{Enabled: true, TmpDir: t.TempDir(), Partitions: 8}
+			got, err := Run(d.Reads, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRunOutput(t, "external/spill", got, want)
+			rep := got.External
+			if rep == nil || rep.BowtieSpill == nil {
+				t.Fatal("external run produced no bowtie spill report")
+			}
+			sp := rep.BowtieSpill
+			if sp.Partitions == 0 || sp.SpillBytes <= 0 {
+				t.Errorf("streaming=%v: empty spill stats %+v", streaming, sp)
+			}
+			if sp.PeakPartitionBytes <= 0 || sp.PeakPartitionBytes > sp.SpillBytes {
+				t.Errorf("streaming=%v: peak partition %d vs total %d", streaming, sp.PeakPartitionBytes, sp.SpillBytes)
+			}
+			if sp.PeakPartitionAlignments <= 0 {
+				t.Errorf("streaming=%v: no partition alignments metered", streaming)
+			}
+			if rep.ResidentPeakBytes != rep.PackedSeqBytes+max(rep.CountingPeakBytes, sp.PeakPartitionBytes) {
+				t.Errorf("resident peak %d does not fold the spill peak", rep.ResidentPeakBytes)
+			}
+			if rep.InMemoryBytes != rep.ASCIISeqBytes+rep.InMemoryCountBytes+sp.SpillBytes {
+				t.Errorf("in-memory working set %d does not count the spilled bytes", rep.InMemoryBytes)
+			}
+		}
+	}
+}

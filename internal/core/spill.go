@@ -1,0 +1,79 @@
+// Bowtie partition spill: under external-memory mode the tail writes
+// each partition's alignments to the dsk-style temp layout as soon as
+// the partition finishes, so only one partition's alignments per
+// worker are resident at a time instead of all of them until the
+// merge. The merge reads the files back in partition order, keeping
+// output byte-identical to the resident path.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gotrinity/internal/bowtie"
+)
+
+// alignmentSpill owns one spill directory and its budget meter. put
+// and get are safe for concurrent partitions.
+type alignmentSpill struct {
+	dir   string
+	mu    sync.Mutex
+	stats bowtie.SpillStats
+}
+
+// newAlignmentSpill creates the spill directory under tmpDir (""
+// means os.TempDir()), mirroring dsk's partition-file layout.
+func newAlignmentSpill(tmpDir string) (*alignmentSpill, error) {
+	dir, err := os.MkdirTemp(tmpDir, "bowtie-")
+	if err != nil {
+		return nil, fmt.Errorf("core: bowtie spill dir: %w", err)
+	}
+	return &alignmentSpill{dir: dir}, nil
+}
+
+func (sp *alignmentSpill) partPath(p int) string {
+	return filepath.Join(sp.dir, fmt.Sprintf("part%04d.aln", p))
+}
+
+// put encodes and writes partition p's alignments, updating the spill
+// meter; the caller drops its resident copy afterwards.
+func (sp *alignmentSpill) put(p int, als []bowtie.Alignment) error {
+	buf := bowtie.AppendAlignments(nil, als)
+	if err := os.WriteFile(sp.partPath(p), buf, 0o644); err != nil {
+		return fmt.Errorf("core: bowtie spill write: %w", err)
+	}
+	sp.mu.Lock()
+	sp.stats.Partitions++
+	sp.stats.SpillBytes += int64(len(buf))
+	sp.stats.PeakPartitionBytes = max(sp.stats.PeakPartitionBytes, int64(len(buf)))
+	sp.stats.PeakPartitionAlignments = max(sp.stats.PeakPartitionAlignments, len(als))
+	sp.mu.Unlock()
+	return nil
+}
+
+// get reads partition p's alignments back for the merge.
+func (sp *alignmentSpill) get(p int) ([]bowtie.Alignment, error) {
+	buf, err := os.ReadFile(sp.partPath(p))
+	if err != nil {
+		return nil, fmt.Errorf("core: bowtie spill read: %w", err)
+	}
+	als, err := bowtie.DecodeAlignments(buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: bowtie spill partition %d: %w", p, err)
+	}
+	return als, nil
+}
+
+// snapshot returns the accumulated meter.
+func (sp *alignmentSpill) snapshot() bowtie.SpillStats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.stats
+}
+
+// cleanup removes the spill directory and every partition file.
+func (sp *alignmentSpill) cleanup() {
+	os.RemoveAll(sp.dir)
+}

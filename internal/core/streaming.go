@@ -339,6 +339,19 @@ func runStreamingTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Conf
 				}
 			}
 
+			// Under external mode partitions spill to the temp layout as
+			// they finish (same discipline as the barrier tail): the
+			// reorder buffer holds empty shells and the merge reads the
+			// files back in release order.
+			var spill *alignmentSpill
+			if cfg.External.Enabled {
+				var err error
+				if spill, err = newAlignmentSpill(cfg.External.TmpDir); err != nil {
+					return err
+				}
+				defer spill.cleanup()
+			}
+
 			type partOut struct {
 				als []bowtie.Alignment
 				st  bowtie.Stats
@@ -386,6 +399,14 @@ func runStreamingTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Conf
 						cfg.Trace.RealSpan("bowtie", fmt.Sprintf("partition%d", p),
 							t0.Sub(runStart).Seconds(), time.Since(t0).Seconds(),
 							fmt.Sprintf("contigs=%d bases=%d alignments=%d", len(idx[p]), bases, len(als)))
+						if spill != nil {
+							if err := spill.put(p, als); err != nil {
+								errsByPart[p] = err
+								r.cancel()
+								return
+							}
+							als = nil // dropped; the merge reads it back
+						}
 						mu.Lock()
 						rel, perr := mb.Push(p, partOut{als: als, st: st})
 						merged = append(merged, rel...)
@@ -416,9 +437,19 @@ func runStreamingTail(reads []seq.Record, pp *packedPipe, res *Result, cfg *Conf
 			var nodeAls [][]bowtie.Alignment
 			units := make([]float64, 0, len(merged))
 			for _, it := range merged {
-				nodeAls = append(nodeAls, it.val.als)
+				als := it.val.als
+				if spill != nil {
+					var err error
+					if als, err = spill.get(it.idx); err != nil {
+						return err
+					}
+				}
+				nodeAls = append(nodeAls, als)
 				res.BowtieStats.Accumulate(it.val.st, concurrent)
 				units = append(units, float64(it.val.st.SeedProbes+it.val.st.BasesCompared))
+			}
+			if spill != nil && res.External != nil {
+				res.External.addBowtieSpill(spill.snapshot())
 			}
 			res.Tail.PartitionUnits = units
 			res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))

@@ -264,6 +264,19 @@ func runBowtiePartitions(reads []seq.Record, pp *packedPipe, res *Result, cfg *C
 		}
 	}
 
+	// Under external mode, partitions spill their alignments to the
+	// temp layout as they finish and the merge reads them back, so the
+	// resident alignment state is one partition per worker, not all of
+	// them.
+	var spill *alignmentSpill
+	if cfg.External.Enabled {
+		var err error
+		if spill, err = newAlignmentSpill(cfg.External.TmpDir); err != nil {
+			return err
+		}
+		defer spill.cleanup()
+	}
+
 	type partOut struct {
 		als   []bowtie.Alignment
 		st    bowtie.Stats
@@ -282,10 +295,18 @@ func runBowtiePartitions(reads []seq.Record, pp *packedPipe, res *Result, cfg *C
 			outs[p].err = err
 			return
 		}
+		nAls := len(als)
+		if spill != nil {
+			if err := spill.put(p, als); err != nil {
+				outs[p].err = err
+				return
+			}
+			als = nil // resident copy dropped; the merge reads it back
+		}
 		outs[p] = partOut{als: als, st: st, bases: bases}
 		cfg.Trace.RealSpan("bowtie", fmt.Sprintf("partition%d", p),
 			t0.Sub(runStart).Seconds(), time.Since(t0).Seconds(),
-			fmt.Sprintf("contigs=%d bases=%d alignments=%d", len(ids), bases, len(als)))
+			fmt.Sprintf("contigs=%d bases=%d alignments=%d", len(ids), bases, nAls))
 	}
 	if concurrent {
 		omp.ParallelFor(len(idx), workers, omp.Schedule{Kind: omp.Dynamic},
@@ -307,9 +328,19 @@ func runBowtiePartitions(reads []seq.Record, pp *packedPipe, res *Result, cfg *C
 		if len(idx[p]) == 0 {
 			continue
 		}
-		nodeAls = append(nodeAls, outs[p].als)
+		als := outs[p].als
+		if spill != nil {
+			var err error
+			if als, err = spill.get(p); err != nil {
+				return err
+			}
+		}
+		nodeAls = append(nodeAls, als)
 		res.BowtieStats.Accumulate(outs[p].st, concurrent)
 		units = append(units, float64(outs[p].st.SeedProbes+outs[p].st.BasesCompared))
+	}
+	if spill != nil && res.External != nil {
+		res.External.addBowtieSpill(spill.snapshot())
 	}
 	res.Tail.PartitionUnits = units
 	res.Alignments = bowtie.BestPerRead(bowtie.MergeSAM(nodeAls))
@@ -320,17 +351,20 @@ func runBowtiePartitions(reads []seq.Record, pp *packedPipe, res *Result, cfg *C
 // alignPartition aligns all reads against one contig partition and
 // renumbers the hits to global contig indices via the partition's
 // offset table — the per-partition unit shared by the barrier and
-// streaming bowtie stages. With a packed pipe and the HashSeeds
-// backend the partition is indexed and verified 2-bit packed (the
-// FM-index operates on ASCII text, so that backend keeps the ASCII
-// path); alignments and stats are byte-identical either way.
+// streaming bowtie stages. With a packed pipe the partition is indexed
+// and verified 2-bit packed on either backend (the packed FM-index
+// backward-searches seed k-mers straight from their packed form);
+// alignments and stats are byte-identical to the ASCII path either
+// way. The fm build runs with Pool=nil: this function already executes
+// under an acquired tail-pool token, so drawing more tokens here would
+// deadlock the pool.
 func alignPartition(reads []seq.Record, pp *packedPipe, contigs []seq.Record, ids []int, cfg *Config, inner int) ([]bowtie.Alignment, bowtie.Stats, int, error) {
 	bases := 0
 	opt := cfg.Bowtie
 	opt.Threads = inner
 	var als []bowtie.Alignment
 	var st bowtie.Stats
-	if pp != nil && cfg.Bowtie.Backend == bowtie.HashSeeds {
+	if pp != nil {
 		part := make([]seq.PackedRecord, len(ids))
 		for j, ci := range ids {
 			part[j] = seq.PackedRecord{ID: contigs[ci].ID, Seq: pp.contigs[ci]}

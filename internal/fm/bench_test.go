@@ -1,0 +1,167 @@
+package fm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gotrinity/internal/seq"
+)
+
+// The bench-fm corpus: one contig-scale random text, indexed both
+// ways, probed with seed-length patterns drawn from the text — the
+// Bowtie backend's access pattern. Recorded as BENCH_fm.json; the
+// review gates are searchx (packed/ascii backward-search speedup) and
+// residentx (ascii/packed resident ratio) >= 3, and the build
+// workers=4 vs workers=1 speedup > 1.5.
+const benchTextLen = 1 << 18
+
+func benchText(b *testing.B) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	return randDNA(rng, benchTextLen)
+}
+
+func benchPatterns(text []byte, n, k int) [][]byte {
+	rng := rand.New(rand.NewSource(5))
+	out := make([][]byte, n)
+	for i := range out {
+		start := rng.Intn(len(text) - k)
+		out[i] = text[start : start+k]
+	}
+	return out
+}
+
+func BenchmarkFMSearchASCII(b *testing.B) {
+	text := benchText(b)
+	ix, err := New(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := benchPatterns(text, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(pats[i%len(pats)])
+	}
+}
+
+func BenchmarkFMSearchPacked(b *testing.B) {
+	text := benchText(b)
+	ix, err := NewPacked([]seq.Packed{seq.Pack(text)}, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := benchPatterns(text, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(pats[i%len(pats)])
+	}
+}
+
+// BenchmarkFMSearchRatio runs both backends under one timer-neutral
+// body and reports the packed/ascii throughput ratio as a custom
+// metric, so the >= 3x gate is a single number in BENCH_fm.json.
+func BenchmarkFMSearchRatio(b *testing.B) {
+	text := benchText(b)
+	ascii, err := New(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packed, err := NewPacked([]seq.Packed{seq.Pack(text)}, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := benchPatterns(text, 64, 16)
+	probe := func(search func([]byte) (int, int), rounds int) float64 {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, p := range pats {
+				search(p)
+			}
+		}
+		return float64(time.Since(start))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		asciiNS := probe(ascii.Search, 8)
+		packedNS := probe(packed.Search, 8)
+		b.ReportMetric(asciiNS/packedNS, "searchx")
+	}
+}
+
+func BenchmarkFMLocateASCII(b *testing.B) {
+	text := benchText(b)
+	ix, err := New(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := benchPatterns(text, 64, 16)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.AppendLocate(buf[:0], pats[i%len(pats)])
+	}
+}
+
+func BenchmarkFMLocatePacked(b *testing.B) {
+	text := benchText(b)
+	ix, err := NewPacked([]seq.Packed{seq.Pack(text)}, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := benchPatterns(text, 64, 16)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo, hi := ix.Search(pats[i%len(pats)])
+		buf = ix.appendRows(buf[:0], lo, hi)
+	}
+}
+
+// BenchmarkFMResident reports the two footprints and their ratio as
+// custom metrics (the work loop is a footprint recomputation so the
+// benchmark has a body).
+func BenchmarkFMResident(b *testing.B) {
+	text := benchText(b)
+	ascii, err := New(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packed, err := NewPacked([]seq.Packed{seq.Pack(text)}, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, p := ascii.MemoryFootprint(), packed.MemoryFootprint()
+		b.ReportMetric(float64(a), "ascii_bytes")
+		b.ReportMetric(float64(p), "packed_bytes")
+		b.ReportMetric(float64(a)/float64(p), "residentx")
+	}
+}
+
+// BenchmarkFMBuildWorkers sweeps the construction worker count over
+// the same text. Alongside wall time it reports model_speedup_x, the
+// deterministic LPT makespan model over the builder's actual work
+// decomposition (the BENCH_pipeline.json idiom — wall clock cannot
+// exhibit scaling on a single-CPU host); the workers=4 line must stay
+// > 1.5x.
+func BenchmarkFMBuildWorkers(b *testing.B) {
+	text := benchText(b)
+	seg := []seq.Packed{seq.Pack(text)}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			prof := &saProfile{}
+			for i := 0; i < b.N; i++ {
+				prof.rangeUnits = 0
+				prof.chunkPhases = prof.chunkPhases[:0]
+				if _, err := NewPacked(seg, BuildOptions{Workers: workers, profile: prof}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(prof.modelSpeedup(workers), "model_speedup_x")
+		})
+	}
+}

@@ -1,0 +1,433 @@
+// Parallel suffix-array construction: a packed radix pass buckets
+// every suffix by its first radixDepth codes, then prefix doubling
+// refines only the still-tied groups, each group sorted independently
+// — the unit of parallelism. A doubling round is two phases with a
+// barrier between them: phase A sorts each group by the offset rank
+// and stages the refined ranks in a scratch array (reads of the
+// published ranks are arbitrary-position, so no group may publish
+// early), phase B publishes the staged ranks group-locally. Groups are
+// disjoint sa ranges, so both phases are race-free by construction,
+// and the final suffix array is unique (the sentinel makes every
+// suffix distinct), so the result is identical for any worker count.
+//
+// All working state beyond the returned suffix array lives in pooled
+// scratch (saScratchPool): construction performs a bounded number of
+// allocations regardless of text size or round count.
+package fm
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gotrinity/internal/omp"
+)
+
+// BuildOptions tunes index construction. The zero value builds with a
+// single worker.
+type BuildOptions struct {
+	// Workers is the construction worker count (<= 1 builds serially).
+	// The built index is identical for every worker count.
+	Workers int
+
+	// Pool, when non-nil, is a shared execution-token budget the
+	// construction workers draw from (the streaming tail's TokenPool
+	// discipline): a worker holds a token only while computing on a
+	// chunk, never while idle, so concurrent builds share one budget.
+	// Callers already running under an acquired token must pass nil.
+	Pool *omp.TokenPool
+
+	// profile, when non-nil, collects the builder's deterministic work
+	// units for the LPT scaling model (bench-fm).
+	profile *saProfile
+}
+
+// saProfile meters the builder's parallel structure in deterministic
+// work units — functions of the text alone, independent of worker
+// count and wall clock — mirroring the pipeline tail's LPT makespan
+// model (BENCH_pipeline.json): on a single-CPU host wall clock cannot
+// exhibit scaling, so the recorded construction speedup is the
+// modelled makespan ratio over the actual work decomposition.
+type saProfile struct {
+	// rangeUnits is the perfectly divisible index-loop work (radix
+	// histogram + scatter passes), one unit per text position per pass.
+	rangeUnits float64
+	// chunkPhases holds, for every dynamically scheduled group phase,
+	// the per-chunk work weights the workers race to claim.
+	chunkPhases [][]float64
+}
+
+// modelSpeedup returns serial work over the modelled parallel
+// makespan: divisible range work splits evenly, chunked phases take
+// their LPT makespan over the recorded chunk weights.
+func (p *saProfile) modelSpeedup(workers int) float64 {
+	serial := p.rangeUnits
+	par := p.rangeUnits / float64(workers)
+	for _, chunks := range p.chunkPhases {
+		for _, u := range chunks {
+			serial += u
+		}
+		par += omp.LPTMakespan(chunks, workers)
+	}
+	if par == 0 {
+		return 1
+	}
+	return serial / par
+}
+
+// chunkWeights folds the flattened group list into per-chunk work
+// weights at the scheduler's groupChunk granularity. cost maps a group
+// size to its work units.
+func chunkWeights(groups []int32, cost func(size int) float64) []float64 {
+	ng := len(groups) / 2
+	weights := make([]float64, 0, (ng+groupChunk-1)/groupChunk)
+	for lo := 0; lo < ng; lo += groupChunk {
+		w := 0.0
+		for g := lo; g < min(lo+groupChunk, ng); g++ {
+			w += cost(int(groups[2*g+1] - groups[2*g]))
+		}
+		weights = append(weights, w)
+	}
+	return weights
+}
+
+func sortCost(size int) float64 {
+	u := float64(size)
+	for s := size; s > 1; s >>= 1 { // size * ceil(log2 size)
+		u += float64(size)
+	}
+	return u
+}
+
+func linearCost(size int) float64 { return float64(size) }
+
+const (
+	// radixDepth leading codes keyed at 3 bits each (codes are < 8)
+	// seed the initial bucket order: 4096 buckets, so the doubling
+	// rounds start at offset 4 with fine-grained groups to fan out.
+	radixDepth   = 4
+	radixBits    = 3
+	radixBuckets = 1 << (radixBits * radixDepth)
+
+	// serialBuildLimit is the text size below which fan-out overhead
+	// exceeds the work and one worker is used regardless of Workers.
+	serialBuildLimit = 1 << 12
+
+	// groupChunk is the dynamic-schedule granularity of the per-group
+	// phases: groups are handed to workers this many at a time.
+	groupChunk = 16
+)
+
+// saScratch is the reusable working state of one construction. The
+// round state (h, groups) lives here rather than in locals so the
+// phase closures can read it through the already-heap-resident scratch
+// pointer instead of forcing boxed captures.
+type saScratch struct {
+	rank   []int32
+	next   []int32
+	groups []int32   // flattened (lo, hi) pairs of unresolved sa ranges
+	fresh  [][]int32 // per-worker subgroup collection buffers
+	counts []int32   // radix histogram stripes + bucket starts
+	h      int       // current doubling offset
+}
+
+var saScratchPool = sync.Pool{New: func() any { return new(saScratch) }}
+
+func (s *saScratch) ensure(n, workers int) {
+	if cap(s.rank) < n {
+		s.rank = make([]int32, n)
+	} else {
+		s.rank = s.rank[:n]
+	}
+	if cap(s.next) < n {
+		s.next = make([]int32, n)
+	} else {
+		s.next = s.next[:n]
+	}
+	need := (workers + 1) * radixBuckets
+	if cap(s.counts) < need {
+		s.counts = make([]int32, need)
+	} else {
+		s.counts = s.counts[:need]
+	}
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	if cap(s.fresh) < workers {
+		grown := make([][]int32, workers)
+		copy(grown, s.fresh)
+		s.fresh = grown
+	} else {
+		s.fresh = s.fresh[:workers]
+	}
+	s.groups = s.groups[:0]
+}
+
+// radixKey packs the first radixDepth codes of suffix i into one
+// integer, 3 bits per code, out-of-range positions reading as 0. The
+// padding cannot conflate distinct prefixes: only the sentinel stores
+// code 0, it is unique, and it terminates every suffix, so any suffix
+// short enough to pad is already uniquely keyed by its in-range codes.
+func radixKey(t []byte, i, n int) int {
+	k := int(t[i]) << 9
+	if i+1 < n {
+		k |= int(t[i+1]) << 6
+	}
+	if i+2 < n {
+		k |= int(t[i+2]) << 3
+	}
+	if i+3 < n {
+		k |= int(t[i+3])
+	}
+	return k
+}
+
+// groupKey is the doubling-round secondary key of suffix i: the
+// published rank at offset h, or -1 past the end of the text.
+func groupKey(rank []int32, i int32, h, n int) int32 {
+	j := int(i) + h
+	if j >= n {
+		return -1
+	}
+	return rank[j]
+}
+
+// parallelRanges statically splits [0, n) into one contiguous range
+// per worker — the shape the stripe-offset radix phases require. Each
+// worker computes under one pool token when a pool is set.
+func parallelRanges(n, workers int, pool *omp.TokenPool, body func(lo, hi, w int)) {
+	if workers <= 1 {
+		body(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/workers, (w+1)*n/workers
+			if lo >= hi {
+				return
+			}
+			if pool != nil {
+				pool.Acquire(nil)
+				defer pool.Release()
+			}
+			body(lo, hi, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelChunks runs body over [0, m) in dynamically scheduled chunks
+// — the shape the non-uniform group phases require. Worker ids are
+// unique per goroutine, so per-worker buffers indexed by w are
+// race-free. Tokens are held only while a chunk computes.
+func parallelChunks(m, workers, chunk int, pool *omp.TokenPool, body func(lo, hi, w int)) {
+	if workers <= 1 || m <= chunk {
+		body(0, m, 0)
+		return
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
+				if lo >= m {
+					return
+				}
+				hi := min(lo+chunk, m)
+				if pool != nil {
+					pool.Acquire(nil)
+				}
+				body(lo, hi, w)
+				if pool != nil {
+					pool.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// buildSuffixArray constructs the suffix array of the encoded text
+// (codes < 8, unique smallest sentinel last) by radix bucketing plus
+// per-group prefix doubling. Only the returned array is allocated;
+// every other buffer comes from pooled scratch.
+func buildSuffixArray(t []byte, opt BuildOptions) []int32 {
+	n := len(t)
+	sa := make([]int32, n)
+	if n == 0 {
+		return sa
+	}
+	if n > math.MaxInt32 {
+		panic("fm: text exceeds int32 suffix positions")
+	}
+	workers := opt.Workers
+	if workers <= 1 || n < serialBuildLimit {
+		workers = 1
+	}
+	pool := opt.Pool
+	s := saScratchPool.Get().(*saScratch)
+	defer saScratchPool.Put(s)
+	s.ensure(n, workers)
+	rank, next := s.rank, s.next
+
+	// --- Initial order: bucket every suffix by its first radixDepth
+	// codes. Histogram and scatter run striped per worker over fixed
+	// index ranges, so the in-bucket order (ascending position) and the
+	// result are worker-count independent.
+	counts := s.counts
+	parallelRanges(n, workers, pool, func(lo, hi, w int) {
+		stripe := counts[w*radixBuckets : (w+1)*radixBuckets]
+		for i := lo; i < hi; i++ {
+			stripe[radixKey(t, i, n)]++
+		}
+	})
+	starts := counts[workers*radixBuckets:]
+	run := int32(0)
+	for b := 0; b < radixBuckets; b++ {
+		starts[b] = run
+		for w := 0; w < workers; w++ {
+			c := counts[w*radixBuckets+b]
+			counts[w*radixBuckets+b] = run
+			run += c
+		}
+	}
+	// Scatter, and set the initial rank of each suffix to its bucket's
+	// start row (head-of-group rank, the invariant every doubling round
+	// preserves: a resolved suffix's rank is its final sa row).
+	parallelRanges(n, workers, pool, func(lo, hi, w int) {
+		stripe := counts[w*radixBuckets : (w+1)*radixBuckets]
+		for i := lo; i < hi; i++ {
+			b := radixKey(t, i, n)
+			sa[stripe[b]] = int32(i)
+			stripe[b]++
+			rank[i] = starts[b]
+		}
+	})
+	s.groups = s.groups[:0]
+	for b := 0; b < radixBuckets; b++ {
+		lo := int(starts[b])
+		hi := n
+		if b+1 < radixBuckets {
+			hi = int(starts[b+1])
+		}
+		if hi-lo >= 2 {
+			s.groups = append(s.groups, int32(lo), int32(hi))
+		}
+	}
+
+	// --- Doubling rounds over the surviving groups only. The two phase
+	// closures are created once, outside the loop (they read the round
+	// state h/groups through s), so the allocation count stays
+	// independent of the round count.
+	s.h = radixDepth
+	// Phase A: per group, sort by the offset rank, stage refined ranks
+	// in next, and collect subgroups still tied at 2h.
+	phaseA := func(glo, ghi, w int) {
+		fresh, h := s.fresh[w], s.h
+		for g := glo; g < ghi; g++ {
+			lo, hi := int(s.groups[2*g]), int(s.groups[2*g+1])
+			sortGroup(sa, rank, lo, hi, h, n)
+			subLo := lo
+			for p := lo; p < hi; p++ {
+				if p > lo && groupKey(rank, sa[p], h, n) != groupKey(rank, sa[p-1], h, n) {
+					if p-subLo >= 2 {
+						fresh = append(fresh, int32(subLo), int32(p))
+					}
+					subLo = p
+				}
+				next[sa[p]] = int32(subLo)
+			}
+			if hi-subLo >= 2 {
+				fresh = append(fresh, int32(subLo), int32(hi))
+			}
+		}
+		s.fresh[w] = fresh
+	}
+	// Phase B: publish the staged ranks (group-local writes; no reads
+	// of rank, so safe to run concurrently with itself).
+	phaseB := func(glo, ghi, w int) {
+		for g := glo; g < ghi; g++ {
+			for p := s.groups[2*g]; p < s.groups[2*g+1]; p++ {
+				rank[sa[p]] = next[sa[p]]
+			}
+		}
+	}
+	if opt.profile != nil {
+		opt.profile.rangeUnits += 2 * float64(n) // histogram + scatter passes
+	}
+	for len(s.groups) > 0 {
+		ng := len(s.groups) / 2
+		for w := range s.fresh {
+			s.fresh[w] = s.fresh[w][:0]
+		}
+		if opt.profile != nil {
+			opt.profile.chunkPhases = append(opt.profile.chunkPhases,
+				chunkWeights(s.groups, sortCost), chunkWeights(s.groups, linearCost))
+		}
+		parallelChunks(ng, workers, groupChunk, pool, phaseA)
+		parallelChunks(ng, workers, groupChunk, pool, phaseB)
+		s.groups = s.groups[:0]
+		for w := range s.fresh {
+			s.groups = append(s.groups, s.fresh[w]...)
+		}
+		s.h *= 2
+	}
+	return sa
+}
+
+// sortGroup orders sa[lo:hi) by groupKey without allocating: three-way
+// quicksort (median-of-three pivot, smaller side recursed) with
+// insertion sort below 12 elements. Stability is unnecessary — equal
+// keys form a subgroup whose internal order the next round resolves.
+func sortGroup(sa, rank []int32, lo, hi, h, n int) {
+	for hi-lo > 12 {
+		mid := int(uint(lo+hi) >> 1)
+		a, b, c := groupKey(rank, sa[lo], h, n), groupKey(rank, sa[mid], h, n), groupKey(rank, sa[hi-1], h, n)
+		pivot := a
+		if (a <= b) == (b <= c) {
+			pivot = b
+		} else if (b <= a) == (a <= c) {
+			pivot = a
+		} else {
+			pivot = c
+		}
+		p, i, q := lo, lo, hi
+		for i < q {
+			k := groupKey(rank, sa[i], h, n)
+			switch {
+			case k < pivot:
+				sa[p], sa[i] = sa[i], sa[p]
+				p++
+				i++
+			case k > pivot:
+				q--
+				sa[i], sa[q] = sa[q], sa[i]
+			default:
+				i++
+			}
+		}
+		if p-lo < hi-q {
+			sortGroup(sa, rank, lo, p, h, n)
+			lo = q
+		} else {
+			sortGroup(sa, rank, q, hi, h, n)
+			hi = p
+		}
+	}
+	for i := lo + 1; i < hi; i++ {
+		v := sa[i]
+		k := groupKey(rank, v, h, n)
+		j := i - 1
+		for j >= lo && groupKey(rank, sa[j], h, n) > k {
+			sa[j+1] = sa[j]
+			j--
+		}
+		sa[j+1] = v
+	}
+}

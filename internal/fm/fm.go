@@ -1,16 +1,20 @@
 // Package fm implements the Burrows-Wheeler-transform full-text index
 // that the real Bowtie aligner is built on (Langmead et al., ref. [13]
 // of the paper: "ultrafast and memory-efficient alignment"). It
-// provides suffix-array construction, the BWT, rank/occurrence
-// checkpoints, backward search, and position location — enough to
-// serve as an alternative seed-location backend for the bowtie
-// package and to study the memory/speed trade-off the paper's
-// future-work section raises.
+// provides suffix-array construction (parallel radix + prefix
+// doubling, build.go), the BWT, rank/occurrence checkpoints, backward
+// search, and position location. Two index layouts share that
+// machinery: Index keeps the BWT as one byte per code (the reference
+// the differential tests trust), and PackedIndex (packed.go) stores it
+// 2 bits per code with interleaved checkpoints — the memory/speed
+// trade-off the paper's future-work section raises, measured by
+// `make bench-fm`.
 package fm
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 )
 
 // Alphabet: byte codes used inside the index. The sentinel terminates
@@ -44,6 +48,7 @@ func encodeBase(b byte) byte {
 const (
 	occSampleRate = 128 // checkpoint spacing for rank queries
 	saSampleRate  = 32  // suffix-array sampling for locate
+	markWordGroup = 4   // bitset words per mark-rank checkpoint
 )
 
 // Index is an FM-index over one text.
@@ -53,16 +58,27 @@ type Index struct {
 	c   [alphabetSize + 1]int
 	// occ[k][j] = occurrences of code j in bwt[0 : k*occSampleRate).
 	occ [][alphabetSize]int32
-	// samples maps a marked SA row to its text position; a row is
-	// marked when its suffix position is a multiple of saSampleRate.
-	samples  map[int]int32
-	saMarked []bool
+	// Sampled suffix array as a flat rank-select structure: markBits
+	// flags the rows whose suffix position is a multiple of
+	// saSampleRate, markRank checkpoints the mark popcount every
+	// markWordGroup bitset words, and samples holds the sampled
+	// positions in row order — samples[rankMarked(row)] is the position
+	// of marked row `row`.
+	markBits []uint64
+	markRank []int32
+	samples  []int32
 }
 
 // New builds an FM-index over text (ASCII bases). The text may contain
 // 'N' separators; patterns containing only ACGT never match across
 // them.
 func New(text []byte) (*Index, error) {
+	return NewParallel(text, BuildOptions{})
+}
+
+// NewParallel builds the index with the given construction options.
+// The result is identical to New for every worker count.
+func NewParallel(text []byte, opt BuildOptions) (*Index, error) {
 	if len(text) == 0 {
 		return nil, fmt.Errorf("fm: empty text")
 	}
@@ -73,7 +89,7 @@ func New(text []byte) (*Index, error) {
 	}
 	t[len(text)] = codeSentinel
 
-	sa := buildSuffixArray(t)
+	sa := buildSuffixArray(t, opt)
 	ix := &Index{n: len(t)}
 	ix.bwt = make([]byte, len(t))
 	for i, p := range sa {
@@ -113,14 +129,30 @@ func New(text []byte) (*Index, error) {
 		ix.occ[j] = acc
 	}
 
-	// SA samples for locate.
-	ix.saMarked = make([]bool, len(t))
-	ix.samples = make(map[int]int32, len(t)/saSampleRate+1)
+	// SA samples for locate: mark bits and positions in one row-order
+	// pass, then the mark-rank checkpoints.
+	nw := (len(t) + 63) / 64
+	ix.markBits = make([]uint64, nw)
+	nSamples := 0
+	for _, p := range sa {
+		if int(p)%saSampleRate == 0 {
+			nSamples++
+		}
+	}
+	ix.samples = make([]int32, 0, nSamples)
 	for i, p := range sa {
 		if int(p)%saSampleRate == 0 {
-			ix.saMarked[i] = true
-			ix.samples[i] = p
+			ix.markBits[i>>6] |= 1 << uint(i&63)
+			ix.samples = append(ix.samples, p)
 		}
+	}
+	ix.markRank = make([]int32, (nw+markWordGroup-1)/markWordGroup)
+	acc2 := int32(0)
+	for w := 0; w < nw; w++ {
+		if w%markWordGroup == 0 {
+			ix.markRank[w/markWordGroup] = acc2
+		}
+		acc2 += int32(bits.OnesCount64(ix.markBits[w]))
 	}
 	return ix, nil
 }
@@ -170,26 +202,51 @@ func (ix *Index) Count(pattern []byte) int {
 // Locate returns the sorted text positions of every occurrence of
 // pattern, resolved by LF-walking to the nearest SA sample.
 func (ix *Index) Locate(pattern []byte) []int {
+	return ix.AppendLocate(nil, pattern)
+}
+
+// AppendLocate appends the sorted text positions of every occurrence
+// of pattern to dst. With a warm dst (capacity from a previous call)
+// it performs no allocations — the hot-loop entry point.
+func (ix *Index) AppendLocate(dst []int, pattern []byte) []int {
 	lo, hi := ix.Search(pattern)
 	if lo >= hi {
-		return nil
+		return dst
 	}
-	out := make([]int, 0, hi-lo)
+	base := len(dst)
 	for row := lo; row < hi; row++ {
-		out = append(out, ix.position(row))
+		dst = append(dst, ix.position(row))
 	}
-	sort.Ints(out)
-	return out
+	slices.Sort(dst[base:])
+	return dst
+}
+
+// marked reports whether SA row i is sampled.
+func (ix *Index) marked(i int) bool {
+	return ix.markBits[i>>6]>>uint(i&63)&1 == 1
+}
+
+// rankMarked counts the sampled rows before row i — the select index
+// into samples: checkpoint, whole bitset words, then a masked
+// popcount of the partial word.
+func (ix *Index) rankMarked(i int) int {
+	w := i >> 6
+	cnt := int(ix.markRank[w/markWordGroup])
+	for v := w / markWordGroup * markWordGroup; v < w; v++ {
+		cnt += bits.OnesCount64(ix.markBits[v])
+	}
+	cnt += bits.OnesCount64(ix.markBits[w] & (1<<uint(i&63) - 1))
+	return cnt
 }
 
 // position resolves SA[row] by walking LF until a sampled row.
 func (ix *Index) position(row int) int {
 	steps := 0
-	for !ix.saMarked[row] {
+	for !ix.marked(row) {
 		row = ix.lf(row)
 		steps++
 	}
-	return (int(ix.samples[row]) + steps) % ix.n
+	return (int(ix.samples[ix.rankMarked(row)]) + steps) % ix.n
 }
 
 // Len returns the indexed text length (excluding the sentinel).
@@ -200,50 +257,7 @@ func (ix *Index) Len() int { return ix.n - 1 }
 func (ix *Index) MemoryFootprint() int {
 	return len(ix.bwt) + // bwt bytes
 		len(ix.occ)*alphabetSize*4 + // checkpoints
-		len(ix.samples)*12 + // sampled SA entries
-		len(ix.saMarked) // marks
-}
-
-// buildSuffixArray constructs the suffix array by prefix doubling
-// (O(n log^2 n)), sufficient for contig-scale texts.
-func buildSuffixArray(t []byte) []int32 {
-	n := len(t)
-	sa := make([]int32, n)
-	rank := make([]int32, n)
-	tmp := make([]int32, n)
-	for i := range sa {
-		sa[i] = int32(i)
-		rank[i] = int32(t[i])
-	}
-	for k := 1; ; k *= 2 {
-		key := func(i int32) (int32, int32) {
-			second := int32(-1)
-			if int(i)+k < n {
-				second = rank[int(i)+k]
-			}
-			return rank[i], second
-		}
-		sort.Slice(sa, func(a, b int) bool {
-			f1, s1 := key(sa[a])
-			f2, s2 := key(sa[b])
-			if f1 != f2 {
-				return f1 < f2
-			}
-			return s1 < s2
-		})
-		tmp[sa[0]] = 0
-		for i := 1; i < n; i++ {
-			f1, s1 := key(sa[i-1])
-			f2, s2 := key(sa[i])
-			tmp[sa[i]] = tmp[sa[i-1]]
-			if f1 != f2 || s1 != s2 {
-				tmp[sa[i]]++
-			}
-		}
-		copy(rank, tmp)
-		if int(rank[sa[n-1]]) == n-1 {
-			break
-		}
-	}
-	return sa
+		len(ix.markBits)*8 + // sample marks
+		len(ix.markRank)*4 + // mark-rank checkpoints
+		len(ix.samples)*4 // sampled SA positions
 }

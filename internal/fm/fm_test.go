@@ -129,7 +129,7 @@ func TestSuffixArrayIsSorted(t *testing.T) {
 		text[i] = encodeBase(b)
 	}
 	text[len(raw)] = codeSentinel
-	sa := buildSuffixArray(text)
+	sa := buildSuffixArray(text, BuildOptions{})
 	if len(sa) != len(text) {
 		t.Fatalf("sa length %d", len(sa))
 	}
@@ -157,28 +157,55 @@ func TestMemoryFootprintPositive(t *testing.T) {
 	}
 }
 
-func BenchmarkFMSearch(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
-	text := randDNA(rng, 100000)
+// Satellite pin: a warm Locate (AppendLocate into a buffer with
+// capacity from a previous call) performs zero allocations — the old
+// map-based sampled SA allocated on every probe.
+func TestLocateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(11))
+	text := randDNA(rng, 4000)
 	ix, err := New(text)
 	if err != nil {
-		b.Fatal(err)
+		t.Fatal(err)
 	}
-	pattern := text[5000:5016]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ix.Search(pattern)
+	pattern := text[100:112]
+	var buf []int
+	buf = ix.AppendLocate(buf[:0], pattern) // warm the buffer
+	if len(buf) == 0 {
+		t.Fatal("pattern from text must match")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = ix.AppendLocate(buf[:0], pattern)
+	})
+	if allocs != 0 {
+		t.Errorf("warm AppendLocate allocated %.1f times per run, want 0", allocs)
 	}
 }
 
-func BenchmarkFMBuild(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
-	text := randDNA(rng, 20000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := New(text); err != nil {
-			b.Fatal(err)
-		}
+// Satellite pin: suffix-array construction reuses pooled scratch — a
+// warm build allocates exactly a fixed handful of times (the returned
+// array plus the escaping phase closures), independent of text size
+// and round count. The old builder allocated rank/next/bucket slices
+// on every call and a fresh closure pair per doubling round.
+func TestBuildSuffixArrayAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(12))
+	raw := randDNA(rng, 20000)
+	text := make([]byte, len(raw)+1)
+	for i, b := range raw {
+		text[i] = encodeBase(b)
+	}
+	text[len(raw)] = codeSentinel
+	buildSuffixArray(text, BuildOptions{}) // warm the scratch pool
+	allocs := testing.AllocsPerRun(5, func() {
+		buildSuffixArray(text, BuildOptions{})
+	})
+	if allocs > 5 {
+		t.Errorf("warm buildSuffixArray allocated %.1f times per run, want <= 5", allocs)
 	}
 }
 

@@ -1,0 +1,88 @@
+package fm
+
+import (
+	"bytes"
+	"testing"
+
+	"gotrinity/internal/seq"
+)
+
+// normalizeDNA maps arbitrary bytes to the alphabet the index sees:
+// ACGT (either case) upper-cased, everything else 'N' — the same
+// folding seq.Pack and encodeBase apply.
+func normalizeDNA(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		switch b {
+		case 'A', 'a':
+			out[i] = 'A'
+		case 'C', 'c':
+			out[i] = 'C'
+		case 'G', 'g':
+			out[i] = 'G'
+		case 'T', 't':
+			out[i] = 'T'
+		default:
+			out[i] = 'N'
+		}
+	}
+	return out
+}
+
+// FuzzPackedBackwardSearch cross-checks the packed index's backward
+// search and locate against the naive scan on arbitrary text/pattern
+// pairs, through both the ASCII and the packed pattern entry points.
+func FuzzPackedBackwardSearch(f *testing.F) {
+	f.Add("GATTACAGATTACA", "GATTACA")
+	f.Add("ACGTNNNNACGT", "ACGT")
+	f.Add("AAAA", "AAAAA")
+	f.Add("", "A")
+	f.Add("TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT", "TT")
+	f.Fuzz(func(t *testing.T, textS, patternS string) {
+		if len(textS) > 2000 || len(patternS) > 64 {
+			t.Skip()
+		}
+		text := normalizeDNA([]byte(textS))
+		pattern := normalizeDNA([]byte(patternS))
+		packed, err := NewPacked([]seq.Packed{seq.Pack(text)}, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pattern) == 0 {
+			// Empty patterns match every row — naiveOccurrences treats
+			// them as no-match, so check the interval directly.
+			if lo, hi := packed.Search(pattern); lo != 0 || hi != packed.n {
+				t.Fatalf("empty pattern: [%d,%d), want [0,%d)", lo, hi, packed.n)
+			}
+			return
+		}
+		// The index text carries the trailing separator, so naive
+		// matching runs over text+"N" (patterns cannot end past the
+		// original text: they contain no N when they match at all).
+		full := append(append([]byte{}, text...), 'N')
+		want := naiveOccurrences(full, pattern)
+		got := packed.Locate(pattern)
+		if len(got) != len(want) {
+			t.Fatalf("text %q pattern %q: got %d hits %v, want %d %v",
+				text, pattern, len(got), got, len(want), want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("text %q pattern %q: hit %d = %d, want %d", text, pattern, i, got[i], want[i])
+			}
+		}
+		if packed.Count(pattern) != len(want) {
+			t.Fatalf("count mismatch")
+		}
+		// The packed-pattern form must agree with the ASCII form.
+		plo, phi := packed.SearchPacked(seq.Pack(pattern))
+		alo, ahi := packed.Search(pattern)
+		if len(pattern) > 0 && bytes.ContainsAny(pattern, "N") {
+			if plo != phi {
+				t.Fatal("ambiguous packed pattern matched")
+			}
+		} else if plo != alo || phi != ahi {
+			t.Fatalf("SearchPacked [%d,%d) != Search [%d,%d)", plo, phi, alo, ahi)
+		}
+	})
+}

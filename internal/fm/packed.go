@@ -1,0 +1,362 @@
+// PackedIndex: the FM-index with the BWT held at 2 bits per code,
+// consuming seq.Packed segments end-to-end — no ASCII is ever
+// materialised. The layout interleaves occurrence checkpoints with the
+// BWT words so a rank query touches one cache-resident block: each
+// block is 10 words / 80 bytes covering 256 BWT rows — two checkpoint
+// words (cumulative special/C/G/T counts packed as four uint32s)
+// followed by eight code words (32 rows each, LSB-first like
+// seq.Packed). In-block ranks are branch-free popcounts: XOR the code
+// word with the broadcast pattern of the wanted code, fold each 2-bit
+// group to its low bit, mask, popcount.
+//
+// The 6-symbol alphabet folds into 2 bits by storing the rare symbols
+// (N separators and the sentinel — "specials") as code 0 in the words
+// and recording their rows in a sparse sorted array. occ(A) is then
+// stored-zero rank minus special rank, and the A/C/G/T checkpoint
+// counts derive from the block's row index, so nothing else is stored.
+// The sampled suffix array is equally sparse: rows whose position is a
+// multiple of packedSARate, as two parallel sorted arrays
+// (row → position) probed by binary search during the LF walk.
+package fm
+
+import (
+	"math/bits"
+	"slices"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/seq"
+)
+
+const (
+	packedBlockRows  = 256 // BWT rows per block
+	packedBlockWords = 10  // 2 checkpoint words + 8 code words
+	packedSARate     = 64  // suffix-array sampling for locate
+
+	// lowBits masks the low bit of every 2-bit group — the fold target
+	// of the code-match popcount.
+	lowBits = 0x5555555555555555
+)
+
+// PackedIndex is the 2-bit FM-index over a concatenation of packed
+// segments separated (and terminated) by N, plus the sentinel — the
+// same text layout the ASCII Bowtie backend builds, so row intervals
+// and located positions are interchangeable between the two.
+type PackedIndex struct {
+	n           int
+	blocks      []uint64 // packedBlockWords per packedBlockRows rows
+	specials    []int32  // sorted rows whose BWT symbol is N or the sentinel
+	sentinelRow int32    // the row whose BWT symbol is the sentinel (SA[row] == 0)
+	c           [alphabetSize + 1]int
+	sampledRows []int32 // sorted rows with SA[row] % packedSARate == 0
+	samplePos   []int32 // samplePos[i] = SA[sampledRows[i]]
+}
+
+// NewPacked builds the packed FM-index over the given segments. Every
+// segment contributes its codes (N runs become the N symbol) followed
+// by one N separator, exactly mirroring the ASCII backend's
+// contig+'N' concatenation; zero segments index the single-separator
+// text. ACGT patterns therefore never match across segment ends.
+func NewPacked(segments []seq.Packed, opt BuildOptions) (*PackedIndex, error) {
+	total := 0
+	for i := range segments {
+		total += segments[i].Len() + 1
+	}
+	t := make([]byte, 0, total+2)
+	for i := range segments {
+		s := &segments[i]
+		base := len(t)
+		for j := 0; j < s.Len(); j++ {
+			t = append(t, byte(s.CodeAt(j))+1) // packed 0..3 -> codeA..codeT
+		}
+		for r := 0; r < s.NumRuns(); r++ {
+			run := s.RunAt(r)
+			for j := int(run.Start); j < int(run.Start+run.Len); j++ {
+				t[base+j] = codeN
+			}
+		}
+		t = append(t, codeN)
+	}
+	if len(t) == 0 {
+		t = append(t, codeN)
+	}
+	t = append(t, codeSentinel)
+
+	sa := buildSuffixArray(t, opt)
+	n := len(t)
+	nb := n/packedBlockRows + 1
+	ix := &PackedIndex{n: n, blocks: make([]uint64, nb*packedBlockWords)}
+	var counts [alphabetSize]int
+	for _, b := range t {
+		counts[b]++
+	}
+	run := 0
+	for j := 0; j < alphabetSize; j++ {
+		ix.c[j] = run
+		run += counts[j]
+	}
+	ix.c[alphabetSize] = run
+
+	writeCheckpoint := func(b int, cs, cc, cg, ct int32) {
+		blk := ix.blocks[b*packedBlockWords:]
+		blk[0] = uint64(uint32(cs)) | uint64(uint32(cc))<<32
+		blk[1] = uint64(uint32(cg)) | uint64(uint32(ct))<<32
+	}
+	var cs, cc, cg, ct int32
+	for i, p := range sa {
+		if i%packedBlockRows == 0 {
+			writeCheckpoint(i/packedBlockRows, cs, cc, cg, ct)
+		}
+		var sym byte
+		if p == 0 {
+			sym = t[n-1] // the sentinel
+		} else {
+			sym = t[p-1]
+		}
+		var stored uint64
+		switch sym {
+		case codeC:
+			stored, cc = 1, cc+1
+		case codeG:
+			stored, cg = 2, cg+1
+		case codeT:
+			stored, ct = 3, ct+1
+		case codeA:
+			// stored 0, counted implicitly
+		default: // codeN or the sentinel: stored 0, row recorded sparse
+			if sym == codeSentinel {
+				ix.sentinelRow = int32(i)
+			}
+			ix.specials = append(ix.specials, int32(i))
+			cs++
+		}
+		if stored != 0 {
+			w := i/packedBlockRows*packedBlockWords + 2 + i%packedBlockRows/32
+			ix.blocks[w] |= stored << uint((i&31)*2)
+		}
+		if int(p)%packedSARate == 0 {
+			ix.sampledRows = append(ix.sampledRows, int32(i))
+			ix.samplePos = append(ix.samplePos, p)
+		}
+	}
+	// Trailing checkpoint: occ is queried at i up to and including n,
+	// so when n is an exact block multiple the final (rowless) block's
+	// checkpoint must still be written — the same boundary the ASCII
+	// index's nCheck+1 sizing covers.
+	if n%packedBlockRows == 0 {
+		writeCheckpoint(nb-1, cs, cc, cg, ct)
+	}
+	return ix, nil
+}
+
+// rankSpecial counts the special rows (N or sentinel BWT symbols)
+// before row i.
+func (ix *PackedIndex) rankSpecial(i int) int {
+	lo, hi := 0, len(ix.specials)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(ix.specials[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// occ returns the occurrences of code (codeA..codeT only) in
+// bwt[0:i) from one block: checkpoint plus in-block popcounts.
+func (ix *PackedIndex) occ(code byte, i int) int {
+	b := i / packedBlockRows
+	r := i % packedBlockRows
+	blk := ix.blocks[b*packedBlockWords:]
+	stored := uint64(code - codeA)
+	pattern := stored * lowBits
+	cnt := 0
+	full := r >> 5
+	for w := 0; w < full; w++ {
+		x := blk[2+w] ^ pattern
+		cnt += bits.OnesCount64(^(x | x>>1) & lowBits)
+	}
+	if rem := r & 31; rem != 0 {
+		x := blk[2+full] ^ pattern
+		m := ^(x | x>>1) & lowBits & (1<<uint(rem*2) - 1)
+		cnt += bits.OnesCount64(m)
+	}
+	switch code {
+	case codeC:
+		return int(uint32(blk[0]>>32)) + cnt
+	case codeG:
+		return int(uint32(blk[1])) + cnt
+	case codeT:
+		return int(uint32(blk[1]>>32)) + cnt
+	}
+	// codeA: stored-zero rank minus special rank. The cumulative
+	// stored-zero count before the block is the row index minus the
+	// checkpointed C/G/T counts and special count; adding the in-block
+	// stored-zero popcount and subtracting all specials before i leaves
+	// exactly the As (the block's own specials cancel).
+	cc := int(uint32(blk[0] >> 32))
+	cg := int(uint32(blk[1]))
+	ct := int(uint32(blk[1] >> 32))
+	return b*packedBlockRows - cc - cg - ct + cnt - ix.rankSpecial(i)
+}
+
+// storedAt returns the 2-bit stored code of BWT row i.
+func (ix *PackedIndex) storedAt(i int) uint64 {
+	w := i/packedBlockRows*packedBlockWords + 2 + i%packedBlockRows/32
+	return ix.blocks[w] >> uint((i&31)*2) & 3
+}
+
+// lf is the last-to-first mapping of BWT row i.
+func (ix *PackedIndex) lf(i int) int {
+	s := ix.rankSpecial(i)
+	if s < len(ix.specials) && int(ix.specials[s]) == i {
+		if int32(i) == ix.sentinelRow {
+			// SA[i] == 0: never reached by a locate walk (position 0 is
+			// always sampled); defensively map to the sentinel's row.
+			return 0
+		}
+		r := s // N rank = special rank minus a preceding sentinel
+		if ix.sentinelRow < int32(i) {
+			r--
+		}
+		return ix.c[codeN] + r
+	}
+	code := byte(ix.storedAt(i)) + codeA
+	return ix.c[code] + ix.occ(code, i)
+}
+
+// stepBack narrows the SA interval [lo, hi) by one pattern code
+// (codeA..codeT) — the backward-search step.
+func (ix *PackedIndex) stepBack(lo, hi int, code byte) (int, int) {
+	return ix.c[code] + ix.occ(code, lo), ix.c[code] + ix.occ(code, hi)
+}
+
+// SearchKmer returns the SA interval of the k-mer via backward search
+// on its packed codes directly — no decode. An empty interval means no
+// match.
+func (ix *PackedIndex) SearchKmer(m kmer.Kmer, k int) (lo, hi int) {
+	lo, hi = 0, ix.n
+	for i := 0; i < k; i++ {
+		// Pattern position k-1-i: kmers are MSB-first, so the trailing
+		// base — consumed first by backward search — sits in the low bits.
+		code := byte(uint64(m)>>uint(2*i)&3) + codeA
+		lo, hi = ix.stepBack(lo, hi, code)
+		if lo >= hi {
+			return 0, 0
+		}
+	}
+	return lo, hi
+}
+
+// SearchPacked returns the SA interval of a packed pattern. Patterns
+// containing ambiguous bases never match, exactly like the ASCII
+// index; an empty pattern matches everywhere.
+func (ix *PackedIndex) SearchPacked(p seq.Packed) (lo, hi int) {
+	if p.NumRuns() > 0 {
+		return 0, 0
+	}
+	lo, hi = 0, ix.n
+	for i := p.Len() - 1; i >= 0; i-- {
+		lo, hi = ix.stepBack(lo, hi, byte(p.CodeAt(i))+codeA)
+		if lo >= hi {
+			return 0, 0
+		}
+	}
+	return lo, hi
+}
+
+// Search backward-searches an ASCII pattern — the differential-test
+// and fuzz entry point; pipeline callers search packed forms directly.
+func (ix *PackedIndex) Search(pattern []byte) (lo, hi int) {
+	lo, hi = 0, ix.n
+	for i := len(pattern) - 1; i >= 0; i-- {
+		code := encodeBase(pattern[i])
+		if code == codeN {
+			return 0, 0
+		}
+		lo, hi = ix.stepBack(lo, hi, code)
+		if lo >= hi {
+			return 0, 0
+		}
+	}
+	return lo, hi
+}
+
+// Count returns the number of occurrences of the ASCII pattern.
+func (ix *PackedIndex) Count(pattern []byte) int {
+	lo, hi := ix.Search(pattern)
+	return hi - lo
+}
+
+// sampleIdx returns the sample index of row, or -1 if row is not
+// sampled.
+func (ix *PackedIndex) sampleIdx(row int) int {
+	lo, hi := 0, len(ix.sampledRows)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(ix.sampledRows[mid]) < row {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ix.sampledRows) && int(ix.sampledRows[lo]) == row {
+		return lo
+	}
+	return -1
+}
+
+// position resolves SA[row] by walking LF to the nearest sampled row
+// (at most packedSARate-1 steps: position 0 is always sampled).
+func (ix *PackedIndex) position(row int) int {
+	steps := 0
+	for {
+		if idx := ix.sampleIdx(row); idx >= 0 {
+			return (int(ix.samplePos[idx]) + steps) % ix.n
+		}
+		row = ix.lf(row)
+		steps++
+	}
+}
+
+// appendRows appends the sorted positions of SA rows [lo, hi) to dst.
+func (ix *PackedIndex) appendRows(dst []int, lo, hi int) []int {
+	if lo >= hi {
+		return dst
+	}
+	base := len(dst)
+	for row := lo; row < hi; row++ {
+		dst = append(dst, ix.position(row))
+	}
+	slices.Sort(dst[base:])
+	return dst
+}
+
+// Locate returns the sorted text positions of the ASCII pattern.
+func (ix *PackedIndex) Locate(pattern []byte) []int {
+	lo, hi := ix.Search(pattern)
+	return ix.appendRows(nil, lo, hi)
+}
+
+// AppendLocateKmer appends the sorted text positions of the k-mer to
+// dst — allocation-free with a warm dst, the aligner's seed-location
+// hot path.
+func (ix *PackedIndex) AppendLocateKmer(dst []int, m kmer.Kmer, k int) []int {
+	lo, hi := ix.SearchKmer(m, k)
+	return ix.appendRows(dst, lo, hi)
+}
+
+// Len returns the indexed text length (excluding the sentinel).
+func (ix *PackedIndex) Len() int { return ix.n - 1 }
+
+// MemoryFootprint estimates the index's resident bytes: the
+// interleaved block array plus the sparse special and sampled-SA
+// arrays — ~0.44 bytes per text position against the ASCII index's
+// ~1.45.
+func (ix *PackedIndex) MemoryFootprint() int {
+	return len(ix.blocks)*8 +
+		len(ix.specials)*4 +
+		len(ix.sampledRows)*4 +
+		len(ix.samplePos)*4
+}

@@ -1,0 +1,280 @@
+package fm
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gotrinity/internal/kmer"
+	"gotrinity/internal/omp"
+	"gotrinity/internal/seq"
+)
+
+// concatWithSeparators reproduces the Bowtie backend's text layout:
+// every segment followed by one 'N'; zero segments yield "N".
+func concatWithSeparators(segs [][]byte) []byte {
+	var text []byte
+	for _, s := range segs {
+		text = append(text, s...)
+		text = append(text, 'N')
+	}
+	if len(text) == 0 {
+		text = []byte{'N'}
+	}
+	return text
+}
+
+func packSegments(segs [][]byte) []seq.Packed {
+	out := make([]seq.Packed, len(segs))
+	for i, s := range segs {
+		out[i] = seq.Pack(s)
+	}
+	return out
+}
+
+// bothIndexes builds the ASCII and packed indexes over the same
+// logical text.
+func bothIndexes(t *testing.T, segs [][]byte) (*Index, *PackedIndex) {
+	t.Helper()
+	ascii, err := New(concatWithSeparators(segs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := NewPacked(packSegments(segs), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ascii, packed
+}
+
+// checkAgree compares Count and Locate between the two indexes for one
+// pattern, and both against the naive scan over the concatenated text.
+func checkAgree(t *testing.T, ascii *Index, packed *PackedIndex, text, pattern []byte) {
+	t.Helper()
+	want := naiveOccurrences(text, pattern)
+	gotA := ascii.Locate(pattern)
+	gotP := packed.Locate(pattern)
+	if len(gotA) != len(want) || len(gotP) != len(want) {
+		t.Fatalf("pattern %q: ascii %d, packed %d, naive %d hits", pattern, len(gotA), len(gotP), len(want))
+	}
+	for i := range want {
+		if gotA[i] != want[i] || gotP[i] != want[i] {
+			t.Fatalf("pattern %q hit %d: ascii %d packed %d naive %d", pattern, i, gotA[i], gotP[i], want[i])
+		}
+	}
+	if ascii.Count(pattern) != len(want) || packed.Count(pattern) != len(want) {
+		t.Fatalf("pattern %q: counts disagree with naive %d", pattern, len(want))
+	}
+}
+
+func TestPackedMatchesASCIIRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		nseg := 1 + rng.Intn(4)
+		segs := make([][]byte, nseg)
+		for i := range segs {
+			segs[i] = randDNA(rng, 20+rng.Intn(200))
+			// Sprinkle N runs into some segments.
+			if rng.Intn(2) == 0 && len(segs[i]) > 10 {
+				start := rng.Intn(len(segs[i]) - 5)
+				for j := start; j < start+1+rng.Intn(4); j++ {
+					segs[i][j] = 'N'
+				}
+			}
+		}
+		ascii, packed := bothIndexes(t, segs)
+		text := concatWithSeparators(segs)
+		for p := 0; p < 20; p++ {
+			var pattern []byte
+			if p%2 == 0 {
+				start := rng.Intn(len(text) - 8)
+				pattern = text[start : start+2+rng.Intn(6)]
+			} else {
+				pattern = randDNA(rng, 1+rng.Intn(8))
+			}
+			if bytes.ContainsAny(pattern, "N") {
+				if packed.Count(pattern) != 0 {
+					t.Fatal("N pattern matched in packed index")
+				}
+				continue
+			}
+			checkAgree(t, ascii, packed, text, pattern)
+		}
+	}
+}
+
+// Word and block boundaries: segment lengths hitting len%32==0 (packed
+// word boundaries) and total text lengths hitting multiples of the
+// 256-row block — the packed twin of TestCheckpointBoundaryLengths.
+func TestPackedBoundaryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// Text length = segLen + 2 (separator + sentinel); 254 and 510 land
+	// the full text exactly on block multiples, 30..64 cover the packed
+	// word boundaries.
+	for _, n := range []int{1, 30, 31, 32, 33, 63, 64, 65, 96, 254, 255, 256, 510, 512, 1022} {
+		segs := [][]byte{randDNA(rng, n)}
+		ascii, packed := bothIndexes(t, segs)
+		text := concatWithSeparators(segs)
+		for trial := 0; trial < 20; trial++ {
+			plen := 1 + rng.Intn(4)
+			if plen > n {
+				plen = n
+			}
+			start := rng.Intn(n - plen + 1)
+			checkAgree(t, ascii, packed, text, segs[0][start:start+plen])
+		}
+	}
+}
+
+func TestPackedDegenerateSegments(t *testing.T) {
+	// All-N segment, empty segment, and no segments at all.
+	for _, segs := range [][][]byte{
+		{[]byte("NNNNNNNN")},
+		{{}},
+		{},
+		{[]byte("ACGTACGT"), {}, []byte("NNNN"), []byte("TTTT")},
+	} {
+		ascii, packed := bothIndexes(t, segs)
+		text := concatWithSeparators(segs)
+		for _, pattern := range [][]byte{[]byte("A"), []byte("TTTT"), []byte("ACGT"), []byte("GT")} {
+			checkAgree(t, ascii, packed, text, pattern)
+		}
+		if packed.Len() != ascii.Len() {
+			t.Fatalf("Len: packed %d ascii %d", packed.Len(), ascii.Len())
+		}
+	}
+}
+
+func TestPackedSeparatorsIsolateSegments(t *testing.T) {
+	_, packed := bothIndexes(t, [][]byte{[]byte("AAAACCCC"), []byte("GGGGTTTT")})
+	if got := packed.Count([]byte("CCGG")); got != 0 {
+		t.Errorf("pattern crossed the separator: %d", got)
+	}
+	if got := packed.Count([]byte("CCCC")); got != 1 {
+		t.Errorf("Count(CCCC) = %d", got)
+	}
+}
+
+// SearchKmer and SearchPacked must agree with the ASCII Search on the
+// same index.
+func TestPackedSearchFormsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seg := randDNA(rng, 500)
+	_, packed := bothIndexes(t, [][]byte{seg})
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(16)
+		start := rng.Intn(len(seg) - k)
+		pattern := seg[start : start+k]
+		alo, ahi := packed.Search(pattern)
+		m, ok := kmer.Encode(pattern, k)
+		if !ok {
+			t.Fatalf("unencodable pattern %q", pattern)
+		}
+		klo, khi := packed.SearchKmer(m, k)
+		plo, phi := packed.SearchPacked(seq.Pack(pattern))
+		if alo != klo || ahi != khi || alo != plo || ahi != phi {
+			t.Fatalf("pattern %q: Search [%d,%d) SearchKmer [%d,%d) SearchPacked [%d,%d)",
+				pattern, alo, ahi, klo, khi, plo, phi)
+		}
+	}
+	// Packed patterns with ambiguity never match.
+	if lo, hi := packed.SearchPacked(seq.Pack([]byte("ACNGT"))); lo != hi {
+		t.Error("ambiguous packed pattern matched")
+	}
+	// Empty patterns match every row, both forms.
+	if lo, hi := packed.SearchPacked(seq.Pack(nil)); lo != 0 || hi != packed.n {
+		t.Errorf("empty packed pattern: [%d,%d)", lo, hi)
+	}
+}
+
+// Tentpole pin: warm AppendLocateKmer performs zero allocations.
+func TestPackedLocateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(24))
+	seg := randDNA(rng, 4000)
+	_, packed := bothIndexes(t, [][]byte{seg})
+	m, ok := kmer.Encode(seg[100:116], 16)
+	if !ok {
+		t.Fatal("unencodable seed")
+	}
+	var buf []int
+	buf = packed.AppendLocateKmer(buf[:0], m, 16)
+	if len(buf) == 0 {
+		t.Fatal("seed from text must match")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = packed.AppendLocateKmer(buf[:0], m, 16)
+	})
+	if allocs != 0 {
+		t.Errorf("warm AppendLocateKmer allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Tentpole pin: the packed index must stay >= 3x smaller resident than
+// the ASCII index over the same text.
+func TestPackedFootprintRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	segs := [][]byte{randDNA(rng, 100000), randDNA(rng, 100000)}
+	ascii, packed := bothIndexes(t, segs)
+	ratio := float64(ascii.MemoryFootprint()) / float64(packed.MemoryFootprint())
+	if ratio < 3 {
+		t.Errorf("resident ratio ascii/packed = %.2f (ascii %d, packed %d), want >= 3",
+			ratio, ascii.MemoryFootprint(), packed.MemoryFootprint())
+	}
+}
+
+// Parallel construction must produce the identical index for every
+// worker count, with and without a shared token pool.
+func TestParallelBuildIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	segs := packSegments([][]byte{randDNA(rng, 30000), randDNA(rng, 20000)})
+	ref, err := NewPacked(segs, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		for _, pool := range []*omp.TokenPool{nil, omp.NewTokenPool(2)} {
+			got, err := NewPacked(segs, BuildOptions{Workers: workers, Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("workers=%d pool=%v: index differs from serial build", workers, pool != nil)
+			}
+		}
+	}
+	// The ASCII index builds through the same shared builder.
+	text := randDNA(rng, 20000)
+	refA, err := New(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := NewParallel(text, BuildOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refA, gotA) {
+		t.Fatal("parallel ASCII build differs from serial")
+	}
+}
+
+// The modelled construction speedup (deterministic LPT makespan over
+// the builder's actual work decomposition — wall clock cannot show
+// scaling on a single-CPU host) must exceed 1.5x at 4 workers.
+func TestParallelBuildModelSpeedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	segs := packSegments([][]byte{randDNA(rng, 200000)})
+	prof := &saProfile{}
+	if _, err := NewPacked(segs, BuildOptions{Workers: 4, profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if s := prof.modelSpeedup(4); s <= 1.5 {
+		t.Errorf("modelled 4-worker construction speedup %.2fx, want > 1.5x", s)
+	}
+	if s := prof.modelSpeedup(1); s != 1 {
+		t.Errorf("1-worker model speedup %.2fx, want exactly 1", s)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fm
+
+// raceEnabled reports whether the race detector is compiled in; its
+// runtime instrumentation allocates, so allocation-count pins skip.
+const raceEnabled = true
